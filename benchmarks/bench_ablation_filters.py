@@ -1,0 +1,74 @@
+"""Ablations on the competitors' filter granularity.
+
+* KV-Index ``num_bins`` — finer mean keys filter better at slightly
+  more memory (the KV-Match key-range tuning knob);
+* iSAX segment count ``m`` — Table 2's grid (5, 10, 20, 25, 50): more
+  segments tighten the per-segment bound but deepen words.
+
+Both record candidates via ``extra_info`` so filter quality (not just
+wall-clock) is visible in the record.
+"""
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_LENGTH, TABLE2_SEGMENTS
+from repro.indices.isax import ISAXIndex, ISAXParams
+from repro.indices.kvindex import KVIndex, KVIndexParams
+
+from conftest import default_epsilon, get_context, get_workload
+
+DATASET = "insect"
+NORMALIZATION = "global"
+
+KV_BINS = (16, 64, 256, 1024)
+_CACHE: dict = {}
+
+
+def _source():
+    return get_context(DATASET).source(DEFAULT_LENGTH, NORMALIZATION)
+
+
+def _run_and_count(engine, workload, epsilon):
+    matches = 0
+    candidates = 0
+    for query in workload:
+        result = engine.search(query, epsilon, verification="per_candidate")
+        matches += len(result)
+        candidates += result.stats.candidates
+    return matches, candidates
+
+
+@pytest.mark.benchmark(max_time=0.6, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("num_bins", KV_BINS)
+def test_ablation_kv_bins(benchmark, num_bins):
+    key = ("kv", num_bins)
+    if key not in _CACHE:
+        _CACHE[key] = KVIndex.from_source(
+            _source(), params=KVIndexParams(num_bins=num_bins)
+        )
+    engine = _CACHE[key]
+    workload = get_workload(DATASET, DEFAULT_LENGTH, NORMALIZATION)
+    epsilon = default_epsilon(DATASET, NORMALIZATION)
+    benchmark.group = "ablation-kv-bins"
+    matches, candidates = benchmark(_run_and_count, engine, workload, epsilon)
+    benchmark.extra_info["matches"] = matches
+    benchmark.extra_info["candidates"] = candidates
+    benchmark.extra_info["intervals"] = engine.interval_count()
+
+
+@pytest.mark.benchmark(max_time=0.6, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("segments", TABLE2_SEGMENTS)
+def test_ablation_isax_segments(benchmark, segments):
+    key = ("isax", segments)
+    if key not in _CACHE:
+        _CACHE[key] = ISAXIndex.from_source(
+            _source(), params=ISAXParams(segments=segments, leaf_capacity=1000)
+        )
+    engine = _CACHE[key]
+    workload = get_workload(DATASET, DEFAULT_LENGTH, NORMALIZATION)
+    epsilon = default_epsilon(DATASET, NORMALIZATION)
+    benchmark.group = "ablation-isax-segments"
+    matches, candidates = benchmark(_run_and_count, engine, workload, epsilon)
+    benchmark.extra_info["matches"] = matches
+    benchmark.extra_info["candidates"] = candidates
+    benchmark.extra_info["nodes"] = engine.node_count

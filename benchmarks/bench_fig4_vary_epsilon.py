@@ -1,0 +1,45 @@
+"""Figure 4 — query time vs ε, globally z-normalized series.
+
+One benchmark per (dataset, method, ε) over Table 1's ε grid. The
+figure's series are the per-group means; the paper's qualitative claims
+(TS-Index fastest, KV-Index worst of the indices, sweepline flat) are
+visible in the ``--benchmark-group-by=group`` output and recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.experiments import ALL_METHODS, DEFAULT_LENGTH
+
+from conftest import epsilon_grid, get_method, get_workload, run_workload
+
+DATASETS = ("insect", "eeg")
+NORMALIZATION = "global"
+
+
+def _cases():
+    cases = []
+    for dataset in DATASETS:
+        for epsilon in epsilon_grid(dataset, NORMALIZATION):
+            for method in ALL_METHODS:
+                cases.append(
+                    pytest.param(
+                        dataset,
+                        method,
+                        epsilon,
+                        id=f"{dataset}-{method}-eps{epsilon:g}",
+                    )
+                )
+    return cases
+
+
+@pytest.mark.benchmark(max_time=0.6, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("dataset,method,epsilon", _cases())
+def test_fig4_query_time(benchmark, dataset, method, epsilon):
+    engine = get_method(dataset, method, DEFAULT_LENGTH, NORMALIZATION)
+    workload = get_workload(dataset, DEFAULT_LENGTH, NORMALIZATION)
+    benchmark.group = f"fig4-{dataset}-eps{epsilon:g}"
+    matches = benchmark(run_workload, engine, workload, epsilon)
+    benchmark.extra_info["matches"] = matches
+    benchmark.extra_info["windows"] = engine.source.count
+    benchmark.extra_info["queries"] = len(workload)

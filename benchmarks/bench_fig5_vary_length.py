@@ -1,0 +1,43 @@
+"""Figure 5 — query time vs subsequence length ``l`` (Table 2 grid).
+
+Default ε per dataset (Table 1 bold); the paper's claim is that longer
+subsequences *help* TS-Index (earlier subtree pruning) while mildly
+hurting every other method.
+"""
+
+import pytest
+
+from repro.bench.experiments import ALL_METHODS, TABLE2_LENGTHS
+
+from conftest import default_epsilon, get_method, get_workload, run_workload
+
+DATASETS = ("insect", "eeg")
+NORMALIZATION = "global"
+
+
+def _cases():
+    cases = []
+    for dataset in DATASETS:
+        for length in TABLE2_LENGTHS:
+            for method in ALL_METHODS:
+                cases.append(
+                    pytest.param(
+                        dataset,
+                        method,
+                        length,
+                        id=f"{dataset}-{method}-l{length}",
+                    )
+                )
+    return cases
+
+
+@pytest.mark.benchmark(max_time=0.6, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("dataset,method,length", _cases())
+def test_fig5_query_time(benchmark, dataset, method, length):
+    engine = get_method(dataset, method, length, NORMALIZATION)
+    workload = get_workload(dataset, length, NORMALIZATION)
+    epsilon = default_epsilon(dataset, NORMALIZATION)
+    benchmark.group = f"fig5-{dataset}-l{length}"
+    matches = benchmark(run_workload, engine, workload, epsilon)
+    benchmark.extra_info["matches"] = matches
+    benchmark.extra_info["epsilon"] = epsilon

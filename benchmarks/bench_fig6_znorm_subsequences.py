@@ -1,0 +1,51 @@
+"""Figure 6 — query time vs ε with per-subsequence z-normalization.
+
+KV-Index is inapplicable here (all window means are zero, Section 4.1),
+so the paper compares only TS-Index and iSAX. The benchmark asserts the
+inapplicability as part of regenerating the figure's setting.
+"""
+
+import pytest
+
+from repro.bench.experiments import ZNORM_SUBSEQ_METHODS, DEFAULT_LENGTH
+from repro.exceptions import UnsupportedNormalizationError
+from repro.indices.kvindex import KVIndex
+
+from conftest import epsilon_grid, get_context, get_method, get_workload, run_workload
+
+DATASETS = ("insect", "eeg")
+NORMALIZATION = "per_window"
+
+
+def _cases():
+    cases = []
+    for dataset in DATASETS:
+        for epsilon in epsilon_grid(dataset, NORMALIZATION):
+            for method in ZNORM_SUBSEQ_METHODS:
+                cases.append(
+                    pytest.param(
+                        dataset,
+                        method,
+                        epsilon,
+                        id=f"{dataset}-{method}-eps{epsilon:g}",
+                    )
+                )
+    return cases
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6_kvindex_inapplicable(dataset):
+    """Section 4.1: the KV mean filter degenerates under this regime."""
+    context = get_context(dataset)
+    with pytest.raises(UnsupportedNormalizationError):
+        KVIndex.from_source(context.source(DEFAULT_LENGTH, NORMALIZATION))
+
+
+@pytest.mark.benchmark(max_time=0.6, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("dataset,method,epsilon", _cases())
+def test_fig6_query_time(benchmark, dataset, method, epsilon):
+    engine = get_method(dataset, method, DEFAULT_LENGTH, NORMALIZATION)
+    workload = get_workload(dataset, DEFAULT_LENGTH, NORMALIZATION)
+    benchmark.group = f"fig6-{dataset}-eps{epsilon:g}"
+    matches = benchmark(run_workload, engine, workload, epsilon)
+    benchmark.extra_info["matches"] = matches

@@ -1,0 +1,41 @@
+"""Figure 7 — query time vs ε on raw (non-normalized) values.
+
+Table 1's raw ε grids are re-expressed as the same fraction of the
+surrogate's value range (DESIGN.md §4); iSAX uses empirical breakpoints
+per the paper's "adjusting the breakpoints" note.
+"""
+
+import pytest
+
+from repro.bench.experiments import ALL_METHODS, DEFAULT_LENGTH
+
+from conftest import epsilon_grid, get_method, get_workload, run_workload
+
+DATASETS = ("insect", "eeg")
+NORMALIZATION = "none"
+
+
+def _cases():
+    cases = []
+    for dataset in DATASETS:
+        for epsilon in epsilon_grid(dataset, NORMALIZATION):
+            for method in ALL_METHODS:
+                cases.append(
+                    pytest.param(
+                        dataset,
+                        method,
+                        epsilon,
+                        id=f"{dataset}-{method}-eps{epsilon:g}",
+                    )
+                )
+    return cases
+
+
+@pytest.mark.benchmark(max_time=0.6, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("dataset,method,epsilon", _cases())
+def test_fig7_query_time(benchmark, dataset, method, epsilon):
+    engine = get_method(dataset, method, DEFAULT_LENGTH, NORMALIZATION)
+    workload = get_workload(dataset, DEFAULT_LENGTH, NORMALIZATION)
+    benchmark.group = f"fig7-{dataset}-eps{epsilon:g}"
+    matches = benchmark(run_workload, engine, workload, epsilon)
+    benchmark.extra_info["matches"] = matches

@@ -1,0 +1,54 @@
+"""Figure 8 — (a) memory footprint and (b) build time per index.
+
+Build benches run a single round (construction at these scales takes
+seconds); the memory footprint of the already-built index is recorded
+in ``extra_info`` alongside, regenerating both panels from one file.
+"""
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_LENGTH, INDEX_METHODS
+from repro.bench.memory import index_memory_bytes
+from repro.indices.base import create_method_from_source
+
+from conftest import get_context, get_method
+
+DATASETS = ("insect", "eeg")
+NORMALIZATION = "global"
+
+
+def _cases():
+    return [
+        pytest.param(dataset, method, id=f"{dataset}-{method}")
+        for dataset in DATASETS
+        for method in INDEX_METHODS
+    ]
+
+
+@pytest.mark.benchmark(min_rounds=1, max_time=1.0, warmup=False)
+@pytest.mark.parametrize("dataset,method", _cases())
+def test_fig8_build_time(benchmark, dataset, method):
+    """Figure 8b: wall-clock construction per index."""
+    context = get_context(dataset)
+    source = context.source(DEFAULT_LENGTH, NORMALIZATION)
+    benchmark.group = f"fig8b-build-{dataset}"
+
+    built = benchmark.pedantic(
+        create_method_from_source, args=(method, source), rounds=1, iterations=1
+    )
+    benchmark.extra_info["windows"] = source.count
+    benchmark.extra_info["memory_mb"] = round(
+        index_memory_bytes(built) / (1024.0 * 1024.0), 3
+    )
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig8_memory_ordering(dataset):
+    """Figure 8a's shape: KV-Index < iSAX < TS-Index in memory."""
+    footprints = {
+        method: index_memory_bytes(
+            get_method(dataset, method, DEFAULT_LENGTH, NORMALIZATION)
+        )
+        for method in INDEX_METHODS
+    }
+    assert footprints["kvindex"] < footprints["isax"] < footprints["tsindex"]

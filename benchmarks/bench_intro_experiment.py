@@ -1,0 +1,62 @@
+"""The introduction's experiment — Chebyshev twins vs the equivalent
+Euclidean threshold query.
+
+The paper reports 1,034 twins vs 127,887 Euclidean results on EEG (a
+~124× excess) and zero false negatives at radius ε·sqrt(l). The bench
+times both profile computations and records the counts; the excess
+factor and the zero-miss property are asserted.
+"""
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_LENGTH
+from repro.euclidean.mass import (
+    chebyshev_distance_profile,
+    euclidean_distance_profile,
+    twin_vs_euclidean_comparison,
+)
+
+from conftest import default_epsilon, get_context, get_workload
+
+DATASETS = ("insect", "eeg")
+NORMALIZATION = "global"
+
+
+@pytest.mark.benchmark(group="intro-profiles", max_time=0.6, min_rounds=2)
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("metric", ["chebyshev", "euclidean"])
+def test_intro_profile_time(benchmark, dataset, metric):
+    """Distance-profile cost: O(n·l) exact Chebyshev vs O(n log n) FFT."""
+    source = get_context(dataset).source(DEFAULT_LENGTH, NORMALIZATION)
+    query = get_workload(dataset, DEFAULT_LENGTH, NORMALIZATION).queries[0]
+    profiler = (
+        chebyshev_distance_profile if metric == "chebyshev"
+        else euclidean_distance_profile
+    )
+    benchmark.group = f"intro-profile-{dataset}"
+    benchmark(profiler, source, query)
+
+
+@pytest.mark.benchmark(group="intro-counts", max_time=1.0, min_rounds=1)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_intro_result_counts(benchmark, dataset):
+    """Twin count vs Euclidean count at the equivalent radius."""
+    source = get_context(dataset).source(DEFAULT_LENGTH, NORMALIZATION)
+    workload = get_workload(dataset, DEFAULT_LENGTH, NORMALIZATION)
+    epsilon = default_epsilon(dataset, NORMALIZATION)
+
+    def compare():
+        twin_total = 0
+        euclid_total = 0
+        for query in workload.queries[:3]:
+            report = twin_vs_euclidean_comparison(source, query, epsilon)
+            assert report.missed_twins == 0  # Section 3.1 guarantee
+            twin_total += report.twin_count
+            euclid_total += report.euclidean_count
+        return twin_total, euclid_total
+
+    twins, euclid = benchmark(compare)
+    assert euclid > twins  # orders of magnitude in the paper
+    benchmark.extra_info["twin_results"] = twins
+    benchmark.extra_info["euclidean_results"] = euclid
+    benchmark.extra_info["excess_factor"] = round(euclid / max(twins, 1), 1)

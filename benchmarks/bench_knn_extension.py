@@ -1,0 +1,65 @@
+"""Extension bench: k-NN twin search vs an exact full profile scan.
+
+Not a paper experiment — it quantifies the best-first traversal's win
+over computing the full Chebyshev distance profile, the natural
+baseline for nearest-neighbour queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import DEFAULT_LENGTH
+from repro.euclidean.mass import chebyshev_distance_profile
+
+from conftest import get_method, get_workload
+
+DATASET = "insect"
+NORMALIZATION = "global"
+K_VALUES = (1, 10, 100)
+
+
+@pytest.mark.benchmark(max_time=0.6, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_knn_best_first(benchmark, k):
+    index = get_method(DATASET, "tsindex", DEFAULT_LENGTH, NORMALIZATION)
+    workload = get_workload(DATASET, DEFAULT_LENGTH, NORMALIZATION)
+    benchmark.group = f"knn-k{k}"
+
+    def run():
+        total = 0.0
+        for query in workload.queries[:3]:
+            total += float(index.knn(query, k).distances[-1])
+        return total
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(max_time=0.6, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_knn_profile_baseline(benchmark, k):
+    index = get_method(DATASET, "tsindex", DEFAULT_LENGTH, NORMALIZATION)
+    source = index.source
+    workload = get_workload(DATASET, DEFAULT_LENGTH, NORMALIZATION)
+    benchmark.group = f"knn-k{k}"
+
+    def run():
+        total = 0.0
+        for query in workload.queries[:3]:
+            profile = chebyshev_distance_profile(source, query)
+            total += float(np.partition(profile, k - 1)[k - 1])
+        return total
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_knn_agrees_with_baseline(k):
+    index = get_method(DATASET, "tsindex", DEFAULT_LENGTH, NORMALIZATION)
+    source = index.source
+    workload = get_workload(DATASET, DEFAULT_LENGTH, NORMALIZATION)
+    for query in workload.queries[:2]:
+        result = index.knn(query, k)
+        profile = chebyshev_distance_profile(source, query)
+        assert np.allclose(
+            np.sort(result.distances), np.sort(profile)[:k], atol=1e-12
+        )

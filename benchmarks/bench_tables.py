@@ -1,0 +1,54 @@
+"""Tables 1 and 2 — parameter grids, plus measured workload selectivity.
+
+The paper's tables are static parameter declarations; these benches
+regenerate them (asserting the registered grids) and additionally time
+the ground-truth twin count at every ε of Table 1, recording measured
+selectivity in ``extra_info`` — the context every figure depends on.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    DEFAULT_LENGTH,
+    DEFAULT_SEGMENTS,
+    TABLE2_LENGTHS,
+    TABLE2_SEGMENTS,
+    table1_rows,
+    table2_rows,
+)
+
+from conftest import epsilon_grid, get_method, get_workload, run_workload
+
+DATASETS = ("insect", "eeg")
+
+
+@pytest.mark.benchmark(group="table1", max_time=0.5, min_rounds=2)
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table1_selectivity(benchmark, dataset):
+    """Twin counts over the Table 1 ε grid (sweepline ground truth)."""
+    rows = table1_rows()
+    assert [row["dataset"] for row in rows] == ["insect", "eeg"]
+    sweepline = get_method(dataset, "sweepline", DEFAULT_LENGTH, "global")
+    workload = get_workload(dataset, DEFAULT_LENGTH, "global")
+    grid = epsilon_grid(dataset, "global")
+
+    counts = {
+        str(epsilon): run_workload(sweepline, workload, epsilon)
+        for epsilon in grid
+    }
+    benchmark(run_workload, sweepline, workload, grid[1])
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["windows"] = sweepline.source.count
+    benchmark.extra_info["matches_per_epsilon"] = counts
+
+
+@pytest.mark.benchmark(group="table2", max_time=0.5, min_rounds=2)
+def test_table2_grids(benchmark):
+    """Table 2's parameter grids as registered in the harness."""
+    rows = table2_rows()
+    assert TABLE2_SEGMENTS == (5, 10, 20, 25, 50)
+    assert TABLE2_LENGTHS == (50, 100, 150, 200, 250)
+    assert DEFAULT_SEGMENTS == 10
+    assert DEFAULT_LENGTH == 100
+    benchmark(table2_rows)
+    benchmark.extra_info["rows"] = rows

@@ -1,0 +1,91 @@
+"""EEG scenario: find recurring epileptiform discharges with twin search.
+
+The paper's introduction motivates Chebyshev matching for EEG/ECG:
+a clinically meaningful match must track the query point-for-point —
+a missing (or extra) spike disqualifies it, even if the Euclidean
+average looks close.
+
+During an epileptiform discharge the pathological rhythm *dominates*
+the normal background, so recurrences of the same discharge are genuine
+point-wise twins. This example plants four such discharges in an EEG
+surrogate, indexes every window, queries with one occurrence and:
+
+1. recovers all four occurrences (and nothing else) by twin search;
+2. shows the equivalent Euclidean query burying them in false hits.
+
+Run:  python examples/eeg_spike_discovery.py
+"""
+
+import numpy as np
+
+from repro import Normalization, TSIndex, WindowSource
+from repro.core.events import event_positions
+from repro.data import synthetic
+from repro.euclidean.mass import twin_vs_euclidean_comparison
+
+
+def plant_discharges(series: np.ndarray, length: int, starts, seed=1):
+    """Overwrite ``series`` at each start with one discharge waveform.
+
+    The discharge is a 3 Hz spike-and-wave burst; the normal rhythm is
+    suppressed to 10% during the event (as in real recordings), so the
+    occurrences differ only by ~1.5% amplitude jitter.
+    """
+    rng = np.random.default_rng(seed)
+    tt = np.arange(length)
+    spike_wave = (
+        4.0 * np.exp(-((tt % 33) - 6.0) ** 2 / 8.0)   # sharp spike
+        - 2.0 * np.exp(-((tt % 33) - 20.0) ** 2 / 40.0)  # slow wave
+    ) * np.hanning(length) * 2.0
+    scale = float(series.std())
+    for start in starts:
+        jitter = 1.0 + rng.normal(0.0, 0.015)
+        series[start : start + length] = (
+            0.1 * series[start : start + length]
+            + spike_wave * scale * jitter
+        )
+    return series
+
+
+def main() -> None:
+    length = 100
+    starts = (9_000, 21_500, 38_000, 52_400)
+    series = synthetic.eeg_like(60_000, seed=7)
+    series = plant_discharges(series, length, starts)
+    print(f"EEG surrogate: {series.size} samples (~2 min at 500 Hz); "
+          f"discharges planted at {starts}")
+
+    source = WindowSource(series, length, Normalization.GLOBAL)
+    index = TSIndex.from_source(source)
+    print(f"indexed {index.size} windows "
+          f"({index.build_stats.seconds:.1f}s, height {index.height})")
+
+    query = np.array(source.window_block(starts[0], starts[0] + 1)[0])
+    print(f"\nquery: the discharge at sample {starts[0]}")
+
+    for epsilon in (0.2, 0.4, 0.8):
+        result = index.search(query, epsilon)
+        events = event_positions(result, min_gap=length)
+        recovered = sum(
+            any(abs(e - s) < 5 for e in events) for s in starts
+        )
+        print(f"  eps={epsilon}: {len(result):3d} twin windows -> "
+              f"{len(events)} events {events}  "
+              f"[{recovered}/{len(starts)} planted discharges]")
+
+    # Why not Euclidean? On ordinary background activity (where clinical
+    # review spends most of its time) the no-false-negative radius
+    # admits hundreds of windows that are not point-wise matches.
+    background_query = np.array(source.window_block(30_000, 30_001)[0])
+    comparison = twin_vs_euclidean_comparison(source, background_query, 0.4)
+    print("\nsame comparison on an ordinary background window:")
+    print(f"  Chebyshev twins at eps=0.4:                 "
+          f"{comparison.twin_count:6d}")
+    print(f"  Euclidean matches at radius eps*sqrt(l)={comparison.euclidean_radius:.0f}: "
+          f"{comparison.euclidean_count:6d}")
+    print(f"  excess factor: {comparison.excess_factor:.0f}x "
+          f"(false negatives: {comparison.missed_twins})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: build a TS-Index, run threshold and k-NN twin queries.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TSIndex, twin_search
+from repro.data import synthetic
+
+
+def main() -> None:
+    # A synthetic series with a planted repetition: the pattern at
+    # position 1200 recurs (with small jitter) at position 4700.
+    rng = np.random.default_rng(7)
+    series = synthetic.insect_like(6000, seed=21)
+    series[4700:4800] = series[1200:1300] + rng.normal(0.0, 0.01, size=100)
+
+    # --- one-call convenience -----------------------------------------
+    query = series[1200:1300]
+    result = twin_search(series, query, epsilon=0.05)
+    print(f"twin_search: {len(result)} twins of series[1200:1300] at eps=0.05")
+    for position, distance in result:
+        print(f"  position {position:5d}  chebyshev distance {distance:.4f}")
+
+    # --- explicit index (build once, query many times) -----------------
+    index = TSIndex.build(series, length=100, normalization="none")
+    print(f"\nbuilt {index}")
+    print(f"  height={index.height}  nodes={index.node_count}  "
+          f"splits={index.build_stats.splits}  "
+          f"build={index.build_stats.seconds:.2f}s")
+
+    result = index.search(query, epsilon=0.05)
+    print(f"\nindex.search: {len(result)} twins "
+          f"(candidates={result.stats.candidates}, "
+          f"nodes pruned={result.stats.nodes_pruned})")
+
+    nearest = index.knn(query, k=5)
+    print("\nindex.knn(k=5):")
+    for position, distance in nearest:
+        print(f"  position {position:5d}  distance {distance:.4f}")
+
+    # Tighter thresholds return fewer twins; the planted copy survives.
+    for epsilon in (0.5, 0.1, 0.05, 0.02):
+        print(f"eps={epsilon:<5}: {index.count(query, epsilon):4d} twins")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Road-traffic scenario: find days with matching congestion patterns.
+
+The paper's introduction lists "identifying similar traffic patterns in
+road networks" as a twin-search application. This example builds a
+month of synthetic loop-detector readings (daily rush-hour structure
+with day-to-day variation plus incident days) and asks: *which days
+contain a rush-hour pattern interchangeable with today's?* — then
+compares how all four search methods handle the same query.
+
+Run:  python examples/traffic_patterns.py
+"""
+
+import numpy as np
+
+from repro import create_method
+from repro.bench.timing import Timer
+
+SAMPLES_PER_DAY = 288  # 5-minute readings
+
+
+def synthetic_traffic(days: int = 30, seed: int = 12) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    day_profile = np.zeros(SAMPLES_PER_DAY)
+    t = np.arange(SAMPLES_PER_DAY)
+    # Morning and evening rush-hour peaks (Gaussian bumps).
+    day_profile += 60.0 * np.exp(-((t - 96) ** 2) / 300.0)   # ~08:00
+    day_profile += 75.0 * np.exp(-((t - 210) ** 2) / 400.0)  # ~17:30
+    day_profile += 20.0  # base flow
+
+    series = []
+    for day in range(days):
+        scale = rng.uniform(0.9, 1.1)
+        shift = rng.integers(-6, 7)  # rush hour drifts up to 30 min
+        profile = np.roll(day_profile, int(shift)) * scale
+        noise = rng.normal(0.0, 2.0, size=SAMPLES_PER_DAY)
+        if rng.random() < 0.15:  # incident day: afternoon collapse
+            profile[170:230] *= rng.uniform(0.3, 0.6)
+        series.append(profile + noise)
+    return np.concatenate(series)
+
+
+def main() -> None:
+    series = synthetic_traffic()
+    length = 96  # an 8-hour pattern
+    query_day = 17
+    query_start = query_day * SAMPLES_PER_DAY + 168  # afternoon window
+    query = series[query_start : query_start + length]
+    epsilon = 12.0  # vehicles: pointwise tolerance
+
+    print(f"30 days of 5-minute readings ({series.size} samples)")
+    print(f"query: day {query_day} afternoon pattern, eps={epsilon} vehicles\n")
+
+    reference = None
+    for name in ("sweepline", "kvindex", "isax", "tsindex"):
+        method = create_method(name, series, length, normalization="none")
+        with Timer() as timer:
+            result = method.search(query, epsilon)
+        days = sorted({int(p) // SAMPLES_PER_DAY for p in result.positions})
+        if reference is None:
+            reference = days
+            print(f"days with an interchangeable pattern: {days}\n")
+        assert days == reference, f"{name} disagrees with ground truth!"
+        print(f"  {name:10s}  {timer.milliseconds:7.1f} ms   "
+              f"{len(result):4d} matching windows, "
+              f"{result.stats.candidates:6d} candidates verified")
+
+    print("\nall four methods returned identical matches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""repro — Twin Subsequence Search in Time Series (EDBT 2021 reproduction).
+
+Given a time series ``T``, a query sequence ``Q`` of length ``l`` and a
+threshold ``ε``, *twin subsequence search* returns every subsequence of
+``T`` whose **Chebyshev (L∞) distance** to ``Q`` is at most ``ε``. This
+package reproduces the paper's four search methods —
+
+* :class:`~repro.core.tsindex.TSIndex` (the paper's contribution: an
+  MBTS tree, Section 5),
+* :class:`~repro.indices.kvindex.KVIndex` (mean-value inverted index,
+  Section 4.1),
+* :class:`~repro.indices.isax.ISAXIndex` (SAX-word tree, Section 4.2),
+* :class:`~repro.indices.sweepline.SweeplineSearch` (exhaustive scan,
+  Section 3.2),
+
+— plus the datasets, workloads and harness needed to regenerate every
+table and figure of the evaluation (see DESIGN.md / EXPERIMENTS.md).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import TSIndex, twin_search
+>>> series = np.cumsum(np.random.default_rng(0).normal(size=5000))
+>>> index = TSIndex.build(series, length=100, normalization="none")
+>>> result = index.search(series[250:350], epsilon=0.4)
+>>> 250 in result.positions
+True
+
+``twin_search`` is a one-call convenience that picks TS-Index for you:
+
+>>> result = twin_search(series, series[250:350], epsilon=0.4)
+>>> 250 in result.positions
+True
+"""
+
+from __future__ import annotations
+
+from .core import (
+    MBTS,
+    BatchResult,
+    BuildStats,
+    CollectionIndex,
+    CollectionMatch,
+    Normalization,
+    QueryStats,
+    SearchResult,
+    TimeSeries,
+    TSIndex,
+    TSIndexParams,
+    WindowSource,
+    chebyshev_distance,
+    euclidean_distance,
+    search_batch,
+)
+from .core.bulkload import bulk_load, bulk_load_source
+from .data import load_dataset, load_series
+from .exceptions import (
+    IncompatibleQueryError,
+    IndexNotBuiltError,
+    InvalidParameterError,
+    ReproError,
+    SerializationError,
+    UnsupportedNormalizationError,
+)
+from .indices import (
+    ISAXIndex,
+    ISAXParams,
+    KVIndex,
+    KVIndexParams,
+    SubsequenceIndex,
+    SweeplineSearch,
+    available_methods,
+    create_method,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MBTS",
+    "BatchResult",
+    "BuildStats",
+    "CollectionIndex",
+    "CollectionMatch",
+    "ISAXIndex",
+    "ISAXParams",
+    "IncompatibleQueryError",
+    "IndexNotBuiltError",
+    "InvalidParameterError",
+    "KVIndex",
+    "KVIndexParams",
+    "Normalization",
+    "QueryStats",
+    "ReproError",
+    "SearchResult",
+    "SerializationError",
+    "SubsequenceIndex",
+    "SweeplineSearch",
+    "TSIndex",
+    "TSIndexParams",
+    "TimeSeries",
+    "UnsupportedNormalizationError",
+    "WindowSource",
+    "available_methods",
+    "bulk_load",
+    "bulk_load_source",
+    "chebyshev_distance",
+    "create_method",
+    "euclidean_distance",
+    "load_dataset",
+    "load_series",
+    "search_batch",
+    "twin_search",
+    "__version__",
+]
+
+
+def twin_search(
+    series,
+    query,
+    epsilon: float,
+    *,
+    normalization=Normalization.NONE,
+    method: str = "tsindex",
+) -> SearchResult:
+    """One-call twin subsequence search.
+
+    Builds the requested method (default: TS-Index) over all windows of
+    ``series`` with the query's length and returns every twin of
+    ``query`` within Chebyshev ``epsilon``. For repeated queries against
+    the same series, build the index once instead.
+    """
+    import numpy as np
+
+    query = np.asarray(query, dtype=float)
+    engine = create_method(
+        method, series, query.size, normalization=normalization
+    )
+    return engine.search(query, epsilon)

@@ -1,0 +1,113 @@
+"""Small shared helpers: validation, chunking, array coercion.
+
+These utilities are internal (underscore module). They centralize the
+defensive checks used at every public API boundary so the error messages
+stay consistent across indices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import InvalidParameterError
+
+#: dtype used for all internal series buffers. float64 keeps the distance
+#: arithmetic exact enough that equality-with-threshold tests are stable.
+FLOAT_DTYPE = np.float64
+
+#: dtype used for window start positions.
+POSITION_DTYPE = np.int64
+
+
+def as_float_array(values, *, name: str = "values") -> np.ndarray:
+    """Coerce ``values`` to a contiguous 1-D float64 array.
+
+    Raises :class:`InvalidParameterError` for empty input, non-1-D input,
+    or non-finite entries (NaN/inf silently corrupt every distance bound
+    in the library, so they are rejected at the boundary).
+    """
+    array = np.ascontiguousarray(values, dtype=FLOAT_DTYPE)
+    if array.ndim != 1:
+        raise InvalidParameterError(
+            f"{name} must be one-dimensional, got shape {array.shape}"
+        )
+    if array.size == 0:
+        raise InvalidParameterError(f"{name} must not be empty")
+    if not np.all(np.isfinite(array)):
+        raise InvalidParameterError(f"{name} contains NaN or infinite entries")
+    return array
+
+
+def as_position_array(positions, *, name: str = "positions") -> np.ndarray:
+    """Coerce ``positions`` to a 1-D int64 array (possibly empty)."""
+    array = np.ascontiguousarray(positions, dtype=POSITION_DTYPE)
+    if array.ndim != 1:
+        raise InvalidParameterError(
+            f"{name} must be one-dimensional, got shape {array.shape}"
+        )
+    return array
+
+
+def check_positive_int(value, *, name: str) -> int:
+    """Validate that ``value`` is an integer >= 1 and return it as int."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be an integer, got {value!r}")
+    if value < 1:
+        raise InvalidParameterError(f"{name} must be >= 1, got {value}")
+    return int(value)
+
+
+def check_non_negative(value, *, name: str) -> float:
+    """Validate that ``value`` is a finite number >= 0 and return a float."""
+    try:
+        number = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(number) or number < 0:
+        raise InvalidParameterError(f"{name} must be finite and >= 0, got {value!r}")
+    return number
+
+
+def check_window_length(length, series_length: int, *, name: str = "length") -> int:
+    """Validate a window length against the series it will slide over."""
+    length = check_positive_int(length, name=name)
+    if length > series_length:
+        raise InvalidParameterError(
+            f"{name}={length} exceeds the series length {series_length}"
+        )
+    return length
+
+
+def iter_chunks(total: int, chunk_size: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` pairs covering ``range(total)`` in chunks."""
+    if chunk_size < 1:
+        raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    for start in range(0, total, chunk_size):
+        yield start, min(start + chunk_size, total)
+
+
+def positions_to_intervals(positions: Sequence[int]) -> list[tuple[int, int]]:
+    """Compress a sorted position list into half-open ``[start, stop)`` runs.
+
+    >>> positions_to_intervals([1, 2, 3, 7, 9, 10])
+    [(1, 4), (7, 8), (9, 11)]
+    """
+    array = as_position_array(positions)
+    if array.size == 0:
+        return []
+    if np.any(np.diff(array) <= 0):
+        raise InvalidParameterError("positions must be strictly increasing")
+    breaks = np.flatnonzero(np.diff(array) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    stops = np.concatenate((breaks, [array.size - 1]))
+    return [(int(array[a]), int(array[b]) + 1) for a, b in zip(starts, stops)]
+
+
+def intervals_to_positions(intervals: Sequence[tuple[int, int]]) -> np.ndarray:
+    """Expand half-open ``[start, stop)`` runs back into a position array."""
+    if not intervals:
+        return np.empty(0, dtype=POSITION_DTYPE)
+    parts = [np.arange(start, stop, dtype=POSITION_DTYPE) for start, stop in intervals]
+    return np.concatenate(parts)

@@ -1,0 +1,154 @@
+"""ASCII line charts for experiment output.
+
+The paper's Figures 4–7 are log-scale line charts of query time vs a
+swept parameter, one line per method. ``render_figure`` draws the same
+chart in a terminal so ``python -m repro.cli fig4`` shows the shape the
+paper shows, not just a table.
+
+The renderer is dependency-free: a character canvas with one marker per
+method, a log (or linear) y-axis with labelled ticks, and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import InvalidParameterError
+
+#: Markers assigned to series in order (the paper uses distinct glyphs
+#: per method; these are their terminal stand-ins).
+MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.0f}"
+    if value >= 1:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def render_chart(
+    x_values,
+    series: dict,
+    *,
+    height: int = 16,
+    width: int | None = None,
+    log_y: bool = True,
+    y_label: str = "ms",
+    x_label: str = "",
+) -> str:
+    """Render ``{name: [y...]}`` against ``x_values`` as an ASCII chart.
+
+    ``log_y`` plots a log10 y-axis (the paper's presentation); values
+    must then be positive. Column positions spread the x sweep evenly
+    (the paper's ε grids are evenly spaced too).
+    """
+    if not series:
+        raise InvalidParameterError("need at least one series")
+    x_values = list(x_values)
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise InvalidParameterError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+        if log_y and any(v <= 0 for v in values):
+            raise InvalidParameterError(
+                f"series {name!r} has non-positive values on a log axis"
+            )
+    if height < 4:
+        raise InvalidParameterError(f"height must be >= 4, got {height}")
+
+    if width is None:
+        width = max(48, 12 * len(x_values))
+
+    def transform(value: float) -> float:
+        return math.log10(value) if log_y else value
+
+    lows = [transform(min(values)) for values in series.values()]
+    highs = [transform(max(values)) for values in series.values()]
+    low, high = min(lows), max(highs)
+    if high - low < 1e-12:
+        high = low + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    columns = [
+        round(i * (width - 1) / max(1, len(x_values) - 1))
+        for i in range(len(x_values))
+    ]
+
+    def row_of(value: float) -> int:
+        fraction = (transform(value) - low) / (high - low)
+        return (height - 1) - round(fraction * (height - 1))
+
+    for marker, (name, values) in zip(MARKERS, series.items()):
+        previous = None
+        for column, value in zip(columns, values):
+            row = row_of(value)
+            canvas[row][column] = marker
+            if previous is not None:
+                _draw_segment(canvas, previous, (column, row), marker)
+            previous = (column, row)
+
+    # y-axis tick labels: top, middle, bottom (in original units).
+    def untransform(level: float) -> float:
+        return 10.0**level if log_y else level
+
+    labels = {
+        0: _format_tick(untransform(high)),
+        height // 2: _format_tick(untransform((high + low) / 2)),
+        height - 1: _format_tick(untransform(low)),
+    }
+    gutter = max(len(text) for text in labels.values()) + 1
+
+    lines = []
+    for row_index, row in enumerate(canvas):
+        label = labels.get(row_index, "").rjust(gutter)
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+
+    x_line = [" "] * width
+    for column, x in zip(columns, x_values):
+        text = str(x)
+        start = min(max(0, column - len(text) // 2), width - len(text))
+        for offset, char in enumerate(text):
+            x_line[start + offset] = char
+    lines.append(" " * gutter + "  " + "".join(x_line))
+
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series.keys())
+    )
+    axis_note = f"y: {y_label}" + (" (log scale)" if log_y else "")
+    if x_label:
+        axis_note += f"   x: {x_label}"
+    lines.append(f"{' ' * gutter}  {legend}")
+    lines.append(f"{' ' * gutter}  {axis_note}")
+    return "\n".join(lines)
+
+
+def _draw_segment(canvas, start, stop, marker) -> None:
+    """Light interpolation between consecutive points using ``.``."""
+    (x0, y0), (x1, y1) = start, stop
+    steps = max(abs(x1 - x0), abs(y1 - y0))
+    if steps <= 1:
+        return
+    for step in range(1, steps):
+        x = round(x0 + (x1 - x0) * step / steps)
+        y = round(y0 + (y1 - y0) * step / steps)
+        if canvas[y][x] == " ":
+            canvas[y][x] = "."
+
+
+def render_figure(data, *, height: int = 16) -> str:
+    """Chart a :class:`~repro.bench.experiments.FigureData` panel."""
+    return render_chart(
+        list(data.sweep_values),
+        {name: list(values) for name, values in data.series_ms.items()},
+        height=height,
+        log_y=True,
+        y_label="avg query time (ms)",
+        x_label=data.sweep_name,
+    )

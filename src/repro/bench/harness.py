@@ -1,0 +1,118 @@
+"""Experiment runner: time a query workload against built methods.
+
+The paper reports *average response time per query in milliseconds* for
+each method under each parameter setting. :func:`run_query_experiment`
+reproduces exactly that protocol: run every query of the workload
+through a built method, average the wall-clock time, and keep the
+aggregate filter/pruning statistics (our hardware-independent addition).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.stats import QueryStats
+from .timing import Timer
+from .workloads import QueryWorkload
+
+
+@dataclasses.dataclass
+class MethodTiming:
+    """Aggregated measurements for one method under one setting."""
+
+    method: str
+    #: average per-query wall-clock milliseconds.
+    avg_query_ms: float
+    #: total matches over the workload.
+    total_matches: int
+    #: aggregate structural counters over the workload.
+    stats: QueryStats
+    #: index construction seconds (0 for sweepline).
+    build_seconds: float = 0.0
+
+    def as_row(self) -> dict:
+        """Flat dict for the report tables."""
+        return {
+            "method": self.method,
+            "avg_query_ms": round(self.avg_query_ms, 3),
+            "matches": self.total_matches,
+            "candidates": self.stats.candidates,
+            "nodes_visited": self.stats.nodes_visited,
+            "nodes_pruned": self.stats.nodes_pruned,
+            "build_s": round(self.build_seconds, 3),
+        }
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """All method timings for one experiment setting."""
+
+    label: str
+    parameters: dict
+    timings: list[MethodTiming]
+
+    def as_rows(self) -> list[dict]:
+        """One flat dict per method, parameters included."""
+        rows = []
+        for timing in self.timings:
+            row = dict(self.parameters)
+            row.update(timing.as_row())
+            rows.append(row)
+        return rows
+
+
+def time_workload(
+    method,
+    workload: QueryWorkload,
+    epsilon: float,
+    *,
+    search_options: dict | None = None,
+) -> MethodTiming:
+    """Run every workload query through ``method`` at ``epsilon``.
+
+    ``search_options`` are forwarded to each ``search`` call — the
+    harness uses ``{"verification": "per_candidate"}`` to reproduce the
+    paper's cost model (candidates fetched one at a time, as from disk).
+    """
+    search_options = search_options or {}
+    aggregate = QueryStats()
+    total_matches = 0
+    with Timer() as timer:
+        for query in workload:
+            result = method.search(query, epsilon, **search_options)
+            total_matches += len(result)
+            aggregate = aggregate.merge(result.stats)
+    count = max(1, len(workload))
+    return MethodTiming(
+        method=getattr(method, "method_name", type(method).__name__.lower()),
+        avg_query_ms=timer.milliseconds / count,
+        total_matches=total_matches,
+        stats=aggregate,
+        build_seconds=method.build_stats.seconds,
+    )
+
+
+def run_query_experiment(
+    label: str,
+    methods: dict,
+    workload: QueryWorkload,
+    epsilon: float,
+    parameters: dict | None = None,
+    *,
+    search_options: dict | None = None,
+) -> ExperimentResult:
+    """Time a workload against several built methods.
+
+    ``methods`` maps display names to built method objects; the returned
+    result preserves insertion order.
+    """
+    timings = []
+    for name, method in methods.items():
+        timing = time_workload(
+            method, workload, epsilon, search_options=search_options
+        )
+        timing.method = name
+        timings.append(timing)
+    return ExperimentResult(
+        label=label, parameters=dict(parameters or {}), timings=timings
+    )

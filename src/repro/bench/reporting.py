@@ -1,0 +1,84 @@
+"""Plain-text and markdown table rendering for experiment output.
+
+The CLI prints the same rows/series the paper's figures plot: one row
+per parameter value, one column per method, cells are average query
+milliseconds (or MB / seconds for Figure 8).
+"""
+
+from __future__ import annotations
+
+from ..exceptions import InvalidParameterError
+
+
+def format_table(rows: list[dict], *, columns: list[str] | None = None) -> str:
+    """Fixed-width table from a list of dicts (one dict per row)."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_cell(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    rule = "  ".join("-" * widths[column] for column in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            "  ".join(_cell(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series_table(
+    sweep_name: str,
+    sweep_values,
+    per_method: dict,
+    *,
+    unit: str = "ms",
+) -> str:
+    """The figure-shaped view: rows = sweep values, columns = methods.
+
+    ``per_method`` maps method name to a list aligned with
+    ``sweep_values``. This is exactly the data series each paper figure
+    plots.
+    """
+    methods = list(per_method.keys())
+    for method, series in per_method.items():
+        if len(series) != len(sweep_values):
+            raise InvalidParameterError(
+                f"method {method!r} has {len(series)} values for "
+                f"{len(sweep_values)} sweep points"
+            )
+    rows = []
+    for i, value in enumerate(sweep_values):
+        row = {sweep_name: value}
+        for method in methods:
+            row[f"{method} ({unit})"] = round(float(per_method[method][i]), 3)
+        rows.append(row)
+    return format_table(rows)
+
+
+def to_markdown(rows: list[dict], *, columns: list[str] | None = None) -> str:
+    """GitHub-flavoured markdown table from a list of dicts."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(str(column) for column in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_cell(row.get(column)) for column in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

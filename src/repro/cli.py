@@ -1,0 +1,167 @@
+"""Command-line experiment driver.
+
+Regenerate any table or figure of the paper::
+
+    python -m repro.cli table1
+    python -m repro.cli fig4 --dataset insect
+    python -m repro.cli fig5 --dataset eeg --scale 0.05
+    python -m repro.cli fig8 --dataset both --queries 20
+    python -m repro.cli intro --dataset eeg
+    python -m repro.cli all --queries 20 --scale-eeg 0.05
+
+Defaults follow the paper (100 queries of length 100); ``--scale-eeg``
+truncates the 1.8M-point EEG surrogate so tree construction stays
+tractable in pure Python (DESIGN.md §4 explains why this preserves the
+comparisons).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import experiments as exp
+from .bench.reporting import format_series_table, format_table
+
+#: Dataset scales used when the user does not override them.
+DEFAULT_SCALE_INSECT = 1.0
+DEFAULT_SCALE_EEG = 0.1
+
+FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8")
+COMMANDS = ("table1", "table2", "intro", "all") + FIGURES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-twin",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("command", choices=COMMANDS, help="experiment to run")
+    parser.add_argument(
+        "--dataset",
+        choices=("insect", "eeg", "both"),
+        default="both",
+        help="dataset(s) to run against (default: both)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=100,
+        help="workload size (paper: 100)",
+    )
+    parser.add_argument(
+        "--scale-insect",
+        type=float,
+        default=DEFAULT_SCALE_INSECT,
+        help="fraction of the insect series to use (default: 1.0)",
+    )
+    parser.add_argument(
+        "--scale-eeg",
+        type=float,
+        default=DEFAULT_SCALE_EEG,
+        help="fraction of the EEG series to use (default: 0.1)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="override both dataset scales at once",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1234, help="workload seed (default: 1234)"
+    )
+    return parser
+
+
+def _contexts(args) -> list[exp.ExperimentContext]:
+    names = ("insect", "eeg") if args.dataset == "both" else (args.dataset,)
+    contexts = []
+    for name in names:
+        if args.scale is not None:
+            scale = args.scale
+        else:
+            scale = args.scale_insect if name == "insect" else args.scale_eeg
+        contexts.append(
+            exp.ExperimentContext(
+                dataset=name,
+                scale=scale,
+                query_count=args.queries,
+                workload_seed=args.seed,
+            )
+        )
+    return contexts
+
+
+def _print_figure(data: exp.FigureData, *, chart: bool = True) -> None:
+    print(f"\n== {data.figure} / {data.dataset} "
+          f"(avg query time per method, ms) ==")
+    print(
+        format_series_table(
+            data.sweep_name, data.sweep_values, data.series_ms, unit="ms"
+        )
+    )
+    if chart:
+        from .bench.charts import render_figure
+
+        print()
+        print(render_figure(data))
+    checks = exp.check_figure_shape(data)
+    if checks:
+        print("shape checks: " + ", ".join(
+            f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items()
+        ))
+
+
+def _run_command(command: str, contexts) -> None:
+    if command == "table1":
+        print("\n== Table 1: datasets and distance thresholds ==")
+        print(format_table(exp.table1_rows()))
+        return
+    if command == "table2":
+        print("\n== Table 2: other parameters ==")
+        print(format_table(exp.table2_rows()))
+        return
+
+    for ctx in contexts:
+        print(f"\n### dataset={ctx.dataset} scale={ctx.scale:g} "
+              f"n={len(ctx.series)} queries={ctx.query_count}")
+        if command == "intro":
+            report = exp.run_intro(ctx)
+            rows = [{
+                "epsilon": report["epsilon"],
+                "queries": report["queries"],
+                "twin results": report["twin_results"],
+                "euclidean results": report["euclidean_results"],
+                "excess factor": round(report["excess_factor"], 1),
+                "missed twins": report["missed_twins"],
+            }]
+            print(format_table(rows))
+        elif command == "fig4":
+            _print_figure(exp.run_figure4(ctx))
+        elif command == "fig5":
+            _print_figure(exp.run_figure5(ctx))
+        elif command == "fig6":
+            _print_figure(exp.run_figure6(ctx))
+        elif command == "fig7":
+            _print_figure(exp.run_figure7(ctx))
+        elif command == "fig8":
+            report = exp.run_figure8(ctx)
+            print("\n== fig8: memory footprint and build time ==")
+            print(format_table(report["rows"]))
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    contexts = _contexts(args)
+    if args.command == "all":
+        for command in ("table1", "table2", "intro") + FIGURES:
+            _run_command(command, contexts)
+    else:
+        _run_command(args.command, contexts)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Batch query execution over any search method.
+
+The paper's evaluation protocol runs 100-query workloads; applications
+do the same (e.g. scoring every recent event against an archive).
+``search_batch`` runs a sequence of queries through one built method,
+returning per-query results plus workload-level aggregates, so callers
+stop re-implementing the aggregation loop the harness uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .._util import check_non_negative
+from .stats import QueryStats, SearchResult
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Results and aggregates for one batch of twin queries."""
+
+    #: per-query results, aligned with the input order.
+    results: list[SearchResult]
+    #: element-wise sum of every query's structural counters.
+    stats: QueryStats
+    epsilon: float
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, item) -> SearchResult:
+        return self.results[item]
+
+    @property
+    def total_matches(self) -> int:
+        """Twins found across the whole batch."""
+        return sum(len(result) for result in self.results)
+
+    def match_counts(self) -> list[int]:
+        """Per-query twin counts, aligned with the input order."""
+        return [len(result) for result in self.results]
+
+    def selectivity(self, window_count: int) -> float:
+        """Average fraction of windows matched per query."""
+        if window_count <= 0 or not self.results:
+            return 0.0
+        return self.total_matches / (window_count * len(self.results))
+
+
+def search_batch(method, queries, epsilon: float, **search_options) -> BatchResult:
+    """Run every query of ``queries`` through ``method`` at ``epsilon``.
+
+    ``method`` is any object with the shared ``search`` surface (all
+    four paper methods and the streaming index qualify);
+    ``search_options`` are forwarded to each call (e.g.
+    ``verification="per_candidate"``).
+    """
+    epsilon = check_non_negative(epsilon, name="epsilon")
+    results: list[SearchResult] = []
+    aggregate = QueryStats()
+    for query in queries:
+        result = method.search(query, epsilon, **search_options)
+        results.append(result)
+        aggregate = aggregate.merge(result.stats)
+    return BatchResult(results=results, stats=aggregate, epsilon=float(epsilon))

@@ -1,0 +1,80 @@
+"""Grouping overlapping twin matches into distinct events.
+
+A twin query against a series almost always returns *runs* of adjacent
+positions — every alignment of the query against one underlying event
+matches. Downstream users (the EEG, seismic and ECG examples here; any
+real monitoring application) want the events, not the alignments.
+``group_matches`` collapses a :class:`SearchResult` into event groups:
+maximal clusters of matches separated by less than ``min_gap``
+positions, each summarized by its best-aligned (smallest-distance)
+member.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .._util import check_positive_int
+from .stats import SearchResult
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchGroup:
+    """One event: a maximal cluster of nearby twin matches."""
+
+    #: first and last matching start positions in the cluster.
+    first_position: int
+    last_position: int
+    #: the best-aligned member (smallest Chebyshev distance; earliest
+    #: position on ties) and its distance.
+    best_position: int
+    best_distance: float
+    #: number of matching alignments collapsed into this event.
+    size: int
+
+    @property
+    def span(self) -> int:
+        """Positions covered, ``last - first + 1``."""
+        return self.last_position - self.first_position + 1
+
+
+def group_matches(result: SearchResult, min_gap: int) -> list[MatchGroup]:
+    """Collapse a search result into events separated by ``min_gap``.
+
+    Two consecutive matching positions belong to the same event when
+    they are less than ``min_gap`` apart; a natural choice is the query
+    length (alignments of one event are at most ``l - 1`` apart).
+    Returns groups in position order.
+    """
+    min_gap = check_positive_int(min_gap, name="min_gap")
+    positions = np.asarray(result.positions)
+    distances = np.asarray(result.distances)
+    if positions.size == 0:
+        return []
+
+    breaks = np.flatnonzero(np.diff(positions) >= min_gap)
+    starts = np.concatenate(([0], breaks + 1))
+    stops = np.concatenate((breaks + 1, [positions.size]))
+
+    groups: list[MatchGroup] = []
+    for start, stop in zip(starts, stops):
+        cluster_positions = positions[start:stop]
+        cluster_distances = distances[start:stop]
+        best = int(np.argmin(cluster_distances))
+        groups.append(
+            MatchGroup(
+                first_position=int(cluster_positions[0]),
+                last_position=int(cluster_positions[-1]),
+                best_position=int(cluster_positions[best]),
+                best_distance=float(cluster_distances[best]),
+                size=int(stop - start),
+            )
+        )
+    return groups
+
+
+def event_positions(result: SearchResult, min_gap: int) -> list[int]:
+    """Just the best-aligned position of each event (common case)."""
+    return [group.best_position for group in group_matches(result, min_gap)]

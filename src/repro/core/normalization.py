@@ -1,0 +1,125 @@
+"""Normalization regimes and rolling statistics.
+
+The paper (Section 3.1) considers three ways of preparing values before
+twin search, all of which are first-class here:
+
+* ``Normalization.NONE`` — raw values (Figure 7 experiments);
+* ``Normalization.GLOBAL`` — z-normalize the entire time series once
+  (the default setting of Section 6, Figures 4 and 5);
+* ``Normalization.PER_WINDOW`` — z-normalize each extracted subsequence
+  independently (Figure 6 experiments; KV-Index is inapplicable here
+  because all window means become zero).
+
+Rolling means and standard deviations are computed with cumulative sums
+so that per-window normalization costs O(n) preprocessing and O(l) per
+window, never O(n·l).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .._util import FLOAT_DTYPE, as_float_array, check_window_length
+from ..exceptions import InvalidParameterError
+
+#: Standard deviations below this floor are clamped to 1.0 so that a
+#: constant window normalizes to all-zeros instead of dividing by zero.
+#: The same convention is used by the UCR suite.
+STD_FLOOR = 1e-12
+
+
+class Normalization(str, enum.Enum):
+    """The three value-preparation regimes of Section 3.1."""
+
+    NONE = "none"
+    GLOBAL = "global"
+    PER_WINDOW = "per_window"
+
+    @classmethod
+    def coerce(cls, value) -> "Normalization":
+        """Accept an enum member or its string value ("none", ...)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError as exc:
+            valid = ", ".join(member.value for member in cls)
+            raise InvalidParameterError(
+                f"unknown normalization {value!r}; expected one of: {valid}"
+            ) from exc
+
+
+def znormalize(values) -> np.ndarray:
+    """Z-normalize a full sequence: subtract its mean, divide by its std.
+
+    A (near-)constant sequence maps to all-zeros rather than raising.
+    """
+    array = as_float_array(values)
+    std = float(array.std())
+    if std < STD_FLOOR:
+        return np.zeros_like(array)
+    return (array - array.mean()) / std
+
+
+def znormalize_window(values) -> np.ndarray:
+    """Alias of :func:`znormalize` for readability at call sites that
+    normalize an individual window rather than a whole series."""
+    return znormalize(values)
+
+
+def rolling_mean(values, length: int) -> np.ndarray:
+    """Mean of every ``length``-sized window of ``values``.
+
+    Returns an array of ``len(values) - length + 1`` means, computed via a
+    single cumulative sum.
+    """
+    array = as_float_array(values)
+    length = check_window_length(length, array.size)
+    csum = np.concatenate(([0.0], np.cumsum(array, dtype=FLOAT_DTYPE)))
+    return (csum[length:] - csum[:-length]) / length
+
+
+def rolling_std(values, length: int, *, floor: float = STD_FLOOR) -> np.ndarray:
+    """Standard deviation of every ``length``-sized window of ``values``.
+
+    Uses the cumulative-sum-of-squares identity on *globally centered*
+    values — variance is shift-invariant, and centering keeps the
+    intermediate squares small so large baselines (e.g. values around
+    1e6) do not suffer catastrophic cancellation. Standard deviations
+    below ``floor`` are clamped to 1.0, matching :data:`STD_FLOOR`
+    semantics so constant windows z-normalize to zero vectors.
+    """
+    array = as_float_array(values)
+    length = check_window_length(length, array.size)
+    centered = array - array.mean()
+    csum = np.concatenate(([0.0], np.cumsum(centered, dtype=FLOAT_DTYPE)))
+    csum2 = np.concatenate(
+        ([0.0], np.cumsum(centered * centered, dtype=FLOAT_DTYPE))
+    )
+    mean = (csum[length:] - csum[:-length]) / length
+    mean_sq = (csum2[length:] - csum2[:-length]) / length
+    variance = np.maximum(mean_sq - mean * mean, 0.0)
+    std = np.sqrt(variance)
+    std[std < floor] = 1.0
+    return std
+
+
+def apply_global(values) -> np.ndarray:
+    """Prepare a series for the ``GLOBAL`` regime (z-normalize once)."""
+    return znormalize(values)
+
+
+def prepare_series(values, normalization) -> np.ndarray:
+    """Return the value buffer a :class:`~repro.core.windows.WindowSource`
+    should slide over under the given regime.
+
+    ``NONE`` and ``PER_WINDOW`` keep raw values (per-window scaling happens
+    at extraction time); ``GLOBAL`` normalizes the whole series up front.
+    """
+    normalization = Normalization.coerce(normalization)
+    array = as_float_array(values)
+    if normalization is Normalization.GLOBAL:
+        return znormalize(array)
+    return array

@@ -1,0 +1,42 @@
+"""Datasets: seeded synthetic surrogates for the paper's series + IO.
+
+The paper evaluates on the *Insect Movement* (64,436 points) and *EEG*
+(1,801,999 points @ 500 Hz) series of Mueen et al., which are not
+redistributable here. :mod:`repro.data.synthetic` provides seeded
+generators with matching lengths and qualitatively similar structure
+(see DESIGN.md §4 for the substitution argument), and
+:mod:`repro.data.datasets` registers them under the paper's names so
+the experiment harness can request ``"insect"`` / ``"eeg"`` directly.
+Real data, if available, drops in through :mod:`repro.data.loaders`.
+"""
+
+from .datasets import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_spec,
+    load_dataset,
+)
+from .loaders import load_series, save_series
+from .synthetic import (
+    ar1,
+    eeg_like,
+    insect_like,
+    noisy_sines,
+    random_walk,
+    regime_switching,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "ar1",
+    "dataset_spec",
+    "eeg_like",
+    "insect_like",
+    "load_dataset",
+    "load_series",
+    "noisy_sines",
+    "random_walk",
+    "regime_switching",
+    "save_series",
+]

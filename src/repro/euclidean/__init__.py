@@ -1,0 +1,16 @@
+"""Euclidean subsequence search, used to reproduce the paper's intro
+experiment and Figure 1 (Chebyshev vs Euclidean result quality)."""
+
+from .mass import (
+    chebyshev_distance_profile,
+    euclidean_distance_profile,
+    euclidean_threshold_search,
+    twin_vs_euclidean_comparison,
+)
+
+__all__ = [
+    "chebyshev_distance_profile",
+    "euclidean_distance_profile",
+    "euclidean_threshold_search",
+    "twin_vs_euclidean_comparison",
+]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the twin subsequence search library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class. Errors raised for invalid user input derive from
+the standard :class:`ValueError` as well, following the principle of least
+surprise for NumPy-centric code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A parameter value is outside its valid domain."""
+
+
+class IncompatibleQueryError(ReproError, ValueError):
+    """A query is incompatible with the index it is issued against.
+
+    Typical causes: the query length differs from the indexed window
+    length, or the query was prepared under a different normalization
+    regime than the index.
+    """
+
+    def __init__(self, message: str, *, expected=None, received=None):
+        if expected is not None or received is not None:
+            message = f"{message} (expected={expected!r}, received={received!r})"
+        super().__init__(message)
+        self.expected = expected
+        self.received = received
+
+
+class IndexNotBuiltError(ReproError, RuntimeError):
+    """An operation requiring a built index was invoked before building."""
+
+
+class UnsupportedNormalizationError(ReproError, ValueError):
+    """The requested normalization regime is unsupported by this method.
+
+    The canonical case from the paper (Section 4.1): KV-Index cannot be
+    built over per-subsequence z-normalized windows because every window
+    mean collapses to zero, destroying the filter.
+    """
+
+
+class SerializationError(ReproError):
+    """An index could not be saved to or restored from disk."""

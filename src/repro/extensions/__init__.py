@@ -1,0 +1,27 @@
+"""Extensions beyond the paper's core scope.
+
+* :mod:`repro.extensions.pairs` — twin *pair* discovery across a
+  collection of time-aligned series, the problem of the authors' earlier
+  SSTD'19 work the paper builds on (Section 2, reference [5]);
+* :mod:`repro.extensions.varlength` — ULISSE-style variable-length
+  queries over a fixed-length TS-Index (Section 2, reference [11]);
+* :mod:`repro.extensions.profile` — exact Chebyshev matrix profile,
+  motifs and discords via exclusion-zone 1-NN self joins;
+* :mod:`repro.extensions.streaming` — an appendable TS-Index for
+  monitoring workloads.
+"""
+
+from .pairs import PairResult, discover_twin_pairs, self_twin_pairs
+from .profile import ChebyshevProfile, chebyshev_matrix_profile
+from .streaming import StreamingTwinIndex
+from .varlength import search_variable_length
+
+__all__ = [
+    "ChebyshevProfile",
+    "PairResult",
+    "StreamingTwinIndex",
+    "chebyshev_matrix_profile",
+    "discover_twin_pairs",
+    "search_variable_length",
+    "self_twin_pairs",
+]

@@ -1,0 +1,151 @@
+"""Twin pair discovery (extension; the paper's reference [5] problem).
+
+Given a *collection* of time-aligned series, find all pairs of series
+whose time-aligned subsequences of length ``l`` starting at the same
+timestamp are twins w.r.t. ``ε`` — a sweepline over timestamps keeping,
+for each pair, the running count of consecutive in-threshold positions.
+
+Also provided: :func:`self_twin_pairs`, which discovers twin pairs of
+*non-overlapping* subsequences inside one series via a TS-Index self
+join (index every window, then query the index with each window and
+keep matches that start at least ``l`` apart — the Chebyshev analogue
+of motif discovery under a trivial-match exclusion zone).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .._util import check_non_negative, check_positive_int
+from ..core.normalization import Normalization
+from ..core.tsindex import TSIndex
+from ..core.windows import WindowSource
+from ..exceptions import InvalidParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class PairResult:
+    """One discovered twin pair.
+
+    For cross-series discovery, ``first``/``second`` are series indices
+    and ``position`` the shared start timestamp. For self joins they are
+    the two window start positions and ``position`` equals ``first``.
+    """
+
+    first: int
+    second: int
+    position: int
+    distance: float
+
+
+def discover_twin_pairs(
+    collection, length: int, epsilon: float
+) -> list[PairResult]:
+    """All time-aligned twin subsequence pairs across a collection.
+
+    ``collection`` is a sequence of equal-length 1-D series. For every
+    series pair ``(i, j)`` and every start ``p``, reports a result when
+    ``max_{0<=t<l} |A[p+t] - B[p+t]| <= ε``. Runs as a sweepline over
+    the pairwise absolute-difference series using a sliding-window
+    maximum (O(n) per pair via the monotone deque trick).
+    """
+    length = check_positive_int(length, name="length")
+    epsilon = check_non_negative(epsilon, name="epsilon")
+    matrices = [np.asarray(series, dtype=float) for series in collection]
+    if len(matrices) < 2:
+        raise InvalidParameterError("need at least two series")
+    n = matrices[0].size
+    if any(series.ndim != 1 or series.size != n for series in matrices):
+        raise InvalidParameterError("all series must be 1-D with equal length")
+    if length > n:
+        raise InvalidParameterError(
+            f"length={length} exceeds the series length {n}"
+        )
+
+    results: list[PairResult] = []
+    for i in range(len(matrices)):
+        for j in range(i + 1, len(matrices)):
+            differences = np.abs(matrices[i] - matrices[j])
+            maxima = sliding_max(differences, length)
+            for position in np.flatnonzero(maxima <= epsilon):
+                results.append(
+                    PairResult(
+                        first=i,
+                        second=j,
+                        position=int(position),
+                        distance=float(maxima[position]),
+                    )
+                )
+    return results
+
+
+def sliding_max(values, length: int) -> np.ndarray:
+    """Maximum of every ``length``-sized window, O(n) monotone deque."""
+    values = np.asarray(values, dtype=float)
+    length = check_positive_int(length, name="length")
+    if values.ndim != 1 or length > values.size:
+        raise InvalidParameterError(
+            f"need a 1-D array with at least {length} points"
+        )
+    from collections import deque
+
+    out = np.empty(values.size - length + 1, dtype=float)
+    window: deque[int] = deque()
+    for i, value in enumerate(values):
+        while window and values[window[-1]] <= value:
+            window.pop()
+        window.append(i)
+        if window[0] <= i - length:
+            window.popleft()
+        if i >= length - 1:
+            out[i - length + 1] = values[window[0]]
+    return out
+
+
+def self_twin_pairs(
+    series,
+    length: int,
+    epsilon: float,
+    *,
+    normalization=Normalization.GLOBAL,
+    index: TSIndex | None = None,
+    limit: int | None = None,
+) -> list[PairResult]:
+    """Non-overlapping twin pairs inside one series via TS-Index self join.
+
+    For every window ``p`` the index is queried at ``ε``; matches ``q``
+    with ``q > p + length - 1`` (no trivial overlap) produce pairs. With
+    ``limit`` the scan stops after that many pairs (useful on long
+    series). An existing index over the same source may be supplied.
+    """
+    epsilon = check_non_negative(epsilon, name="epsilon")
+    if index is None:
+        source = WindowSource(series, length, normalization)
+        index = TSIndex.from_source(source)
+    else:
+        source = index.source
+        if source.length != length:
+            raise InvalidParameterError(
+                f"index window length {source.length} != requested {length}"
+            )
+
+    results: list[PairResult] = []
+    for position in range(source.count):
+        matches = index.search(source.window(position), epsilon)
+        for other, distance in zip(
+            matches.positions.tolist(), matches.distances.tolist()
+        ):
+            if other >= position + length:
+                results.append(
+                    PairResult(
+                        first=position,
+                        second=int(other),
+                        position=position,
+                        distance=float(distance),
+                    )
+                )
+                if limit is not None and len(results) >= limit:
+                    return results
+    return results

@@ -1,0 +1,140 @@
+"""Streaming twin search: an appendable TS-Index (extension).
+
+The paper builds its indices over a static series. Monitoring
+applications (the intro's traffic/EEG scenarios) want to *extend* the
+series as readings arrive and query at any point. This module wraps a
+TS-Index over a growable buffer:
+
+* ``append`` adds readings, amortized O(1) buffer growth plus one
+  index insertion per newly completed window;
+* ``search`` / ``knn`` / ``exists`` delegate to the wrapped index.
+
+Only the raw-value regime is supported: global z-normalization is
+undefined while the series keeps growing (the normalization constants
+would shift under every existing window), and per-window normalization
+of streaming windows is possible but deliberately out of scope here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import FLOAT_DTYPE, as_float_array, check_positive_int
+from ..core.normalization import Normalization
+from ..core.tsindex import TSIndex, TSIndexParams
+from ..core.windows import WindowSource
+from ..exceptions import InvalidParameterError
+
+
+class StreamingTwinIndex:
+    """A TS-Index over a series that can grow by appending readings.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.extensions.streaming import StreamingTwinIndex
+    >>> stream = StreamingTwinIndex(np.zeros(32), length=16)
+    >>> stream.append(np.ones(8))
+    8
+    >>> stream.window_count
+    25
+    >>> bool(stream.exists(np.zeros(16), epsilon=0.0))
+    True
+    """
+
+    def __init__(self, initial_values, length: int, *, params: TSIndexParams | None = None):
+        values = as_float_array(initial_values, name="initial_values")
+        length = check_positive_int(length, name="length")
+        if length > values.size:
+            raise InvalidParameterError(
+                f"need at least {length} initial values, got {values.size}"
+            )
+        self._length = length
+        self._params = params or TSIndexParams()
+        self._capacity = max(values.size * 2, 1024)
+        self._buffer = np.empty(self._capacity, dtype=FLOAT_DTYPE)
+        self._buffer[: values.size] = values
+        self._size = values.size
+        self._index = TSIndex.from_source(
+            self._make_source(), params=self._params
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def series_length(self) -> int:
+        """Number of readings appended so far."""
+        return self._size
+
+    @property
+    def window_count(self) -> int:
+        """Number of indexed windows (``series_length - length + 1``)."""
+        return self._size - self._length + 1
+
+    @property
+    def index(self) -> TSIndex:
+        """The wrapped TS-Index (read-only use)."""
+        return self._index
+
+    @property
+    def values(self) -> np.ndarray:
+        """The series so far (a read-only view)."""
+        view = self._buffer[: self._size]
+        view.setflags(write=False)
+        return view
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingTwinIndex(readings={self._size}, "
+            f"windows={self.window_count}, length={self._length})"
+        )
+
+    # ------------------------------------------------------------------
+    def append(self, readings) -> int:
+        """Append one reading or a batch; returns new windows indexed."""
+        readings = np.atleast_1d(np.asarray(readings, dtype=FLOAT_DTYPE))
+        if readings.ndim != 1 or readings.size == 0:
+            raise InvalidParameterError("readings must be a non-empty 1-D batch")
+        if not np.all(np.isfinite(readings)):
+            raise InvalidParameterError("readings contain NaN or infinity")
+
+        previous_windows = self.window_count
+        needed = self._size + readings.size
+        if needed > self._capacity:
+            while self._capacity < needed:
+                self._capacity *= 2
+            grown = np.empty(self._capacity, dtype=FLOAT_DTYPE)
+            grown[: self._size] = self._buffer[: self._size]
+            self._buffer = grown
+        self._buffer[self._size : needed] = readings
+        self._size = needed
+
+        # The index must see the extended buffer before inserting the
+        # newly completed windows. Existing window contents (and hence
+        # every stored MBTS) are unchanged: the regime is raw values.
+        self._index._source = self._make_source()
+        new_windows = self.window_count
+        for position in range(previous_windows, new_windows):
+            self._index._insert_position(position)
+        self._index._build_stats.windows = new_windows
+        return new_windows - previous_windows
+
+    def _make_source(self) -> WindowSource:
+        # Zero-copy alias of the live buffer: appends only ever write
+        # past ``self._size``, so the aliased region is stable.
+        from ..core.series import TimeSeries
+
+        series = TimeSeries(self._buffer[: self._size], copy=False)
+        return WindowSource(series, self._length, Normalization.NONE)
+
+    # ------------------------------------------------------------------
+    def search(self, query, epsilon: float, **kwargs):
+        """Twin search over everything appended so far."""
+        return self._index.search(query, epsilon, **kwargs)
+
+    def knn(self, query, k: int, **kwargs):
+        """k nearest windows over everything appended so far."""
+        return self._index.knn(query, k, **kwargs)
+
+    def exists(self, query, epsilon: float) -> bool:
+        """Whether the pattern has occurred anywhere so far."""
+        return self._index.exists(query, epsilon)

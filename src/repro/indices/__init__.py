@@ -1,0 +1,50 @@
+"""Search methods compared in the paper's evaluation (Sections 3.2, 4).
+
+* :class:`~repro.indices.sweepline.SweeplineSearch` — the index-free
+  baseline (scan all windows, verify each);
+* :class:`~repro.indices.kvindex.KVIndex` — the KV-Match adaptation
+  (mean-value inverted index, Section 4.1);
+* :class:`~repro.indices.isax.ISAXIndex` — the iSAX adaptation
+  (per-segment SAX range pruning, Section 4.2);
+
+plus the shared :class:`~repro.indices.base.SubsequenceIndex` interface
+and a name-based factory used by the benchmark harness. TS-Index itself
+lives in :mod:`repro.core.tsindex` (it is the paper's contribution) but
+registers here as ``"tsindex"`` for uniform access.
+"""
+
+from .base import (
+    METHOD_NAMES,
+    SubsequenceIndex,
+    available_methods,
+    create_method,
+)
+from .isax import ISAXIndex, ISAXParams
+from .kvindex import KVIndex, KVIndexParams
+from .paa import paa_matrix, paa_transform, segment_bounds
+from .sax import SAXAlphabet, sax_word
+from .sweepline import SweeplineSearch
+
+# TS-Index lives in repro.core (it is the paper's contribution) but
+# satisfies the same interface; register it as a virtual subclass so
+# ``isinstance(index, SubsequenceIndex)`` holds for all four methods.
+from ..core.tsindex import TSIndex as _TSIndex
+
+SubsequenceIndex.register(_TSIndex)
+
+__all__ = [
+    "ISAXIndex",
+    "ISAXParams",
+    "KVIndex",
+    "KVIndexParams",
+    "METHOD_NAMES",
+    "SAXAlphabet",
+    "SubsequenceIndex",
+    "SweeplineSearch",
+    "available_methods",
+    "create_method",
+    "paa_matrix",
+    "paa_transform",
+    "sax_word",
+    "segment_bounds",
+]

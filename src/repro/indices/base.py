@@ -1,0 +1,98 @@
+"""Common interface and factory for every twin-search method.
+
+Each method (sweepline, KV-Index, iSAX, TS-Index) exposes the same
+surface — build over a :class:`~repro.core.windows.WindowSource`, answer
+``search(query, epsilon)`` with a :class:`~repro.core.stats.SearchResult`
+— so the benchmark harness, the equivalence tests and the CLI can treat
+them uniformly by name.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.normalization import Normalization
+from ..core.stats import BuildStats, SearchResult
+from ..core.windows import WindowSource
+from ..exceptions import InvalidParameterError
+
+#: Canonical method names, in the order the paper's figures list them.
+METHOD_NAMES = ("sweepline", "kvindex", "isax", "tsindex")
+
+
+class SubsequenceIndex(abc.ABC):
+    """Abstract twin-search method over the windows of one series."""
+
+    #: Registry name; subclasses override.
+    method_name: str = ""
+
+    @classmethod
+    @abc.abstractmethod
+    def from_source(cls, source: WindowSource, **kwargs) -> "SubsequenceIndex":
+        """Build (or wrap) the method over a prepared window source."""
+
+    @abc.abstractmethod
+    def search(self, query, epsilon: float) -> SearchResult:
+        """All twins of ``query`` within Chebyshev ``epsilon``."""
+
+    @property
+    @abc.abstractmethod
+    def source(self) -> WindowSource:
+        """The window source this method answers queries over."""
+
+    @property
+    @abc.abstractmethod
+    def build_stats(self) -> BuildStats:
+        """Counters recorded while building."""
+
+    def count(self, query, epsilon: float) -> int:
+        """Number of twins (default: materialize and count)."""
+        return len(self.search(query, epsilon))
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names accepted by :func:`create_method`."""
+    return METHOD_NAMES
+
+
+def create_method(
+    name: str,
+    series,
+    length: int,
+    *,
+    normalization=Normalization.GLOBAL,
+    **kwargs,
+):
+    """Build the named method over all ``length``-windows of ``series``.
+
+    ``kwargs`` are forwarded to the method's ``from_source``. This is the
+    single entry point the harness and CLI use, so experiments stay
+    declarative ("run fig4 with methods=[...]").
+    """
+    source = WindowSource(series, length, normalization)
+    return create_method_from_source(name, source, **kwargs)
+
+
+def create_method_from_source(name: str, source: WindowSource, **kwargs):
+    """Like :func:`create_method` but reusing a prepared source."""
+    # Local imports: the concrete classes import this module's ABC.
+    from ..core.tsindex import TSIndex, TSIndexParams
+    from .isax import ISAXIndex
+    from .kvindex import KVIndex
+    from .sweepline import SweeplineSearch
+
+    normalized = str(name).lower().replace("-", "").replace("_", "")
+    if normalized == "sweepline":
+        return SweeplineSearch.from_source(source, **kwargs)
+    if normalized in ("kvindex", "kvmatch", "kv"):
+        return KVIndex.from_source(source, **kwargs)
+    if normalized == "isax":
+        return ISAXIndex.from_source(source, **kwargs)
+    if normalized in ("tsindex", "ts"):
+        params = kwargs.pop("params", None)
+        if kwargs:
+            params = TSIndexParams(**kwargs)
+        return TSIndex.from_source(source, params=params)
+    raise InvalidParameterError(
+        f"unknown method {name!r}; expected one of {METHOD_NAMES}"
+    )

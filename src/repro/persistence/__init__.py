@@ -1,0 +1,5 @@
+"""Index persistence: save/load every search method to/from disk."""
+
+from .serializer import load_index, save_index
+
+__all__ = ["load_index", "save_index"]

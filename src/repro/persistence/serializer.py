@@ -1,0 +1,377 @@
+"""Save/load support for every index (extension).
+
+The paper keeps indices in memory; real deployments want to build once
+and reuse. Each index serializes to a single ``.npz`` archive holding
+the raw series, the construction parameters and the method-specific
+structure (flattened with explicit child offsets, so reload is O(size)
+with no recursion). Loaded indices answer queries identically to the
+originals — enforced by round-trip tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+
+from .._util import POSITION_DTYPE
+from ..core.mbts import MBTS
+from ..core.normalization import Normalization
+from ..core.stats import BuildStats
+from ..core.tsindex import TSIndex, TSIndexParams, _Node
+from ..core.windows import WindowSource
+from ..exceptions import SerializationError
+from ..indices.isax import ISAXIndex, ISAXParams, _ISAXNode
+from ..indices.kvindex import KVIndex, KVIndexParams
+from ..indices.sax import SAXAlphabet
+from ..indices.sweepline import SweeplineSearch
+
+#: Format marker written into every archive.
+FORMAT_VERSION = 1
+
+
+def save_index(index, path) -> None:
+    """Serialize ``index`` to ``path`` (a ``.npz`` archive)."""
+    path = os.fspath(path)
+    if isinstance(index, TSIndex):
+        payload = _dump_tsindex(index)
+    elif isinstance(index, KVIndex):
+        payload = _dump_kvindex(index)
+    elif isinstance(index, ISAXIndex):
+        payload = _dump_isax(index)
+    elif isinstance(index, SweeplineSearch):
+        payload = _dump_sweepline(index)
+    else:
+        raise SerializationError(
+            f"cannot serialize object of type {type(index).__name__}"
+        )
+    np.savez_compressed(path, **payload)
+
+
+def load_index(path):
+    """Restore an index previously written by :func:`save_index`."""
+    path = os.fspath(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            data = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"cannot read archive {path!r}: {exc}") from exc
+    try:
+        meta = json.loads(str(data["meta"][()]))
+    except (KeyError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"archive {path!r} has no valid metadata") from exc
+    if meta.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported archive format {meta.get('format')!r}"
+        )
+    method = meta.get("method")
+    loaders = {
+        "tsindex": _load_tsindex,
+        "kvindex": _load_kvindex,
+        "isax": _load_isax,
+        "sweepline": _load_sweepline,
+    }
+    if method not in loaders:
+        raise SerializationError(f"unknown method {method!r} in archive")
+    return loaders[method](meta, data)
+
+
+# ----------------------------------------------------------------------
+# Shared pieces
+# ----------------------------------------------------------------------
+def _meta_for(index, method: str, extra: dict | None = None) -> str:
+    source = index.source
+    meta = {
+        "format": FORMAT_VERSION,
+        "method": method,
+        "length": source.length,
+        "normalization": source.normalization.value,
+        "series_name": source.series.name,
+        "build_stats": dataclasses.asdict(index.build_stats),
+    }
+    if extra:
+        meta.update(extra)
+    return json.dumps(meta)
+
+
+def _source_from(meta: dict, data: dict) -> WindowSource:
+    from ..core.series import TimeSeries
+
+    series = TimeSeries(data["series"], name=meta.get("series_name", ""))
+    return WindowSource(
+        series, int(meta["length"]), Normalization(meta["normalization"])
+    )
+
+
+def _build_stats_from(meta: dict) -> BuildStats:
+    return BuildStats(**meta.get("build_stats", {}))
+
+
+# ----------------------------------------------------------------------
+# TS-Index: pre-order flattening with explicit child ranges
+# ----------------------------------------------------------------------
+def _dump_tsindex(index: TSIndex) -> dict:
+    uppers, lowers = [], []
+    kinds, child_starts, child_counts = [], [], []
+    position_offsets, position_data = [], []
+    order: list[_Node] = []
+
+    def visit(node: _Node) -> int:
+        my_id = len(order)
+        order.append(node)
+        uppers.append(node.mbts.upper)
+        lowers.append(node.mbts.lower)
+        kinds.append(1 if node.is_leaf else 0)
+        child_starts.append(0)
+        child_counts.append(0)
+        position_offsets.append(len(position_data))
+        if node.is_leaf:
+            position_data.extend(node.positions)
+        return my_id
+
+    # Breadth-first so children of one node are contiguous.
+    if index._root is None:
+        raise SerializationError("cannot serialize an empty TS-Index")
+    queue = [index._root]
+    visit(index._root)
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        node_id = head
+        head += 1
+        if not node.is_leaf:
+            child_starts[node_id] = len(order)
+            child_counts[node_id] = len(node.children)
+            for child in node.children:
+                visit(child)
+                queue.append(child)
+
+    params = index.params
+    return {
+        "meta": np.asarray(
+            _meta_for(
+                index,
+                "tsindex",
+                {
+                    "params": {
+                        "min_children": params.min_children,
+                        "max_children": params.max_children,
+                        "split_metric": params.split_metric,
+                    }
+                },
+            )
+        ),
+        "series": index.source.series.values,
+        "uppers": np.asarray(uppers),
+        "lowers": np.asarray(lowers),
+        "kinds": np.asarray(kinds, dtype=np.int8),
+        "child_starts": np.asarray(child_starts, dtype=np.int64),
+        "child_counts": np.asarray(child_counts, dtype=np.int64),
+        "position_offsets": np.asarray(
+            position_offsets + [len(position_data)], dtype=np.int64
+        ),
+        "positions": np.asarray(position_data, dtype=POSITION_DTYPE),
+    }
+
+
+def _load_tsindex(meta: dict, data: dict) -> TSIndex:
+    source = _source_from(meta, data)
+    params = TSIndexParams(**meta["params"])
+    kinds = data["kinds"]
+    uppers = data["uppers"]
+    lowers = data["lowers"]
+    child_starts = data["child_starts"]
+    child_counts = data["child_counts"]
+    offsets = data["position_offsets"]
+    positions = data["positions"]
+
+    nodes: list[_Node] = []
+    for i in range(kinds.size):
+        mbts = MBTS(uppers[i], lowers[i])
+        if kinds[i] == 1:
+            nodes.append(_Node(mbts, positions=[]))
+        else:
+            nodes.append(_Node(mbts, children=[]))
+    for i in range(kinds.size):
+        if kinds[i] == 1:
+            start = int(offsets[i])
+            count_here = _leaf_span(i, kinds, offsets, positions.size)
+            nodes[i].positions = [int(p) for p in positions[start : start + count_here]]
+        else:
+            first = int(child_starts[i])
+            nodes[i].children = [
+                nodes[j] for j in range(first, first + int(child_counts[i]))
+            ]
+    root = nodes[0] if nodes else None
+    index = TSIndex._from_prebuilt_root(
+        source, root, params, _build_stats_from(meta)
+    )
+    return index
+
+
+def _leaf_span(i: int, kinds, offsets, total: int) -> int:
+    """Positions stored by leaf ``i``: up to the next node's offset."""
+    start = int(offsets[i])
+    stop = int(offsets[i + 1]) if i + 1 < offsets.size else total
+    return stop - start
+
+
+# ----------------------------------------------------------------------
+# KV-Index: bins flattened to (bin, start, stop) triples
+# ----------------------------------------------------------------------
+def _dump_kvindex(index: KVIndex) -> dict:
+    triples = []
+    for bin_id in range(index.num_bins):
+        for start, stop in index.bin_intervals(bin_id):
+            triples.append((bin_id, start, stop))
+    return {
+        "meta": np.asarray(
+            _meta_for(index, "kvindex", {"num_bins": index.params.num_bins})
+        ),
+        "series": index.source.series.values,
+        "edges": index.edges,
+        "triples": np.asarray(triples, dtype=np.int64).reshape(-1, 3),
+    }
+
+
+def _load_kvindex(meta: dict, data: dict) -> KVIndex:
+    source = _source_from(meta, data)
+    index = KVIndex(source, KVIndexParams(num_bins=int(meta["num_bins"])))
+    index._edges = np.asarray(data["edges"], dtype=float)
+    bin_count = max(1, index._edges.size - 1)
+    index._bins = [[] for _ in range(bin_count)]
+    for bin_id, start, stop in data["triples"]:
+        index._bins[int(bin_id)].append((int(start), int(stop)))
+    index._build_stats = _build_stats_from(meta)
+    return index
+
+
+# ----------------------------------------------------------------------
+# iSAX: nodes flattened breadth-first
+# ----------------------------------------------------------------------
+def _dump_isax(index: ISAXIndex) -> dict:
+    words, bits, kinds = [], [], []
+    split_segments, child_zero, child_one = [], [], []
+    root_keys: list[int] = []
+    position_offsets, position_data = [], []
+
+    order: list[_ISAXNode] = []
+    queue: list[_ISAXNode] = []
+    for key, node in sorted(index._root_children.items()):
+        root_keys.append(len(order))
+        queue.append(node)
+        order.append(node)
+    head = 0
+    while head < len(queue):
+        node = queue[head]
+        head += 1
+        if not node.is_leaf:
+            for bit in (0, 1):
+                child = node.children[bit]
+                order.append(child)
+                queue.append(child)
+
+    ids = {id(node): i for i, node in enumerate(order)}
+    for node in order:
+        words.append(node.word)
+        bits.append(node.bits)
+        kinds.append(1 if node.is_leaf else 0)
+        position_offsets.append(len(position_data))
+        if node.is_leaf:
+            split_segments.append(-1)
+            child_zero.append(-1)
+            child_one.append(-1)
+            position_data.extend(node.positions)
+        else:
+            split_segments.append(node.split_segment)
+            child_zero.append(ids[id(node.children[0])])
+            child_one.append(ids[id(node.children[1])])
+
+    params = index.params
+    alphabet = index.alphabet
+    return {
+        "meta": np.asarray(
+            _meta_for(
+                index,
+                "isax",
+                {
+                    "params": {
+                        "segments": params.segments,
+                        "leaf_capacity": params.leaf_capacity,
+                        "base_bits": params.base_bits,
+                        "max_bits": params.max_bits,
+                    }
+                },
+            )
+        ),
+        "series": index.source.series.values,
+        "alphabet": alphabet.breakpoints(alphabet.max_cardinality),
+        "words": np.asarray(words, dtype=np.int64),
+        "bits": np.asarray(bits, dtype=np.int64),
+        "kinds": np.asarray(kinds, dtype=np.int8),
+        "split_segments": np.asarray(split_segments, dtype=np.int64),
+        "child_zero": np.asarray(child_zero, dtype=np.int64),
+        "child_one": np.asarray(child_one, dtype=np.int64),
+        "root_keys": np.asarray(root_keys, dtype=np.int64),
+        "position_offsets": np.asarray(
+            position_offsets + [len(position_data)], dtype=np.int64
+        ),
+        "positions": np.asarray(position_data, dtype=POSITION_DTYPE),
+    }
+
+
+def _load_isax(meta: dict, data: dict) -> ISAXIndex:
+    source = _source_from(meta, data)
+    params = ISAXParams(**meta["params"])
+    alphabet = SAXAlphabet(data["alphabet"], 1 << params.max_bits)
+    index = ISAXIndex(source, params, alphabet)
+    from ..indices.paa import paa_matrix
+
+    index._paa = paa_matrix(source, params.segments)
+    index._sax = alphabet.symbols(index._paa)
+
+    kinds = data["kinds"]
+    words = data["words"]
+    bits = data["bits"]
+    offsets = data["position_offsets"]
+    positions = data["positions"]
+
+    nodes: list[_ISAXNode] = []
+    for i in range(kinds.size):
+        node = _ISAXNode(words[i].copy(), bits[i].copy(), alphabet)
+        nodes.append(node)
+    for i in range(kinds.size):
+        if kinds[i] == 1:
+            start = int(offsets[i])
+            stop = int(offsets[i + 1]) if i + 1 < offsets.size else positions.size
+            nodes[i].positions = [int(p) for p in positions[start:stop]]
+        else:
+            nodes[i].positions = None
+            nodes[i].split_segment = int(data["split_segments"][i])
+            nodes[i].children = {
+                0: nodes[int(data["child_zero"][i])],
+                1: nodes[int(data["child_one"][i])],
+            }
+    index._root_children = {}
+    for root_id in data["root_keys"]:
+        node = nodes[int(root_id)]
+        key = tuple(int(symbol) for symbol in node.word)
+        index._root_children[key] = node
+    index._build_stats = _build_stats_from(meta)
+    return index
+
+
+# ----------------------------------------------------------------------
+# Sweepline: only the series and regime are needed
+# ----------------------------------------------------------------------
+def _dump_sweepline(index: SweeplineSearch) -> dict:
+    return {
+        "meta": np.asarray(_meta_for(index, "sweepline")),
+        "series": index.source.series.values,
+    }
+
+
+def _load_sweepline(meta: dict, data: dict) -> SweeplineSearch:
+    return SweeplineSearch.from_source(_source_from(meta, data))

@@ -1,0 +1,108 @@
+"""Shared fixtures: small deterministic series and prebuilt indices.
+
+Everything here is sized so the whole suite runs in a couple of
+minutes: series of a few thousand points, window length 50, and
+session-scoped prebuilt indices reused by the read-only query tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Normalization
+from repro.core.tsindex import TSIndex, TSIndexParams
+from repro.core.windows import WindowSource
+from repro.data import synthetic
+from repro.indices.isax import ISAXIndex, ISAXParams
+from repro.indices.kvindex import KVIndex, KVIndexParams
+from repro.indices.sweepline import SweeplineSearch
+
+#: Window length used across the suite (paper default is 100; 50 keeps
+#: the suite fast without changing any behaviour under test).
+LENGTH = 50
+
+
+@pytest.fixture(scope="session")
+def series_values() -> np.ndarray:
+    """A 3,000-point insect-like surrogate (raw values)."""
+    return synthetic.insect_like(3000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def wiggly_values() -> np.ndarray:
+    """A small noisy-sine series for analytic checks."""
+    return synthetic.noisy_sines(800, seed=5, noise_std=0.2)
+
+
+@pytest.fixture(
+    scope="session",
+    params=[Normalization.NONE, Normalization.GLOBAL, Normalization.PER_WINDOW],
+    ids=["none", "global", "per_window"],
+)
+def any_normalization(request):
+    """Parametrize a test over all three regimes."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def source_global(series_values) -> WindowSource:
+    """Window source under the GLOBAL regime (the paper's default)."""
+    return WindowSource(series_values, LENGTH, Normalization.GLOBAL)
+
+
+@pytest.fixture(scope="session")
+def source_raw(series_values) -> WindowSource:
+    return WindowSource(series_values, LENGTH, Normalization.NONE)
+
+
+@pytest.fixture(scope="session")
+def source_per_window(series_values) -> WindowSource:
+    return WindowSource(series_values, LENGTH, Normalization.PER_WINDOW)
+
+
+@pytest.fixture(scope="session")
+def source_of(series_values):
+    """Factory: window source for an arbitrary regime."""
+
+    def factory(normalization, length: int = LENGTH) -> WindowSource:
+        return WindowSource(series_values, length, normalization)
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def sweepline_global(source_global) -> SweeplineSearch:
+    return SweeplineSearch.from_source(source_global)
+
+
+@pytest.fixture(scope="session")
+def tsindex_global(source_global) -> TSIndex:
+    """A prebuilt TS-Index with small capacities (forces deep trees)."""
+    return TSIndex.from_source(
+        source_global, params=TSIndexParams(min_children=4, max_children=10)
+    )
+
+
+@pytest.fixture(scope="session")
+def kvindex_global(source_global) -> KVIndex:
+    return KVIndex.from_source(source_global, params=KVIndexParams(num_bins=64))
+
+
+@pytest.fixture(scope="session")
+def isax_global(source_global) -> ISAXIndex:
+    """A prebuilt iSAX with a small leaf capacity (forces splits)."""
+    return ISAXIndex.from_source(
+        source_global, params=ISAXParams(segments=5, leaf_capacity=100)
+    )
+
+
+@pytest.fixture()
+def query_of(source_global):
+    """Factory: the indexed window at a position, as a query array."""
+
+    def factory(position: int, source: WindowSource | None = None) -> np.ndarray:
+        chosen = source if source is not None else source_global
+        return np.array(chosen.window_block(position, position + 1)[0])
+
+    return factory

@@ -1,0 +1,87 @@
+"""Tests for the approximate (single-leaf) search mode."""
+
+import numpy as np
+import pytest
+
+
+class TestISAXApproximate:
+    def test_subset_of_exact(self, isax_global, query_of):
+        for position in (10, 400, 1500):
+            query = query_of(position)
+            exact = set(isax_global.search(query, 0.5).positions.tolist())
+            approx = set(
+                isax_global.search_approximate(query, 0.5).positions.tolist()
+            )
+            assert approx <= exact
+
+    def test_indexed_query_finds_itself(self, isax_global, query_of):
+        # Identical values quantize to the identical SAX word.
+        for position in (0, 123, 2000):
+            query = query_of(position)
+            result = isax_global.search_approximate(query, 0.0)
+            assert position in result.positions
+
+    def test_cheaper_than_exact(self, isax_global, query_of):
+        query = query_of(321)
+        exact = isax_global.search(query, 0.8)
+        approx = isax_global.search_approximate(query, 0.8)
+        assert approx.stats.candidates <= exact.stats.candidates
+        assert approx.stats.leaves_accessed == 1
+
+    def test_unseen_word_returns_empty(self, isax_global):
+        from .conftest import LENGTH
+
+        # A wildly out-of-range query maps to a root word with no child.
+        query = np.full(LENGTH, 1e6)
+        result = isax_global.search_approximate(query, 0.1)
+        assert len(result) == 0
+
+    def test_distances_valid(self, isax_global, query_of):
+        query = query_of(77)
+        result = isax_global.search_approximate(query, 0.6)
+        assert np.all(result.distances <= 0.6)
+
+
+class TestTSIndexApproximate:
+    def test_subset_of_exact(self, tsindex_global, query_of):
+        for position in (10, 400, 1500):
+            query = query_of(position)
+            exact = set(tsindex_global.search(query, 0.5).positions.tolist())
+            approx = set(
+                tsindex_global.search_approximate(query, 0.5).positions.tolist()
+            )
+            assert approx <= exact
+
+    def test_leaf_budget_respected(self, tsindex_global, query_of):
+        for budget in (1, 3, 8):
+            result = tsindex_global.search_approximate(
+                query_of(55), 0.5, max_leaves=budget
+            )
+            assert result.stats.leaves_accessed <= budget
+
+    def test_usually_finds_self_within_budget(self, tsindex_global, query_of):
+        # Best-first by the Eq. 2 bound reaches the query's own leaf in
+        # the first handful of pops for indexed queries.
+        hits = 0
+        for position in range(0, 1000, 50):
+            result = tsindex_global.search_approximate(query_of(position), 0.0)
+            hits += position in result.positions
+        assert hits >= 18  # of 20
+
+    def test_budget_monotone(self, tsindex_global, query_of):
+        query = query_of(444)
+        small = set(
+            tsindex_global.search_approximate(
+                query, 0.5, max_leaves=1
+            ).positions.tolist()
+        )
+        large = set(
+            tsindex_global.search_approximate(
+                query, 0.5, max_leaves=16
+            ).positions.tolist()
+        )
+        assert small <= large
+
+    def test_respects_epsilon(self, tsindex_global, query_of):
+        result = tsindex_global.search_approximate(query_of(9), 0.25)
+        assert np.all(result.distances <= 0.25)

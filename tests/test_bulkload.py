@@ -1,0 +1,102 @@
+"""Tests for bottom-up bulk loading of TS-Index."""
+
+import numpy as np
+import pytest
+
+from repro.core.bulkload import BULK_ORDERINGS, bulk_load, bulk_load_source
+from repro.core.tsindex import TSIndexParams
+from repro.exceptions import InvalidParameterError
+
+
+class TestBulkLoadCorrectness:
+    @pytest.mark.parametrize("ordering", BULK_ORDERINGS)
+    def test_matches_sweepline(
+        self, source_global, sweepline_global, ordering, query_of
+    ):
+        index = bulk_load_source(
+            source_global,
+            params=TSIndexParams(min_children=4, max_children=10),
+            ordering=ordering,
+        )
+        for position in (5, 700, 2000):
+            query = query_of(position)
+            for epsilon in (0.0, 0.5, 1.2):
+                expected = sweepline_global.search(query, epsilon)
+                actual = index.search(query, epsilon)
+                assert np.array_equal(actual.positions, expected.positions)
+
+    def test_indexes_every_window_once(self, source_global):
+        index = bulk_load_source(source_global)
+        positions = []
+        for node, _depth in index.iter_nodes():
+            if node.is_leaf:
+                positions.extend(node.positions)
+        assert sorted(positions) == list(range(source_global.count))
+
+    def test_from_raw_values(self, series_values):
+        index = bulk_load(series_values[:600], 40, normalization="none")
+        query = np.asarray(series_values[100:140])
+        assert 100 in index.search(query, 0.0).positions
+
+    def test_knn_works_on_bulk_tree(self, source_global):
+        index = bulk_load_source(source_global)
+        query = np.array(source_global.window_block(50, 51)[0])
+        result = index.knn(query, 3)
+        assert result.positions[0] == 50
+
+    def test_single_leaf_tree(self):
+        index = bulk_load(np.arange(40.0), 30, normalization="none")
+        assert index.size == 11
+        assert index.height == 1
+
+
+class TestBulkLoadStructure:
+    def test_build_stats(self, source_global):
+        index = bulk_load_source(source_global)
+        stats = index.build_stats
+        assert stats.windows == source_global.count
+        assert stats.splits == 0
+        assert stats.height == index.height
+        assert stats.nodes == index.node_count
+
+    def test_much_faster_than_insertion(self, source_global):
+        from repro.core.tsindex import TSIndex
+
+        bulk = bulk_load_source(source_global)
+        inserted = TSIndex.from_source(source_global)
+        assert bulk.build_stats.seconds < inserted.build_stats.seconds
+
+    def test_fill_fraction_bounds_leaf_size(self, source_global):
+        params = TSIndexParams(min_children=4, max_children=20)
+        index = bulk_load_source(
+            source_global, params=params, ordering="position", fill_fraction=0.5
+        )
+        for node, _depth in index.iter_nodes():
+            if node.is_leaf:
+                assert len(node.positions) <= params.max_children
+
+    def test_mean_ordering_groups_similar_means(self, source_global):
+        index = bulk_load_source(source_global, ordering="mean")
+        means = source_global.means()
+        # Each leaf's mean spread should be below the global spread.
+        global_spread = means.max() - means.min()
+        leaf_spreads = []
+        for node, _depth in index.iter_nodes():
+            if node.is_leaf and len(node.positions) > 1:
+                leaf_means = means[np.asarray(node.positions)]
+                leaf_spreads.append(leaf_means.max() - leaf_means.min())
+        assert np.mean(leaf_spreads) < 0.5 * global_spread
+
+
+class TestBulkLoadValidation:
+    def test_unknown_ordering(self, source_global):
+        with pytest.raises(InvalidParameterError, match="ordering"):
+            bulk_load_source(source_global, ordering="random")
+
+    def test_bad_fill_fraction(self, source_global):
+        with pytest.raises(InvalidParameterError, match="fill_fraction"):
+            bulk_load_source(source_global, fill_fraction=0.0)
+
+    def test_paa_segments_validated(self, source_global):
+        with pytest.raises(InvalidParameterError):
+            bulk_load_source(source_global, ordering="paa", paa_segments=0)

@@ -1,0 +1,84 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.charts import render_chart, render_figure
+from repro.bench.experiments import FigureData
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def simple_series():
+    return [0.5, 1.0, 1.5], {"tsindex": [1.0, 2.0, 4.0], "sweepline": [30.0, 31.0, 30.5]}
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self, simple_series):
+        x, series = simple_series
+        chart = render_chart(x, series)
+        assert "o=tsindex" in chart
+        assert "x=sweepline" in chart
+        assert "o" in chart.splitlines()[0] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_x_labels_present(self, simple_series):
+        x, series = simple_series
+        chart = render_chart(x, series)
+        assert "0.5" in chart
+        assert "1.5" in chart
+
+    def test_log_axis_note(self, simple_series):
+        x, series = simple_series
+        assert "(log scale)" in render_chart(x, series)
+        assert "(log scale)" not in render_chart(x, series, log_y=False)
+
+    def test_higher_series_drawn_above(self, simple_series):
+        x, series = simple_series
+        lines = render_chart(x, series, height=12).splitlines()
+        first_x = next(i for i, line in enumerate(lines) if "x" in line.split("|")[-1])
+        first_o = next(i for i, line in enumerate(lines) if "o" in line.split("|")[-1])
+        assert first_x < first_o  # sweepline (slower) plots higher
+
+    def test_height_respected(self, simple_series):
+        x, series = simple_series
+        lines = render_chart(x, series, height=10).splitlines()
+        plot_rows = [line for line in lines if "|" in line]
+        assert len(plot_rows) == 10
+
+    def test_constant_series_ok(self):
+        chart = render_chart([1, 2], {"flat": [5.0, 5.0]})
+        assert "flat" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            render_chart([1, 2], {})
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(InvalidParameterError):
+            render_chart([1, 2], {"a": [1.0]})
+
+    def test_rejects_nonpositive_on_log(self):
+        with pytest.raises(InvalidParameterError, match="non-positive"):
+            render_chart([1, 2], {"a": [0.0, 1.0]})
+        render_chart([1, 2], {"a": [0.0, 1.0]}, log_y=False)  # fine linear
+
+    def test_rejects_tiny_height(self, simple_series):
+        x, series = simple_series
+        with pytest.raises(InvalidParameterError):
+            render_chart(x, series, height=2)
+
+
+class TestRenderFigure:
+    def test_from_figure_data(self):
+        data = FigureData(
+            figure="fig4",
+            dataset="insect",
+            sweep_name="epsilon",
+            sweep_values=(0.5, 0.75, 1.0),
+            series_ms={"tsindex": [10.0, 20.0, 30.0], "isax": [40.0, 50.0, 60.0]},
+            results=[],
+        )
+        chart = render_figure(data)
+        assert "epsilon" in chart
+        assert "o=tsindex" in chart

@@ -1,0 +1,87 @@
+"""Tests for the CLI experiment driver."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_all_commands_accepted(self):
+        parser = cli.build_parser()
+        for command in cli.COMMANDS:
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = cli.build_parser().parse_args(["fig4"])
+        assert args.dataset == "both"
+        assert args.queries == 100
+        assert args.scale is None
+
+    def test_scale_override(self):
+        args = cli.build_parser().parse_args(["fig4", "--scale", "0.5"])
+        contexts = cli._contexts(args)
+        assert all(ctx.scale == 0.5 for ctx in contexts)
+
+    def test_per_dataset_scales(self):
+        args = cli.build_parser().parse_args(
+            ["fig4", "--scale-insect", "0.3", "--scale-eeg", "0.02"]
+        )
+        contexts = cli._contexts(args)
+        scales = {ctx.dataset: ctx.scale for ctx in contexts}
+        assert scales == {"insect": 0.3, "eeg": 0.02}
+
+    def test_single_dataset(self):
+        args = cli.build_parser().parse_args(["fig4", "--dataset", "insect"])
+        contexts = cli._contexts(args)
+        assert [ctx.dataset for ctx in contexts] == ["insect"]
+
+
+class TestExecution:
+    def test_table1_output(self, capsys):
+        assert cli.main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "insect" in output
+        assert "1801999" in output
+
+    def test_table2_output(self, capsys):
+        assert cli.main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "segments" in output
+
+    def test_fig4_small_run(self, capsys):
+        code = cli.main(
+            [
+                "fig4",
+                "--dataset",
+                "insect",
+                "--scale",
+                "0.02",
+                "--queries",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "tsindex (ms)" in output
+        assert "shape checks" in output
+
+    def test_fig8_small_run(self, capsys):
+        code = cli.main(
+            ["fig8", "--dataset", "insect", "--scale", "0.02", "--queries", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "memory" in output
+
+    def test_intro_small_run(self, capsys):
+        code = cli.main(
+            ["intro", "--dataset", "insect", "--scale", "0.02", "--queries", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "euclidean results" in output

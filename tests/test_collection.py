@@ -1,0 +1,122 @@
+"""Tests for multi-series collection search."""
+
+import numpy as np
+import pytest
+
+from repro.core.collection import CollectionIndex, CollectionMatch
+from repro.data import synthetic
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return [
+        synthetic.insect_like(800, seed=1),
+        synthetic.insect_like(1000, seed=2),
+        synthetic.noisy_sines(900, seed=3),
+    ]
+
+
+@pytest.fixture(scope="module")
+def index(collection):
+    return CollectionIndex(collection, 50, normalization="none")
+
+
+class TestConstruction:
+    def test_counts(self, index, collection):
+        assert index.series_count == 3
+        assert index.window_count == sum(len(s) - 49 for s in collection)
+        assert index.length == 50
+
+    def test_rejects_empty_collection(self):
+        with pytest.raises(InvalidParameterError, match="empty"):
+            CollectionIndex([], 10)
+
+    def test_rejects_short_member(self):
+        with pytest.raises(InvalidParameterError, match="shorter"):
+            CollectionIndex([np.ones(100), np.ones(5)], 10)
+
+    def test_member_access(self, index):
+        assert index.member(0).source.length == 50
+
+    def test_repr(self, index):
+        assert "CollectionIndex(series=3" in repr(index)
+
+    def test_other_methods_allowed(self, collection):
+        sweep = CollectionIndex(
+            collection, 50, normalization="none", method="sweepline"
+        )
+        assert sweep.series_count == 3
+
+
+class TestSearch:
+    def test_finds_query_in_its_series(self, index, collection):
+        for series_id, series in enumerate(collection):
+            query = np.asarray(series[100:150])
+            matches = index.search(query, 0.0)
+            assert CollectionMatch(series_id, 100, 0.0) in matches
+
+    def test_matches_fanout_ground_truth(self, index, collection):
+        from repro.indices.sweepline import SweeplineSearch
+
+        query = np.asarray(collection[1][300:350])
+        epsilon = 0.4
+        expected = []
+        for series_id, series in enumerate(collection):
+            sweep = SweeplineSearch.build(series, 50, normalization="none")
+            for position, distance in sweep.search(query, epsilon):
+                expected.append((series_id, int(position)))
+        actual = [(m.series_id, m.position) for m in index.search(query, epsilon)]
+        assert actual == expected
+
+    def test_count_per_series(self, index, collection):
+        query = np.asarray(collection[2][10:60])
+        per_series = index.count_per_series(query, 0.2)
+        assert len(per_series) == 3
+        assert per_series[2] >= 1
+        assert sum(per_series) == index.count(query, 0.2)
+
+    def test_aggregate_stats(self, index, collection):
+        query = np.asarray(collection[0][5:55])
+        stats = index.aggregate_stats(query, 0.3)
+        assert stats.matches == index.count(query, 0.3)
+        assert stats.candidates >= stats.matches
+
+
+class TestKnn:
+    def test_global_top_k(self, index, collection):
+        query = np.asarray(collection[0][200:250])
+        top = index.knn(query, 5)
+        assert len(top) == 5
+        assert top[0].series_id == 0
+        assert top[0].position == 200
+        assert top[0].distance == 0.0
+        distances = [m.distance for m in top]
+        assert distances == sorted(distances)
+
+    def test_matches_brute_force(self, index, collection):
+        query = np.asarray(collection[1][40:90])
+        top = index.knn(query, 7)
+        brute = []
+        for series_id, series in enumerate(collection):
+            view = np.lib.stride_tricks.sliding_window_view(
+                np.asarray(series, dtype=float), 50
+            )
+            profile = np.max(np.abs(view - query), axis=1)
+            brute.extend(profile.tolist())
+        expected = sorted(brute)[:7]
+        assert np.allclose([m.distance for m in top], expected)
+
+    def test_k_larger_than_collection(self, collection):
+        small = CollectionIndex(
+            [collection[0][:60], collection[1][:70]], 50, normalization="none"
+        )
+        top = small.knn(np.asarray(collection[0][:50]), 1000)
+        assert len(top) == small.window_count
+
+    def test_knn_requires_capable_members(self, collection):
+        sweep = CollectionIndex(
+            collection, 50, normalization="none", method="sweepline"
+        )
+        with pytest.raises(InvalidParameterError, match="knn"):
+            sweep.knn(np.asarray(collection[0][:50]), 3)

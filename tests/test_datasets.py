@@ -1,0 +1,87 @@
+"""Tests for the dataset registry (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import DATASET_NAMES, dataset_spec, load_dataset
+from repro.exceptions import InvalidParameterError
+
+
+class TestSpecs:
+    def test_names(self):
+        assert DATASET_NAMES == ("insect", "eeg")
+
+    def test_insect_table1(self):
+        spec = dataset_spec("insect")
+        assert spec.full_length == 64_436
+        assert spec.normalized_epsilons == (0.5, 0.75, 1.0, 1.25, 1.5)
+        assert spec.default_normalized_epsilon == 0.75
+        assert spec.raw_epsilons == (50.0, 100.0, 150.0, 200.0, 250.0)
+        assert spec.default_raw_epsilon == 100.0
+
+    def test_eeg_table1(self):
+        spec = dataset_spec("eeg")
+        assert spec.full_length == 1_801_999
+        assert spec.normalized_epsilons == (0.1, 0.2, 0.3, 0.4, 0.5)
+        assert spec.default_normalized_epsilon == 0.2
+        assert spec.raw_epsilons == (20.0, 40.0, 60.0, 80.0, 100.0)
+        assert spec.default_raw_epsilon == 40.0
+
+    def test_case_insensitive(self):
+        assert dataset_spec("EEG").name == "eeg"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError, match="unknown dataset"):
+            dataset_spec("stocks")
+
+
+class TestLoadDataset:
+    def test_scaled_length(self):
+        series = load_dataset("insect", scale=0.05)
+        assert len(series) == round(64_436 * 0.05)
+
+    def test_minimum_length_guard(self):
+        series = load_dataset("insect", scale=0.0001)
+        assert len(series) >= 1000
+
+    def test_deterministic(self):
+        a = load_dataset("insect", scale=0.02)
+        b = load_dataset("insect", scale=0.02)
+        assert np.array_equal(np.asarray(a), np.asarray(b))
+
+    def test_seed_override_changes_values(self):
+        a = load_dataset("insect", scale=0.02)
+        b = load_dataset("insect", scale=0.02, seed=99)
+        assert not np.array_equal(np.asarray(a), np.asarray(b))
+
+    def test_name_labels_scale(self):
+        assert load_dataset("eeg", scale=0.01).name == "eeg@0.01"
+        assert load_dataset("insect", scale=0.02).name.startswith("insect")
+
+    def test_invalid_scale(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("insect", scale=0.0)
+        with pytest.raises(InvalidParameterError):
+            load_dataset("insect", scale=1.5)
+
+
+class TestRawEpsilonScaling:
+    def test_scaled_epsilons_preserve_fractions(self):
+        spec = dataset_spec("insect")
+        series = load_dataset("insect", scale=0.05)
+        scaled = spec.scaled_raw_epsilons(series)
+        assert len(scaled) == len(spec.raw_epsilons)
+        value_range = series.maximum() - series.minimum()
+        for original, rescaled in zip(spec.raw_epsilons, scaled):
+            assert np.isclose(
+                rescaled / value_range,
+                original / spec.paper_value_range,
+                atol=1e-6,
+            )
+
+    def test_scaled_default(self):
+        spec = dataset_spec("eeg")
+        series = load_dataset("eeg", scale=0.01)
+        default = spec.scaled_default_raw_epsilon(series)
+        grid = spec.scaled_raw_epsilons(series)
+        assert grid[1] == pytest.approx(default, rel=1e-6)

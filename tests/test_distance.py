@@ -1,0 +1,183 @@
+"""Tests for the distance kernels (Definition 1 and Section 3.1/3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import (
+    chebyshev_distance,
+    chebyshev_distance_early_abandon,
+    chebyshev_distance_reordered,
+    chebyshev_matches,
+    chebyshev_profile,
+    euclidean_distance,
+    euclidean_threshold_for,
+    lp_distance,
+    pairwise_chebyshev,
+    reorder_by_magnitude,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestChebyshev:
+    def test_basic(self):
+        assert chebyshev_distance([1.0, 2.0, 3.0], [1.5, 0.0, 3.0]) == 2.0
+
+    def test_identical(self):
+        assert chebyshev_distance([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_symmetric(self):
+        a, b = [1.0, 5.0, -2.0], [0.0, 1.0, 4.0]
+        assert chebyshev_distance(a, b) == chebyshev_distance(b, a)
+
+    def test_triangle_inequality(self):
+        rng = np.random.default_rng(0)
+        a, b, c = rng.normal(size=(3, 40))
+        assert chebyshev_distance(a, c) <= (
+            chebyshev_distance(a, b) + chebyshev_distance(b, c) + 1e-12
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError, match="equal length"):
+            chebyshev_distance([1.0], [1.0, 2.0])
+
+    def test_single_point(self):
+        assert chebyshev_distance([3.0], [-1.0]) == 4.0
+
+
+class TestEarlyAbandon:
+    def test_exact_when_within_threshold(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.5, 1.5, 1.0])
+        full = chebyshev_distance(a, b)
+        assert chebyshev_distance_early_abandon(a, b, 2.0) == full
+
+    def test_lower_bound_when_abandoned(self):
+        a = np.zeros(10)
+        b = np.concatenate(([5.0], np.zeros(9)))
+        result = chebyshev_distance_early_abandon(a, b, 1.0)
+        assert result > 1.0
+        assert result <= chebyshev_distance(a, b)
+
+    def test_abandon_verdict_matches_full(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a, b = rng.normal(size=(2, 30))
+            epsilon = rng.uniform(0.1, 3.0)
+            full = chebyshev_distance(a, b)
+            fast = chebyshev_distance_early_abandon(a, b, epsilon)
+            assert (full <= epsilon) == (fast <= epsilon)
+
+    def test_reordered_verdict_matches_full(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            a, b = rng.normal(size=(2, 30))
+            epsilon = rng.uniform(0.1, 3.0)
+            full = chebyshev_distance(a, b)
+            fast = chebyshev_distance_reordered(a, b, epsilon)
+            assert (full <= epsilon) == (fast <= epsilon)
+
+    def test_reorder_by_magnitude_order(self):
+        order = reorder_by_magnitude([0.1, -5.0, 2.0])
+        assert order.tolist() == [1, 2, 0]
+
+    def test_reordered_with_explicit_order(self):
+        a = np.array([0.0, 0.0, 9.0])
+        b = np.array([0.0, 0.0, 0.0])
+        distance = chebyshev_distance_reordered(a, b, 1.0, order=np.array([2, 0, 1]))
+        assert distance == 9.0
+
+
+class TestEuclideanAndLp:
+    def test_euclidean_basic(self):
+        assert euclidean_distance([0.0, 0.0], [3.0, 4.0]) == 5.0
+
+    def test_lp_one_is_manhattan(self):
+        assert lp_distance([0.0, 0.0], [1.0, 2.0], 1) == 3.0
+
+    def test_lp_two_matches_euclidean(self):
+        a, b = [1.0, -2.0, 0.5], [0.0, 4.0, 2.0]
+        assert np.isclose(lp_distance(a, b, 2), euclidean_distance(a, b))
+
+    def test_lp_inf_is_chebyshev(self):
+        a, b = [1.0, -2.0, 0.5], [0.0, 4.0, 2.0]
+        assert lp_distance(a, b, np.inf) == chebyshev_distance(a, b)
+
+    def test_lp_rejects_below_one(self):
+        with pytest.raises(InvalidParameterError):
+            lp_distance([1.0], [2.0], 0.5)
+
+    def test_lp_monotone_in_p(self):
+        # For fixed vectors, Lp distance is non-increasing in p.
+        rng = np.random.default_rng(3)
+        a, b = rng.normal(size=(2, 25))
+        previous = lp_distance(a, b, 1)
+        for p in (2, 3, 8, np.inf):
+            current = lp_distance(a, b, p)
+            assert current <= previous + 1e-9
+            previous = current
+
+
+class TestEquivalenceBound:
+    def test_threshold_formula(self):
+        assert euclidean_threshold_for(0.5, 100) == 0.5 * 10.0
+
+    def test_chebyshev_implies_euclidean(self):
+        # Section 3.1: d∞ <= eps  =>  d2 <= eps*sqrt(l).
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            a = rng.normal(size=20)
+            b = a + rng.uniform(-0.3, 0.3, size=20)
+            epsilon = chebyshev_distance(a, b)
+            assert euclidean_distance(a, b) <= euclidean_threshold_for(
+                epsilon, 20
+            ) + 1e-9
+
+    def test_invalid_length(self):
+        with pytest.raises(InvalidParameterError):
+            euclidean_threshold_for(1.0, 0)
+
+
+class TestBatchKernels:
+    def test_profile_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        windows = rng.normal(size=(12, 8))
+        query = rng.normal(size=8)
+        profile = chebyshev_profile(windows, query)
+        for i in range(12):
+            assert np.isclose(profile[i], chebyshev_distance(windows[i], query))
+
+    def test_profile_empty(self):
+        assert chebyshev_profile(np.zeros((0, 4)), np.zeros(4)).size == 0
+
+    def test_profile_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            chebyshev_profile(np.zeros((3, 5)), np.zeros(4))
+
+    def test_matches_mask(self):
+        windows = np.array([[0.0, 0.0], [1.0, 0.0], [3.0, 0.0]])
+        mask = chebyshev_matches(windows, np.zeros(2), 1.0)
+        assert mask.tolist() == [True, True, False]
+
+    def test_pairwise_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(6)
+        windows = rng.normal(size=(7, 10))
+        matrix = pairwise_chebyshev(windows)
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_pairwise_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        windows = rng.normal(size=(5, 6))
+        matrix = pairwise_chebyshev(windows)
+        for i in range(5):
+            for j in range(5):
+                assert np.isclose(
+                    matrix[i, j], chebyshev_distance(windows[i], windows[j])
+                )
+
+    def test_pairwise_empty(self):
+        assert pairwise_chebyshev(np.zeros((0, 3))).shape == (0, 0)
+
+    def test_pairwise_rejects_1d(self):
+        with pytest.raises(InvalidParameterError):
+            pairwise_chebyshev(np.zeros(5))

@@ -1,0 +1,32 @@
+"""Execute the doctest examples embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.bench.timing
+import repro.core.series
+import repro.core.tsindex
+import repro.extensions.streaming
+import repro.indices.isax
+import repro.indices.kvindex
+import repro.indices.sweepline
+
+MODULES = [
+    repro.bench.timing,
+    repro.core.series,
+    repro.core.tsindex,
+    repro.extensions.streaming,
+    repro.indices.isax,
+    repro.indices.kvindex,
+    repro.indices.sweepline,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[module.__name__ for module in MODULES]
+)
+def test_module_doctests(module):
+    outcome = doctest.testmod(module, verbose=False)
+    assert outcome.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert outcome.failed == 0, f"{module.__name__} doctests failed"

@@ -1,0 +1,94 @@
+"""Tests for collapsing twin matches into events."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import MatchGroup, event_positions, group_matches
+from repro.core.stats import SearchResult
+from repro.exceptions import InvalidParameterError
+
+
+def _result(positions, distances=None):
+    positions = np.asarray(positions, dtype=np.int64)
+    if distances is None:
+        distances = np.zeros(positions.size)
+    return SearchResult(
+        positions=positions, distances=np.asarray(distances, dtype=float)
+    )
+
+
+class TestGroupMatches:
+    def test_single_run(self):
+        groups = group_matches(_result([10, 11, 12, 13]), min_gap=5)
+        assert len(groups) == 1
+        assert groups[0].first_position == 10
+        assert groups[0].last_position == 13
+        assert groups[0].size == 4
+        assert groups[0].span == 4
+
+    def test_two_events(self):
+        groups = group_matches(_result([10, 11, 50, 51, 52]), min_gap=20)
+        assert len(groups) == 2
+        assert groups[0].last_position == 11
+        assert groups[1].first_position == 50
+
+    def test_gap_exactly_min_gap_splits(self):
+        groups = group_matches(_result([10, 30]), min_gap=20)
+        assert len(groups) == 2
+
+    def test_gap_below_min_gap_merges(self):
+        groups = group_matches(_result([10, 29]), min_gap=20)
+        assert len(groups) == 1
+
+    def test_best_member_selected(self):
+        groups = group_matches(
+            _result([10, 11, 12], distances=[0.5, 0.1, 0.3]), min_gap=5
+        )
+        assert groups[0].best_position == 11
+        assert groups[0].best_distance == 0.1
+
+    def test_best_tie_prefers_earliest(self):
+        groups = group_matches(
+            _result([10, 11], distances=[0.2, 0.2]), min_gap=5
+        )
+        assert groups[0].best_position == 10
+
+    def test_empty_result(self):
+        assert group_matches(_result([]), min_gap=5) == []
+
+    def test_singleton_matches(self):
+        groups = group_matches(_result([3, 100, 200]), min_gap=10)
+        assert [g.size for g in groups] == [1, 1, 1]
+
+    def test_invalid_gap(self):
+        with pytest.raises(InvalidParameterError):
+            group_matches(_result([1]), min_gap=0)
+
+    def test_groups_are_frozen(self):
+        group = group_matches(_result([1]), min_gap=5)[0]
+        assert isinstance(group, MatchGroup)
+        with pytest.raises(Exception):
+            group.size = 99
+
+
+class TestEventPositions:
+    def test_positions_only(self):
+        result = _result([10, 11, 50], distances=[0.3, 0.1, 0.0])
+        assert event_positions(result, min_gap=20) == [11, 50]
+
+
+class TestEndToEnd:
+    def test_recurring_pattern_collapses_to_events(self, tsindex_global, query_of):
+        from .conftest import LENGTH
+
+        query = query_of(700)
+        result = tsindex_global.search(query, 0.8)
+        groups = group_matches(result, min_gap=LENGTH)
+        # The query's own event must be among the groups, best-aligned
+        # at distance 0.
+        own = [g for g in groups if g.first_position <= 700 <= g.last_position]
+        assert len(own) == 1
+        assert own[0].best_distance == 0.0
+        # Groups are disjoint and ordered.
+        for a, b in zip(groups, groups[1:]):
+            assert a.last_position + LENGTH <= b.first_position

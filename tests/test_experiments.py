@@ -1,0 +1,138 @@
+"""Tests for the per-figure experiment definitions.
+
+These run at very small scale (the point is wiring, not performance);
+the shape checks themselves are exercised but only the robust ones are
+asserted.
+"""
+
+import pytest
+
+from repro.bench import experiments as exp
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return exp.ExperimentContext(dataset="insect", scale=0.03, query_count=3)
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = exp.table1_rows()
+        assert [row["dataset"] for row in rows] == ["insect", "eeg"]
+        assert rows[0]["n"] == 64_436
+        assert rows[1]["n"] == 1_801_999
+
+    def test_table2_rows(self):
+        rows = exp.table2_rows()
+        assert rows[0]["default"] == 10
+        assert rows[1]["default"] == 100
+
+
+class TestContext:
+    def test_series_cached(self, ctx):
+        assert ctx.series is ctx.series
+
+    def test_source_cached(self, ctx):
+        assert ctx.source(60, "global") is ctx.source(60, "global")
+
+    def test_method_cached(self, ctx):
+        first = ctx.method("kvindex", 60, "global")
+        assert ctx.method("kvindex", 60, "global") is first
+
+    def test_workload_size(self, ctx):
+        assert len(ctx.workload(60, "global")) == 3
+
+    def test_epsilon_grids(self, ctx):
+        assert ctx.epsilons("global") == (0.5, 0.75, 1.0, 1.25, 1.5)
+        assert ctx.default_epsilon("global") == 0.75
+        raw = ctx.epsilons("none")
+        assert len(raw) == 5
+        assert all(b > a for a, b in zip(raw, raw[1:]))
+
+
+class TestFigureRuns:
+    def test_figure4_small(self, ctx):
+        data = exp.run_figure4(
+            ctx, epsilons=(0.5, 1.0), methods=("sweepline", "tsindex")
+        )
+        assert data.sweep_values == (0.5, 1.0)
+        assert set(data.series_ms) == {"sweepline", "tsindex"}
+        assert len(data.method_series("tsindex")) == 2
+        checks = exp.check_figure_shape(data)
+        assert "tsindex_faster_than_sweepline" in checks
+
+    def test_figure6_excludes_kv(self, ctx):
+        data = exp.run_figure6(ctx, epsilons=(0.5,))
+        assert "kvindex" not in data.series_ms
+
+    def test_figure7_raw_epsilons(self, ctx):
+        data = exp.run_figure7(
+            ctx, methods=("tsindex",), epsilons=None
+        )
+        assert data.sweep_values == ctx.epsilons("none")
+
+    def test_figure5_sweeps_length(self, ctx):
+        data = exp.run_figure5(ctx, lengths=(40, 60), methods=("tsindex",))
+        assert data.sweep_name == "length"
+        assert data.sweep_values == (40, 60)
+
+    def test_figure8_rows(self, ctx):
+        report = exp.run_figure8(ctx, length=60)
+        rows = report["rows"]
+        assert [row["index"] for row in rows] == list(exp.INDEX_METHODS)
+        assert all(row["memory_mb"] > 0 for row in rows)
+        assert all(row["build_s"] >= 0 for row in rows)
+
+    def test_intro_no_false_negatives(self, ctx):
+        report = exp.run_intro(ctx, query_count=2, length=60)
+        assert report["missed_twins"] == 0
+        assert report["euclidean_results"] >= report["twin_results"]
+
+    def test_bulk_verification_equivalent_counts(self, ctx):
+        fast = exp.run_figure4(
+            ctx, epsilons=(0.75,), methods=("tsindex",), verification="bulk"
+        )
+        slow = exp.run_figure4(
+            ctx, epsilons=(0.75,), methods=("tsindex",),
+            verification="per_candidate",
+        )
+        fast_matches = fast.results[0].timings[0].total_matches
+        slow_matches = slow.results[0].timings[0].total_matches
+        assert fast_matches == slow_matches
+
+
+class TestShapeChecks:
+    def test_all_pass_for_dominant_series(self):
+        data = exp.FigureData(
+            figure="fig4",
+            dataset="insect",
+            sweep_name="epsilon",
+            sweep_values=(0.5, 1.0),
+            series_ms={"tsindex": [1.0, 2.0], "sweepline": [10.0, 10.2]},
+            results=[],
+        )
+        checks = exp.check_figure_shape(data)
+        assert checks["tsindex_faster_than_sweepline"]
+        assert checks["sweepline_flat_in_sweep"]
+
+    def test_fail_detected(self):
+        data = exp.FigureData(
+            figure="fig4",
+            dataset="insect",
+            sweep_name="epsilon",
+            sweep_values=(0.5, 1.0),
+            series_ms={"tsindex": [20.0, 2.0], "sweepline": [10.0, 10.0]},
+            results=[],
+        )
+        assert not exp.check_figure_shape(data)["tsindex_faster_than_sweepline"]
+
+    def test_fig5_length_trend(self):
+        data = exp.FigureData(
+            figure="fig5",
+            dataset="insect",
+            sweep_name="length",
+            sweep_values=(50, 250),
+            series_ms={"tsindex": [5.0, 3.0]},
+            results=[],
+        )
+        assert exp.check_figure_shape(data)["tsindex_not_slower_with_length"]

@@ -1,0 +1,154 @@
+"""Failure injection: adversarial inputs must fail loudly and early.
+
+Every search method shares the input-validation contract enforced
+here: malformed series/queries/thresholds raise typed errors at the
+API boundary instead of corrupting results downstream.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ISAXIndex,
+    KVIndex,
+    SweeplineSearch,
+    TimeSeries,
+    TSIndex,
+    WindowSource,
+    twin_search,
+)
+from repro.exceptions import InvalidParameterError, ReproError
+
+from .conftest import LENGTH
+
+BUILDERS = [TSIndex, KVIndex, ISAXIndex, SweeplineSearch]
+BUILDER_IDS = ["tsindex", "kvindex", "isax", "sweepline"]
+
+
+class TestMalformedSeries:
+    @pytest.mark.parametrize("builder", BUILDERS, ids=BUILDER_IDS)
+    def test_nan_series_rejected(self, builder):
+        values = np.ones(100)
+        values[50] = np.nan
+        with pytest.raises(InvalidParameterError):
+            builder.build(values, 10)
+
+    @pytest.mark.parametrize("builder", BUILDERS, ids=BUILDER_IDS)
+    def test_inf_series_rejected(self, builder):
+        values = np.ones(100)
+        values[0] = np.inf
+        with pytest.raises(InvalidParameterError):
+            builder.build(values, 10)
+
+    @pytest.mark.parametrize("builder", BUILDERS, ids=BUILDER_IDS)
+    def test_empty_series_rejected(self, builder):
+        with pytest.raises(InvalidParameterError):
+            builder.build([], 10)
+
+    @pytest.mark.parametrize("builder", BUILDERS, ids=BUILDER_IDS)
+    def test_window_longer_than_series(self, builder):
+        with pytest.raises(InvalidParameterError):
+            builder.build(np.ones(5), 10)
+
+    def test_2d_series_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TimeSeries(np.ones((5, 5)))
+
+
+class TestMalformedQueries:
+    @pytest.fixture(scope="class")
+    def engines(self, series_values):
+        return [
+            builder.build(series_values[:500], LENGTH, normalization="global")
+            for builder in BUILDERS
+        ]
+
+    def test_nan_query_rejected(self, engines):
+        query = np.zeros(LENGTH)
+        query[3] = np.nan
+        for engine in engines:
+            with pytest.raises(ReproError):
+                engine.search(query, 0.5)
+
+    def test_wrong_length_rejected(self, engines):
+        for engine in engines:
+            with pytest.raises(ReproError):
+                engine.search(np.zeros(LENGTH - 1), 0.5)
+
+    def test_negative_epsilon_rejected(self, engines):
+        query = np.zeros(LENGTH)
+        for engine in engines:
+            with pytest.raises(InvalidParameterError):
+                engine.search(query, -0.1)
+
+    def test_nan_epsilon_rejected(self, engines):
+        query = np.zeros(LENGTH)
+        for engine in engines:
+            with pytest.raises(InvalidParameterError):
+                engine.search(query, float("nan"))
+
+    def test_unknown_verification_mode(self, engines):
+        query = np.zeros(LENGTH)
+        for engine in engines:
+            with pytest.raises(InvalidParameterError):
+                engine.search(query, 0.5, verification="magic")
+
+
+class TestImmutability:
+    def test_mutating_input_after_build_is_isolated(self):
+        values = np.sin(np.linspace(0, 20, 400))
+        index = TSIndex.build(values, 40, normalization="none")
+        query = values[100:140].copy()
+        before = index.search(query, 0.05).positions
+        values[:] = 0.0  # caller clobbers their own buffer
+        after = index.search(query, 0.05).positions
+        assert np.array_equal(before, after)
+
+    def test_result_arrays_do_not_alias_internals(self, tsindex_global, query_of):
+        result = tsindex_global.search(query_of(5), 0.5)
+        positions_copy = result.positions.copy()
+        result.positions[:] = -1
+        again = tsindex_global.search(query_of(5), 0.5)
+        assert np.array_equal(again.positions, positions_copy)
+
+    def test_series_values_read_only(self, series_values):
+        series = TimeSeries(series_values[:100])
+        with pytest.raises(ValueError):
+            series.values[0] = 123.0
+
+
+class TestDegenerateData:
+    def test_constant_series_all_methods(self):
+        values = np.full(200, 7.0)
+        query = np.full(20, 7.0)
+        for builder in (TSIndex, KVIndex, SweeplineSearch, ISAXIndex):
+            engine = builder.build(values, 20, normalization="none")
+            result = engine.search(query, 0.0)
+            assert len(result) == 181, builder.__name__
+
+    def test_constant_series_per_window(self):
+        values = np.full(200, 7.0)
+        engine = TSIndex.build(values, 20, normalization="per_window")
+        # Every window normalizes to zeros; a constant query matches all.
+        result = engine.search(np.full(20, 3.0), 0.0)
+        assert len(result) == 181
+
+    def test_single_window_series(self):
+        values = np.arange(10.0)
+        engine = TSIndex.build(values, 10, normalization="none")
+        assert len(engine.search(values, 0.0)) == 1
+
+    def test_huge_values(self):
+        values = np.linspace(1e12, 2e12, 300)
+        engine = TSIndex.build(values, 30, normalization="none")
+        query = values[50:80]
+        assert 50 in engine.search(query, 0.0).positions
+
+    def test_tiny_values(self):
+        values = np.sin(np.linspace(0, 20, 300)) * 1e-12
+        engine = TSIndex.build(values, 30, normalization="none")
+        assert 50 in engine.search(values[50:80], 0.0).positions
+
+    def test_twin_search_validates(self):
+        with pytest.raises(ReproError):
+            twin_search(np.ones(50), np.ones(60), 0.1)

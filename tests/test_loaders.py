@@ -1,0 +1,57 @@
+"""Tests for series file IO."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import load_series, save_series
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def values():
+    return np.linspace(0.0, 5.0, 37)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("extension", ["npy", "csv", "txt"])
+    def test_round_trip(self, tmp_path, values, extension):
+        path = tmp_path / f"series.{extension}"
+        save_series(values, path)
+        loaded = load_series(path)
+        assert np.allclose(np.asarray(loaded), values)
+
+    def test_name_defaults_to_basename(self, tmp_path, values):
+        path = tmp_path / "mydata.npy"
+        save_series(values, path)
+        assert load_series(path).name == "mydata.npy"
+
+    def test_explicit_name(self, tmp_path, values):
+        path = tmp_path / "x.npy"
+        save_series(values, path)
+        assert load_series(path, name="custom").name == "custom"
+
+
+class TestColumns:
+    def test_csv_column_selection(self, tmp_path):
+        path = tmp_path / "table.csv"
+        matrix = np.column_stack([np.arange(10.0), np.arange(10.0) * 2])
+        np.savetxt(path, matrix, delimiter=",")
+        assert np.allclose(np.asarray(load_series(path, column=1)), np.arange(10.0) * 2)
+
+    def test_bad_column(self, tmp_path):
+        path = tmp_path / "table.csv"
+        np.savetxt(path, np.zeros((5, 2)), delimiter=",")
+        with pytest.raises(InvalidParameterError, match="column"):
+            load_series(path, column=5)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidParameterError, match="no such file"):
+            load_series(tmp_path / "nope.npy")
+
+    def test_3d_npy_rejected(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.zeros((2, 2, 2)))
+        with pytest.raises(InvalidParameterError):
+            load_series(path)

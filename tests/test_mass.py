@@ -1,0 +1,126 @@
+"""Tests for Euclidean distance profiles and the intro experiment."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import euclidean_distance, euclidean_threshold_for
+from repro.core.windows import WindowSource
+from repro.euclidean.mass import (
+    chebyshev_distance_profile,
+    euclidean_distance_profile,
+    euclidean_threshold_search,
+    spike_discrepancy,
+    twin_vs_euclidean_comparison,
+)
+from repro.exceptions import InvalidParameterError
+
+from .conftest import LENGTH
+
+
+class TestEuclideanProfile:
+    @pytest.mark.parametrize("regime", ["none", "global", "per_window"])
+    def test_matches_naive(self, series_values, regime):
+        source = WindowSource(series_values[:400], 30, regime)
+        query = np.array(source.window_block(50, 51)[0])
+        profile = euclidean_distance_profile(source, query)
+        assert profile.shape == (source.count,)
+        for position in range(0, source.count, 23):
+            expected = euclidean_distance(source.window(position), query)
+            assert np.isclose(profile[position], expected, atol=1e-6)
+
+    def test_self_distance_zero(self, source_global, query_of):
+        profile = euclidean_distance_profile(source_global, query_of(99))
+        assert profile[99] < 1e-6
+
+    def test_non_negative(self, source_global, query_of):
+        profile = euclidean_distance_profile(source_global, query_of(5))
+        assert np.all(profile >= 0.0)
+
+    def test_per_window_with_constant_windows(self):
+        values = np.concatenate([np.full(40, 1.0), np.random.default_rng(0).normal(size=60)])
+        source = WindowSource(values, 20, "per_window")
+        query = np.array(source.window_block(60, 61)[0])
+        profile = euclidean_distance_profile(source, query)
+        # Constant windows normalize to zeros: distance = ||query||.
+        expected = float(np.sqrt(np.sum(query**2)))
+        assert np.isclose(profile[0], expected, atol=1e-6)
+
+
+class TestChebyshevProfile:
+    def test_matches_naive(self, source_global, query_of):
+        query = query_of(10)
+        profile = chebyshev_distance_profile(source_global, query)
+        for position in range(0, source_global.count, 97):
+            expected = float(np.max(np.abs(source_global.window(position) - query)))
+            assert np.isclose(profile[position], expected)
+
+    def test_shape(self, source_global, query_of):
+        profile = chebyshev_distance_profile(source_global, query_of(0))
+        assert profile.shape == (source_global.count,)
+
+
+class TestThresholdSearch:
+    def test_self_found(self, source_global, query_of):
+        hits = euclidean_threshold_search(source_global, query_of(31), 0.1)
+        assert 31 in hits
+
+    def test_tiny_radius_tolerates_fft_roundoff(self, source_global, query_of):
+        # The FFT profile carries ~1e-8 round-off, so an exact-zero
+        # radius is not meaningful; a tiny positive one must find self.
+        hits = euclidean_threshold_search(source_global, query_of(31), 1e-6)
+        assert 31 in hits
+
+    def test_negative_radius_rejected(self, source_global, query_of):
+        with pytest.raises(InvalidParameterError):
+            euclidean_threshold_search(source_global, query_of(0), -1.0)
+
+
+class TestIntroComparison:
+    def test_no_false_negatives(self, source_global, query_of):
+        # Section 3.1: the eps*sqrt(l) Euclidean ball loses no twins.
+        for position in (10, 440, 990):
+            comparison = twin_vs_euclidean_comparison(
+                source_global, query_of(position), 0.4
+            )
+            assert comparison.missed_twins == 0
+
+    def test_euclidean_superset(self, source_global, query_of):
+        comparison = twin_vs_euclidean_comparison(source_global, query_of(77), 0.4)
+        assert comparison.euclidean_count >= comparison.twin_count
+
+    def test_excess_factor(self, source_global, query_of):
+        comparison = twin_vs_euclidean_comparison(source_global, query_of(77), 0.4)
+        assert comparison.excess_factor >= 1.0
+
+    def test_radius_formula(self, source_global, query_of):
+        comparison = twin_vs_euclidean_comparison(source_global, query_of(3), 0.25)
+        assert np.isclose(
+            comparison.euclidean_radius, euclidean_threshold_for(0.25, LENGTH)
+        )
+
+    def test_counts_match_profiles(self, source_global, query_of):
+        query = query_of(123)
+        epsilon = 0.5
+        comparison = twin_vs_euclidean_comparison(source_global, query, epsilon)
+        chebyshev = chebyshev_distance_profile(source_global, query)
+        assert comparison.twin_count == int(np.count_nonzero(chebyshev <= epsilon))
+
+
+class TestSpikeDiscrepancy:
+    def test_reports_worst_timestamps(self):
+        query = np.zeros(20)
+        window = np.zeros(20)
+        window[7] = 3.0
+        window[2] = -1.0
+        report = spike_discrepancy(query, window, top=2)
+        assert report["worst_timestamps"][0] == 7
+        assert report["chebyshev"] == 3.0
+        assert report["worst_differences"][0] == 3.0
+
+    def test_euclidean_value(self):
+        report = spike_discrepancy([0.0, 0.0], [3.0, 4.0])
+        assert np.isclose(report["euclidean"], 5.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            spike_discrepancy([0.0], [0.0, 1.0])

@@ -1,0 +1,204 @@
+"""Tests for MBTS geometry (Definition 2, Equations 2 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import chebyshev_distance
+from repro.core.mbts import MBTS, mbts_gap_distance, mbts_of, sequence_mbts_distance
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def sequences():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(6, 12))
+
+
+@pytest.fixture()
+def mbts(sequences):
+    return MBTS.from_sequences(sequences)
+
+
+class TestConstruction:
+    def test_from_sequences_bounds(self, sequences, mbts):
+        assert np.array_equal(mbts.upper, sequences.max(axis=0))
+        assert np.array_equal(mbts.lower, sequences.min(axis=0))
+
+    def test_from_single_sequence(self):
+        box = MBTS.from_sequence([1.0, 2.0])
+        assert np.array_equal(box.upper, box.lower)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidParameterError, match="lower <= upper"):
+            MBTS([0.0, 0.0], [1.0, 0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            MBTS([0.0, 1.0], [0.0])
+
+    def test_rejects_empty_matrix(self):
+        with pytest.raises(InvalidParameterError):
+            MBTS.from_sequences(np.zeros((0, 4)))
+
+    def test_copy_is_independent(self, mbts):
+        clone = mbts.copy()
+        clone.upper[0] += 100.0
+        assert mbts.upper[0] != clone.upper[0]
+
+    def test_mbts_of_alias(self, sequences):
+        assert mbts_of(sequences) == MBTS.from_sequences(sequences)
+
+    def test_equality(self, sequences):
+        assert MBTS.from_sequences(sequences) == MBTS.from_sequences(sequences)
+
+    def test_unhashable(self, mbts):
+        with pytest.raises(TypeError):
+            hash(mbts)
+
+
+class TestContainment:
+    def test_contains_members(self, sequences, mbts):
+        for row in sequences:
+            assert mbts.contains(row)
+
+    def test_not_contains_outlier(self, mbts):
+        outlier = mbts.upper + 1.0
+        assert not mbts.contains(outlier)
+
+    def test_contains_mbts_subset(self, sequences, mbts):
+        inner = MBTS.from_sequences(sequences[:3])
+        assert mbts.contains_mbts(inner)
+
+    def test_band_widths_non_negative(self, mbts):
+        assert np.all(mbts.band_widths() >= 0.0)
+
+    def test_area_is_sum_of_widths(self, mbts):
+        assert np.isclose(mbts.area(), mbts.band_widths().sum())
+
+    def test_max_width(self, mbts):
+        assert np.isclose(mbts.max_width(), mbts.band_widths().max())
+
+
+class TestEquation2:
+    def test_zero_inside(self, sequences, mbts):
+        assert mbts.distance_to_sequence(sequences[0]) == 0.0
+
+    def test_distance_above(self):
+        box = MBTS([1.0, 1.0], [0.0, 0.0])
+        assert box.distance_to_sequence([3.0, 0.5]) == 2.0
+
+    def test_distance_below(self):
+        box = MBTS([1.0, 1.0], [0.0, 0.0])
+        assert box.distance_to_sequence([0.5, -1.5]) == 1.5
+
+    def test_lower_bounds_member_distance(self, sequences, mbts):
+        # Lemma 1: d(Q, B) <= d(Q, S) for any S inside B.
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            query = rng.normal(scale=2.0, size=12)
+            bound = mbts.distance_to_sequence(query)
+            for row in sequences:
+                assert bound <= chebyshev_distance(query, row) + 1e-12
+
+    def test_exceeds_matches_exact(self, mbts):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            query = rng.normal(scale=2.0, size=12)
+            epsilon = rng.uniform(0.0, 2.0)
+            exact = mbts.distance_to_sequence(query) > epsilon
+            assert mbts.distance_to_sequence_exceeds(query, epsilon) == exact
+
+    def test_functional_form(self, sequences, mbts):
+        query = sequences[0] + 5.0
+        assert sequence_mbts_distance(query, mbts) == mbts.distance_to_sequence(
+            query
+        )
+
+    def test_length_mismatch(self, mbts):
+        with pytest.raises(InvalidParameterError, match="length mismatch"):
+            mbts.distance_to_sequence(np.zeros(5))
+
+
+class TestEquation3:
+    def test_overlapping_gap_zero(self, sequences):
+        first = MBTS.from_sequences(sequences[:4])
+        second = MBTS.from_sequences(sequences[2:])
+        assert first.gap_to(second) == 0.0
+
+    def test_disjoint_gap(self):
+        first = MBTS([1.0, 1.0], [0.0, 0.0])
+        second = MBTS([5.0, 5.0], [3.0, 3.0])
+        assert first.gap_to(second) == 2.0
+        assert second.gap_to(first) == 2.0
+
+    def test_gap_lower_bounds_cross_distance(self):
+        # d(B1, B2) <= d(S1, S2) for any S1 in B1, S2 in B2.
+        rng = np.random.default_rng(3)
+        group_a = rng.normal(size=(4, 10))
+        group_b = rng.normal(size=(4, 10)) + 3.0
+        gap = mbts_gap_distance(
+            MBTS.from_sequences(group_a), MBTS.from_sequences(group_b)
+        )
+        for a in group_a:
+            for b in group_b:
+                assert gap <= chebyshev_distance(a, b) + 1e-12
+
+    def test_gap_to_self_zero(self, mbts):
+        assert mbts.gap_to(mbts) == 0.0
+
+
+class TestExpansion:
+    def test_expand_to_include(self, mbts):
+        outlier = mbts.upper + 2.0
+        mbts_copy = mbts.copy()
+        mbts_copy.expand_to_include(outlier)
+        assert mbts_copy.contains(outlier)
+
+    def test_expand_fast_equivalent(self, mbts):
+        outlier = np.asarray(mbts.upper + 2.0)
+        a, b = mbts.copy(), mbts.copy()
+        a.expand_to_include(outlier)
+        b.expand_fast(outlier)
+        assert a == b
+
+    def test_expand_with_mbts(self, sequences):
+        first = MBTS.from_sequences(sequences[:3])
+        second = MBTS.from_sequences(sequences[3:])
+        first.expand_to_include_mbts(second)
+        assert first == MBTS.from_sequences(sequences)
+
+    def test_union(self, sequences):
+        first = MBTS.from_sequences(sequences[:3])
+        second = MBTS.from_sequences(sequences[3:])
+        assert first.union(second) == MBTS.from_sequences(sequences)
+
+    def test_union_commutative(self, sequences):
+        first = MBTS.from_sequences(sequences[:2])
+        second = MBTS.from_sequences(sequences[2:])
+        assert first.union(second) == second.union(first)
+
+    def test_enlargement_zero_for_member(self, sequences, mbts):
+        assert mbts.enlargement_for_sequence(sequences[0]) == 0.0
+
+    def test_enlargement_matches_area_growth(self, mbts):
+        rng = np.random.default_rng(4)
+        outlier = rng.normal(scale=3.0, size=12)
+        grown = mbts.copy()
+        grown.expand_to_include(outlier)
+        assert np.isclose(
+            mbts.enlargement_for_sequence(outlier), grown.area() - mbts.area()
+        )
+
+    def test_enlargement_for_mbts_matches_area_growth(self, sequences, mbts):
+        other = MBTS.from_sequences(sequences[:2] + 3.0)
+        grown = mbts.union(other)
+        assert np.isclose(
+            mbts.enlargement_for_mbts(other), grown.area() - mbts.area()
+        )
+
+    def test_max_enlargement_equals_eq2(self, mbts):
+        rng = np.random.default_rng(5)
+        outlier = rng.normal(scale=3.0, size=12)
+        assert mbts.max_enlargement_for_sequence(outlier) == (
+            mbts.distance_to_sequence(outlier)
+        )

@@ -1,0 +1,119 @@
+"""Tests for normalization regimes and rolling statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import (
+    Normalization,
+    apply_global,
+    prepare_series,
+    rolling_mean,
+    rolling_std,
+    znormalize,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestNormalizationEnum:
+    def test_coerce_member(self):
+        assert Normalization.coerce(Normalization.NONE) is Normalization.NONE
+
+    @pytest.mark.parametrize("name", ["none", "global", "per_window"])
+    def test_coerce_string(self, name):
+        assert Normalization.coerce(name).value == name
+
+    def test_coerce_unknown(self):
+        with pytest.raises(InvalidParameterError, match="unknown normalization"):
+            Normalization.coerce("zscore")
+
+    def test_is_str_enum(self):
+        assert Normalization.GLOBAL == "global"
+
+
+class TestZnormalize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        z = znormalize(rng.normal(3.0, 2.5, size=500))
+        assert abs(z.mean()) < 1e-12
+        assert abs(z.std() - 1.0) < 1e-12
+
+    def test_constant_maps_to_zeros(self):
+        assert np.array_equal(znormalize([5.0] * 10), np.zeros(10))
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=100)
+        once = znormalize(values)
+        assert np.allclose(znormalize(once), once)
+
+    def test_affine_invariance(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=200)
+        assert np.allclose(znormalize(values), znormalize(3.0 * values + 7.0))
+
+
+class TestRollingStats:
+    def test_rolling_mean_matches_naive(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=120)
+        length = 7
+        expected = np.array(
+            [values[i : i + length].mean() for i in range(values.size - length + 1)]
+        )
+        assert np.allclose(rolling_mean(values, length), expected)
+
+    def test_rolling_std_matches_naive(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=120)
+        length = 9
+        expected = np.array(
+            [values[i : i + length].std() for i in range(values.size - length + 1)]
+        )
+        assert np.allclose(rolling_std(values, length), expected)
+
+    def test_rolling_mean_window_one(self):
+        values = np.array([3.0, 1.0, 4.0])
+        assert np.allclose(rolling_mean(values, 1), values)
+
+    def test_rolling_std_constant_window_floored(self):
+        values = np.concatenate([np.full(20, 2.0), np.random.default_rng(5).normal(size=20)])
+        stds = rolling_std(values, 10)
+        assert stds[0] == 1.0  # constant window uses the floor convention
+
+    def test_rolling_mean_full_window(self):
+        values = np.arange(10.0)
+        result = rolling_mean(values, 10)
+        assert result.shape == (1,)
+        assert np.isclose(result[0], 4.5)
+
+    def test_length_too_long_raises(self):
+        with pytest.raises(InvalidParameterError):
+            rolling_mean(np.arange(5.0), 6)
+
+    def test_no_catastrophic_cancellation(self):
+        # Large offsets stress the sum-of-squares identity.
+        rng = np.random.default_rng(6)
+        values = rng.normal(size=200) + 1e6
+        length = 11
+        expected = np.array(
+            [values[i : i + length].std() for i in range(values.size - length + 1)]
+        )
+        assert np.allclose(rolling_std(values, length), expected, atol=1e-4)
+
+
+class TestPrepareSeries:
+    def test_none_keeps_raw(self):
+        values = np.array([1.0, 5.0, 3.0])
+        assert np.array_equal(prepare_series(values, "none"), values)
+
+    def test_per_window_keeps_raw(self):
+        values = np.array([1.0, 5.0, 3.0])
+        assert np.array_equal(prepare_series(values, "per_window"), values)
+
+    def test_global_znormalizes(self):
+        values = np.array([1.0, 5.0, 3.0])
+        assert np.allclose(prepare_series(values, "global"), znormalize(values))
+
+    def test_apply_global_alias(self):
+        values = np.array([1.0, 5.0, 3.0])
+        assert np.allclose(apply_global(values), znormalize(values))

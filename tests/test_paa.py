@@ -1,0 +1,88 @@
+"""Tests for Piecewise Aggregate Approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.windows import WindowSource
+from repro.exceptions import InvalidParameterError
+from repro.indices.paa import paa_matrix, paa_transform, segment_bounds
+
+
+class TestSegmentBounds:
+    def test_divisible(self):
+        assert segment_bounds(100, 4).tolist() == [0, 25, 50, 75, 100]
+
+    def test_non_divisible_sizes_differ_by_at_most_one(self):
+        for length, segments in [(100, 7), (50, 3), (11, 4)]:
+            bounds = segment_bounds(length, segments)
+            sizes = np.diff(bounds)
+            assert sizes.sum() == length
+            assert sizes.max() - sizes.min() <= 1
+            assert np.all(sizes >= 1)
+
+    def test_single_segment(self):
+        assert segment_bounds(10, 1).tolist() == [0, 10]
+
+    def test_segments_equal_length(self):
+        assert segment_bounds(5, 5).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_too_many_segments(self):
+        with pytest.raises(InvalidParameterError):
+            segment_bounds(4, 5)
+
+
+class TestPaaTransform:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        sequence = rng.normal(size=60)
+        for segments in (1, 3, 6, 7):
+            bounds = segment_bounds(60, segments)
+            expected = [
+                sequence[bounds[j] : bounds[j + 1]].mean() for j in range(segments)
+            ]
+            assert np.allclose(paa_transform(sequence, segments), expected)
+
+    def test_constant_sequence(self):
+        assert np.allclose(paa_transform(np.full(12, 4.0), 3), 4.0)
+
+    def test_mean_preserved(self):
+        # With equal segment sizes, the PAA mean equals the sequence mean.
+        rng = np.random.default_rng(1)
+        sequence = rng.normal(size=40)
+        assert np.isclose(paa_transform(sequence, 4).mean(), sequence.mean())
+
+    def test_full_resolution(self):
+        sequence = np.array([1.0, 5.0, 2.0])
+        assert np.allclose(paa_transform(sequence, 3), sequence)
+
+
+class TestPaaMatrix:
+    @pytest.mark.parametrize("regime", ["none", "global", "per_window"])
+    def test_matches_per_window_transform(self, series_values, regime):
+        source = WindowSource(series_values[:300], 30, regime)
+        matrix = paa_matrix(source, 5)
+        assert matrix.shape == (source.count, 5)
+        for position in range(0, source.count, 17):
+            expected = paa_transform(source.window(position), 5)
+            assert np.allclose(matrix[position], expected)
+
+    def test_single_segment_equals_means(self, source_global):
+        matrix = paa_matrix(source_global, 1)
+        assert np.allclose(matrix[:, 0], source_global.means())
+
+    def test_segment_count_capped_by_length(self, series_values):
+        source = WindowSource(series_values[:100], 10, "none")
+        with pytest.raises(InvalidParameterError):
+            paa_matrix(source, 11)
+
+    def test_twin_bound_per_segment(self, source_global):
+        # Section 4.2: time-aligned segments of twins are twins, so PAA
+        # means of twins differ by at most epsilon per segment.
+        rng = np.random.default_rng(2)
+        matrix = paa_matrix(source_global, 5)
+        for _ in range(50):
+            a, b = rng.integers(0, source_global.count, size=2)
+            chebyshev = float(
+                np.max(np.abs(source_global.window(int(a)) - source_global.window(int(b))))
+            )
+            assert np.all(np.abs(matrix[a] - matrix[b]) <= chebyshev + 1e-12)

@@ -1,0 +1,109 @@
+"""Tests for the twin pair discovery extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import chebyshev_distance
+from repro.extensions.pairs import (
+    PairResult,
+    discover_twin_pairs,
+    self_twin_pairs,
+    sliding_max,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestSlidingMax:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=200)
+        for length in (1, 5, 13, 200):
+            expected = np.array(
+                [values[i : i + length].max() for i in range(values.size - length + 1)]
+            )
+            assert np.allclose(sliding_max(values, length), expected)
+
+    def test_window_one_is_identity(self):
+        values = np.array([3.0, 1.0, 2.0])
+        assert np.allclose(sliding_max(values, 1), values)
+
+    def test_too_long(self):
+        with pytest.raises(InvalidParameterError):
+            sliding_max(np.zeros(5), 6)
+
+
+class TestDiscoverTwinPairs:
+    def test_identical_series_all_positions(self):
+        series = np.sin(np.linspace(0, 10, 100))
+        pairs = discover_twin_pairs([series, series.copy()], 20, 0.0)
+        assert len(pairs) == 81
+        assert all(p.first == 0 and p.second == 1 for p in pairs)
+
+    def test_shifted_series_no_pairs(self):
+        series = np.zeros(50)
+        shifted = series + 10.0
+        assert discover_twin_pairs([series, shifted], 10, 1.0) == []
+
+    def test_distance_reported(self):
+        a = np.zeros(30)
+        b = np.concatenate([np.full(15, 0.2), np.full(15, 0.9)])
+        pairs = discover_twin_pairs([a, b], 10, 0.5)
+        for pair in pairs:
+            assert pair.distance <= 0.5
+            window_a = a[pair.position : pair.position + 10]
+            window_b = b[pair.position : pair.position + 10]
+            assert np.isclose(
+                pair.distance, chebyshev_distance(window_a, window_b)
+            )
+
+    def test_three_series_pair_indices(self):
+        base = np.linspace(0, 1, 40)
+        collection = [base, base + 0.05, base + 10.0]
+        pairs = discover_twin_pairs(collection, 10, 0.1)
+        pair_ids = {(p.first, p.second) for p in pairs}
+        assert pair_ids == {(0, 1)}
+
+    def test_requires_two_series(self):
+        with pytest.raises(InvalidParameterError, match="two series"):
+            discover_twin_pairs([np.zeros(20)], 5, 0.1)
+
+    def test_requires_equal_lengths(self):
+        with pytest.raises(InvalidParameterError, match="equal length"):
+            discover_twin_pairs([np.zeros(20), np.zeros(21)], 5, 0.1)
+
+    def test_length_exceeds_series(self):
+        with pytest.raises(InvalidParameterError):
+            discover_twin_pairs([np.zeros(5), np.zeros(5)], 6, 0.1)
+
+
+class TestSelfTwinPairs:
+    def test_finds_planted_motif(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=300) * 3.0
+        motif = np.sin(np.linspace(0, 4 * np.pi, 40)) * 5.0
+        series[20:60] = motif
+        series[200:240] = motif + rng.normal(0, 0.01, size=40)
+        pairs = self_twin_pairs(series, 40, 0.1, normalization="none")
+        found = {(p.first, p.second) for p in pairs}
+        assert (20, 200) in found
+
+    def test_excludes_trivial_overlaps(self):
+        series = np.sin(np.linspace(0, 20, 200))
+        pairs = self_twin_pairs(series, 30, 0.05, normalization="none")
+        for pair in pairs:
+            assert pair.second >= pair.first + 30
+
+    def test_limit(self):
+        series = np.sin(np.linspace(0, 40, 400))
+        pairs = self_twin_pairs(series, 20, 0.5, normalization="none", limit=7)
+        assert len(pairs) == 7
+
+    def test_reuses_supplied_index(self, source_global, tsindex_global):
+        pairs = self_twin_pairs(
+            None, source_global.length, 0.05, index=tsindex_global, limit=3
+        )
+        assert all(isinstance(p, PairResult) for p in pairs)
+
+    def test_index_length_mismatch(self, tsindex_global):
+        with pytest.raises(InvalidParameterError, match="length"):
+            self_twin_pairs(None, 10, 0.1, index=tsindex_global)

@@ -1,0 +1,125 @@
+"""Tests for the Chebyshev matrix profile / motif / discord extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.tsindex import TSIndex
+from repro.core.windows import WindowSource
+from repro.data import synthetic
+from repro.extensions.profile import ChebyshevProfile, chebyshev_matrix_profile
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def planted_series():
+    """Noise with a planted motif pair and a planted anomaly."""
+    rng = np.random.default_rng(0)
+    values = rng.normal(0.0, 1.0, size=1200)
+    motif = np.sin(np.linspace(0, 6 * np.pi, 60)) * 4.0
+    values[100:160] = motif
+    values[700:760] = motif + rng.normal(0.0, 0.01, size=60)
+    values[400:460] = rng.normal(0.0, 1.0, size=60) * 6.0  # anomaly burst
+    return values
+
+
+@pytest.fixture(scope="module")
+def profile(planted_series):
+    return chebyshev_matrix_profile(
+        planted_series, 60, normalization="none"
+    )
+
+
+def _naive_profile(values, length, exclusion):
+    view = np.lib.stride_tricks.sliding_window_view(values, length)
+    count = view.shape[0]
+    distances = np.empty(count)
+    neighbors = np.empty(count, dtype=int)
+    for p in range(count):
+        best, best_q = np.inf, -1
+        for q in range(count):
+            if abs(q - p) <= exclusion:
+                continue
+            d = float(np.max(np.abs(view[p] - view[q])))
+            if d < best:
+                best, best_q = d, q
+        distances[p] = best
+        neighbors[p] = best_q
+    return distances, neighbors
+
+
+class TestProfileCorrectness:
+    def test_matches_naive_on_small_series(self):
+        values = synthetic.noisy_sines(220, seed=2, noise_std=0.4)
+        length = 25
+        profile = chebyshev_matrix_profile(values, length, normalization="none")
+        naive_distances, _ = _naive_profile(values, length, profile.exclusion)
+        assert np.allclose(profile.distances, naive_distances)
+
+    def test_neighbors_respect_exclusion(self, profile):
+        offsets = np.abs(profile.neighbors - np.arange(len(profile)))
+        assert np.all(offsets > profile.exclusion)
+
+    def test_neighbor_distance_is_exact(self, profile, planted_series):
+        view = np.lib.stride_tricks.sliding_window_view(planted_series, 60)
+        for p in (0, 100, 400, 700, len(profile) - 1):
+            q = int(profile.neighbors[p])
+            assert np.isclose(
+                profile.distances[p], np.max(np.abs(view[p] - view[q]))
+            )
+
+    def test_symmetric_bound(self, profile):
+        # profile[p] <= distance(p, q) for the reverse direction too.
+        for p in (50, 300, 900):
+            q = int(profile.neighbors[p])
+            assert profile.distances[q] <= profile.distances[p] + 1e-12
+
+
+class TestMotifsAndDiscords:
+    def test_motif_is_planted_pair(self, profile):
+        position, neighbor, distance = profile.motif()
+        pair = sorted((position, neighbor))
+        assert abs(pair[0] - 100) < 5
+        assert abs(pair[1] - 700) < 5
+        assert distance < 0.1
+
+    def test_discord_is_planted_anomaly(self, profile):
+        (position, distance), = profile.discords(1)
+        assert 340 < position < 460
+        assert distance > profile.distances.mean()
+
+    def test_discords_non_overlapping(self, profile):
+        discords = profile.discords(3)
+        positions = [p for p, _ in discords]
+        for i, a in enumerate(positions):
+            for b in positions[i + 1 :]:
+                assert abs(a - b) >= profile.length
+
+    def test_discords_sorted_descending(self, profile):
+        distances = [d for _, d in profile.discords(3)]
+        assert distances == sorted(distances, reverse=True)
+
+
+class TestReuseAndValidation:
+    def test_reuses_index(self, planted_series):
+        source = WindowSource(planted_series, 60, "none")
+        index = TSIndex.from_source(source)
+        profile = chebyshev_matrix_profile(
+            planted_series, 60, index=index, normalization="none"
+        )
+        assert len(profile) == source.count
+
+    def test_index_length_mismatch(self, planted_series):
+        index = TSIndex.build(planted_series, 40, normalization="none")
+        with pytest.raises(InvalidParameterError, match="length"):
+            chebyshev_matrix_profile(planted_series, 60, index=index)
+
+    def test_series_too_short(self):
+        with pytest.raises(InvalidParameterError, match="too short"):
+            chebyshev_matrix_profile(np.arange(50.0), 30, normalization="none")
+
+    def test_custom_exclusion(self, planted_series):
+        profile = chebyshev_matrix_profile(
+            planted_series, 60, normalization="none", exclusion=100
+        )
+        offsets = np.abs(profile.neighbors - np.arange(len(profile)))
+        assert np.all(offsets > 100)

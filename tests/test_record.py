@@ -1,0 +1,67 @@
+"""Tests for the EXPERIMENTS.md record generator."""
+
+import pytest
+
+from repro.bench import experiments as exp
+from repro.bench import record
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return exp.ExperimentContext(dataset="insect", scale=0.02, query_count=2)
+
+
+class TestSections:
+    def test_figure_section_contains_series(self, ctx):
+        data = exp.run_figure4(
+            ctx, epsilons=(0.5, 1.0), methods=("sweepline", "tsindex")
+        )
+        section = record.figure_section(data)
+        assert "### fig4 / insect" in section
+        assert "tsindex (ms)" in section
+        assert "Shape checks:" in section
+
+    def test_claims_cover_all_experiments(self):
+        assert set(record.PAPER_CLAIMS) >= {
+            "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "intro",
+        }
+
+    def test_run_dataset_sections(self, ctx):
+        sections = record.run_dataset(ctx)
+        text = "\n".join(sections)
+        for marker in ("intro /", "fig4 /", "fig5 /", "fig6 /", "fig7 /", "fig8 /"):
+            assert marker in text
+
+    def test_generate_markdown_header(self, ctx):
+        document = record.generate_markdown([ctx])
+        assert document.startswith("## Measured results")
+        assert "Dataset `insect`" in document
+        assert "Paper claims referenced above" in document
+
+
+class TestCli:
+    def test_writes_file(self, tmp_path):
+        output = tmp_path / "record.md"
+        code = record.main(
+            [
+                "--output", str(output),
+                "--queries", "2",
+                "--scale-insect", "0.02",
+                "--scale-eeg", "0.003",
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "Dataset `insect`" in text
+        assert "Dataset `eeg`" in text
+
+    def test_stdout(self, capsys):
+        code = record.main(
+            [
+                "--queries", "1",
+                "--scale-insect", "0.02",
+                "--scale-eeg", "0.003",
+            ]
+        )
+        assert code == 0
+        assert "Measured results" in capsys.readouterr().out

@@ -1,0 +1,158 @@
+"""Tests for SAX alphabets and words (Section 4.2 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.indices.sax import SAXAlphabet, sax_word
+
+
+@pytest.fixture(scope="module")
+def gaussian():
+    return SAXAlphabet.gaussian(16)
+
+
+@pytest.fixture(scope="module")
+def empirical():
+    rng = np.random.default_rng(0)
+    return SAXAlphabet.empirical(rng.exponential(size=5000), 16)
+
+
+class TestConstruction:
+    def test_gaussian_breakpoints_symmetric(self, gaussian):
+        bp = gaussian.breakpoints(16)
+        assert np.allclose(bp, -bp[::-1])
+
+    def test_gaussian_median_zero(self, gaussian):
+        assert np.isclose(gaussian.breakpoints(2)[0], 0.0)
+
+    def test_max_bits(self, gaussian):
+        assert gaussian.max_bits == 4
+        assert gaussian.max_cardinality == 16
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidParameterError, match="power of two"):
+            SAXAlphabet.gaussian(12)
+
+    def test_rejects_wrong_breakpoint_count(self):
+        with pytest.raises(InvalidParameterError):
+            SAXAlphabet([0.0, 1.0], 4)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(InvalidParameterError, match="non-decreasing"):
+            SAXAlphabet([1.0, 0.0, 2.0], 4)
+
+    def test_empirical_quantiles(self, empirical):
+        # Median breakpoint should be near the distribution's median.
+        median = empirical.breakpoints(2)[0]
+        assert 0.5 < median < 0.9  # exponential(1) median = ln 2 ~ 0.693
+
+
+class TestNesting:
+    def test_breakpoints_nest(self, gaussian):
+        fine = gaussian.breakpoints(16)
+        for cardinality in (2, 4, 8):
+            coarse = gaussian.breakpoints(cardinality)
+            assert set(np.round(coarse, 12)) <= set(np.round(fine, 12))
+
+    def test_cardinality_above_max_rejected(self, gaussian):
+        with pytest.raises(InvalidParameterError):
+            gaussian.breakpoints(32)
+
+    def test_symbol_prefix_property(self, gaussian):
+        # Symbol at cardinality 2^b is the top b bits of the max-card
+        # symbol — the core iSAX invariant.
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=1000)
+        fine = gaussian.symbols(values, 16)
+        for bits in (1, 2, 3):
+            coarse = gaussian.symbols(values, 1 << bits)
+            assert np.array_equal(coarse, fine >> (4 - bits))
+
+    def test_coarsen_matches_direct(self, gaussian):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=500)
+        fine = gaussian.symbols(values, 16)
+        assert np.array_equal(
+            gaussian.coarsen(fine, 4, 2), gaussian.symbols(values, 4)
+        )
+
+    def test_coarsen_rejects_refinement(self, gaussian):
+        with pytest.raises(InvalidParameterError):
+            gaussian.coarsen([1], 2, 3)
+
+
+class TestSymbols:
+    def test_symbols_in_range(self, gaussian):
+        rng = np.random.default_rng(3)
+        for cardinality in (2, 4, 16):
+            symbols = gaussian.symbols(rng.normal(size=300), cardinality)
+            assert symbols.min() >= 0
+            assert symbols.max() < cardinality
+
+    def test_symbols_monotone_in_value(self, gaussian):
+        values = np.linspace(-3, 3, 100)
+        symbols = gaussian.symbols(values, 8)
+        assert np.all(np.diff(symbols) >= 0)
+
+    def test_symbol_range_contains_its_values(self, gaussian):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=1000)
+        for cardinality in (2, 8, 16):
+            symbols = gaussian.symbols(values, cardinality)
+            for symbol in np.unique(symbols):
+                low, high = gaussian.symbol_range(int(symbol), cardinality)
+                members = values[symbols == symbol]
+                assert np.all(members >= low)
+                assert np.all(members <= high)
+
+    def test_outer_ranges_unbounded(self, gaussian):
+        low, _ = gaussian.symbol_range(0, 8)
+        _, high = gaussian.symbol_range(7, 8)
+        assert low == -np.inf
+        assert high == np.inf
+
+    def test_symbol_range_validation(self, gaussian):
+        with pytest.raises(InvalidParameterError):
+            gaussian.symbol_range(8, 8)
+
+    def test_boundary_value_goes_to_upper_bin(self, gaussian):
+        boundary = gaussian.breakpoints(2)[0]
+        assert gaussian.symbols([boundary], 2)[0] == 1
+
+
+class TestWordRanges:
+    def test_mixed_cardinality(self, gaussian):
+        word = np.array([1, 3, 0])
+        bits = np.array([1, 2, 2])
+        low, high = gaussian.word_ranges(word, bits)
+        assert low.shape == (3,)
+        # Segment 0 at cardinality 2, symbol 1 -> [bp, inf).
+        assert np.isclose(low[0], gaussian.breakpoints(2)[0])
+        assert high[0] == np.inf
+        # Segment 2 at cardinality 4, symbol 0 -> (-inf, bp0].
+        assert low[2] == -np.inf
+
+    def test_zero_bits_unbounded(self, gaussian):
+        low, high = gaussian.word_ranges(np.array([0]), np.array([0]))
+        assert low[0] == -np.inf
+        assert high[0] == np.inf
+
+    def test_shape_mismatch(self, gaussian):
+        with pytest.raises(InvalidParameterError):
+            gaussian.word_ranges(np.array([0, 1]), np.array([1]))
+
+
+class TestSaxWord:
+    def test_sax_word_pipeline(self, gaussian):
+        rng = np.random.default_rng(5)
+        sequence = rng.normal(size=64)
+        word = sax_word(sequence, 8, gaussian, 16)
+        assert word.shape == (8,)
+        assert word.min() >= 0
+        assert word.max() < 16
+
+    def test_word_tracks_segment_levels(self, gaussian):
+        sequence = np.concatenate([np.full(32, -2.0), np.full(32, 2.0)])
+        word = sax_word(sequence, 2, gaussian, 4)
+        assert word[0] < word[1]

@@ -1,0 +1,105 @@
+"""Tests for the TimeSeries container."""
+
+import numpy as np
+import pytest
+
+from repro.core.series import TimeSeries
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def series():
+    return TimeSeries([1.0, 2.0, 3.0, 4.0, 5.0], name="demo")
+
+
+class TestConstruction:
+    def test_length(self, series):
+        assert len(series) == 5
+
+    def test_name(self, series):
+        assert series.name == "demo"
+
+    def test_values_read_only(self, series):
+        with pytest.raises(ValueError):
+            series.values[0] = 99.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            TimeSeries([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            TimeSeries([1.0, float("nan")])
+
+    def test_repr_contains_name_and_length(self, series):
+        assert "demo" in repr(series)
+        assert "5" in repr(series)
+
+    def test_asarray(self, series):
+        assert np.asarray(series).tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_asarray_dtype(self, series):
+        assert np.asarray(series, dtype=np.float32).dtype == np.float32
+
+
+class TestEquality:
+    def test_equal_values(self):
+        assert TimeSeries([1.0, 2.0]) == TimeSeries([1.0, 2.0])
+
+    def test_unequal_values(self):
+        assert TimeSeries([1.0, 2.0]) != TimeSeries([1.0, 3.0])
+
+    def test_other_type(self, series):
+        assert series.__eq__(42) is NotImplemented
+
+    def test_hashable(self, series):
+        assert isinstance(hash(series), int)
+
+
+class TestSubsequence:
+    def test_basic(self, series):
+        assert series.subsequence(1, 3).tolist() == [2.0, 3.0, 4.0]
+
+    def test_full(self, series):
+        assert series.subsequence(0, 5).tolist() == list(series)
+
+    def test_out_of_range(self, series):
+        with pytest.raises(InvalidParameterError):
+            series.subsequence(3, 3)
+
+    def test_negative_position(self, series):
+        with pytest.raises(InvalidParameterError):
+            series.subsequence(-1, 2)
+
+    def test_window_count(self, series):
+        assert series.window_count(2) == 4
+        assert series.window_count(5) == 1
+
+    def test_window_count_too_long(self, series):
+        with pytest.raises(InvalidParameterError):
+            series.window_count(6)
+
+
+class TestDerived:
+    def test_znormalized(self, series):
+        z = series.znormalized()
+        assert abs(z.mean()) < 1e-12
+        assert abs(z.std() - 1.0) < 1e-12
+
+    def test_znormalized_keeps_base_name(self, series):
+        assert "demo" in series.znormalized().name
+
+    def test_slice(self, series):
+        part = series.slice(1, 4)
+        assert list(part) == [2.0, 3.0, 4.0]
+
+    def test_slice_invalid(self, series):
+        with pytest.raises(InvalidParameterError):
+            series.slice(3, 3)
+
+    def test_describe_keys(self, series):
+        info = series.describe()
+        assert info["length"] == 5
+        assert info["min"] == 1.0
+        assert info["max"] == 5.0
+        assert np.isclose(info["mean"], 3.0)

@@ -1,0 +1,119 @@
+"""Tests for the appendable streaming TS-Index extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.tsindex import TSIndex, TSIndexParams
+from repro.data import synthetic
+from repro.extensions.streaming import StreamingTwinIndex
+from repro.indices.sweepline import SweeplineSearch
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def stream():
+    values = synthetic.random_walk(300, seed=1)
+    return StreamingTwinIndex(
+        values, length=40,
+        params=TSIndexParams(min_children=4, max_children=10),
+    )
+
+
+class TestConstruction:
+    def test_initial_window_count(self, stream):
+        assert stream.series_length == 300
+        assert stream.window_count == 261
+
+    def test_needs_enough_initial_values(self):
+        with pytest.raises(InvalidParameterError, match="at least"):
+            StreamingTwinIndex(np.arange(10.0), length=20)
+
+    def test_repr(self, stream):
+        assert "StreamingTwinIndex" in repr(stream)
+
+
+class TestAppend:
+    def test_single_reading(self, stream):
+        added = stream.append(1.5)
+        assert added == 1
+        assert stream.series_length == 301
+        assert stream.window_count == 262
+
+    def test_batch(self, stream):
+        added = stream.append(np.arange(25.0))
+        assert added == 25
+
+    def test_values_preserved(self, stream):
+        before = np.array(stream.values)
+        stream.append(np.arange(5.0))
+        assert np.array_equal(stream.values[:300], before)
+        assert np.array_equal(stream.values[300:], np.arange(5.0))
+
+    def test_growth_beyond_capacity(self):
+        stream = StreamingTwinIndex(np.zeros(64), length=16)
+        stream.append(np.random.default_rng(0).normal(size=5000))
+        assert stream.series_length == 5064
+        assert stream.window_count == 5049
+
+    def test_rejects_nan(self, stream):
+        with pytest.raises(InvalidParameterError, match="NaN"):
+            stream.append([1.0, float("nan")])
+
+    def test_rejects_empty(self, stream):
+        with pytest.raises(InvalidParameterError):
+            stream.append(np.array([]))
+
+
+class TestQueriesTrackTheStream:
+    def test_matches_batch_built_index(self):
+        rng = np.random.default_rng(3)
+        initial = rng.normal(size=200)
+        extra = rng.normal(size=150)
+        stream = StreamingTwinIndex(initial, length=30)
+        stream.append(extra)
+
+        full = np.concatenate([initial, extra])
+        reference = SweeplineSearch.build(full, 30, normalization="none")
+        query = full[310:340]
+        for epsilon in (0.0, 0.5, 1.5):
+            expected = reference.search(query, epsilon)
+            actual = stream.search(query, epsilon)
+            assert np.array_equal(actual.positions, expected.positions)
+
+    def test_new_pattern_becomes_findable(self, stream):
+        pattern = np.sin(np.linspace(0, 3, 40)) * 10.0
+        assert not stream.exists(pattern, epsilon=0.5)
+        stream.append(pattern)
+        assert stream.exists(pattern, epsilon=1e-9)
+        result = stream.search(pattern, epsilon=1e-9)
+        assert result.positions[-1] == stream.window_count - 1
+
+    def test_knn_sees_appended_windows(self, stream):
+        pattern = np.cos(np.linspace(0, 5, 40)) * 7.0
+        stream.append(pattern)
+        nearest = stream.knn(pattern, 1)
+        assert nearest.distances[0] < 1e-9
+
+    def test_incremental_equals_insert_order_tree(self):
+        # Appending one-by-one must yield the same answers as building
+        # a TSIndex over the final series by sequential insertion.
+        values = synthetic.noisy_sines(260, seed=9)
+        stream = StreamingTwinIndex(values[:100], length=25)
+        for value in values[100:]:
+            stream.append(float(value))
+        batch = TSIndex.build(values, 25, normalization="none")
+        query = values[200:225]
+        for epsilon in (0.0, 0.3):
+            assert np.array_equal(
+                stream.search(query, epsilon).positions,
+                batch.search(query, epsilon).positions,
+            )
+
+    def test_tree_invariants_after_appends(self, stream):
+        stream.append(synthetic.random_walk(500, seed=7))
+        index = stream.index
+        positions = []
+        for node, _depth in index.iter_nodes():
+            if node.is_leaf:
+                positions.extend(node.positions)
+        assert sorted(positions) == list(range(stream.window_count))

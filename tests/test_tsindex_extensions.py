@@ -1,0 +1,66 @@
+"""Tests for exists() and exclusion-zone k-NN on TS-Index."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError
+
+
+class TestExists:
+    def test_true_for_self(self, tsindex_global, query_of):
+        assert tsindex_global.exists(query_of(10), 0.0)
+
+    def test_false_for_far_query(self, tsindex_global):
+        from .conftest import LENGTH
+
+        assert not tsindex_global.exists(np.full(LENGTH, 100.0), 0.5)
+
+    def test_agrees_with_search(self, tsindex_global, query_of):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            position = int(rng.integers(0, 2000))
+            epsilon = float(rng.uniform(0.0, 1.0))
+            query = query_of(position)
+            assert tsindex_global.exists(query, epsilon) == (
+                len(tsindex_global.search(query, epsilon)) > 0
+            )
+
+    def test_negative_epsilon(self, tsindex_global, query_of):
+        with pytest.raises(InvalidParameterError):
+            tsindex_global.exists(query_of(0), -1.0)
+
+
+class TestKnnExclusion:
+    def test_excludes_self(self, tsindex_global, query_of):
+        query = query_of(500)
+        from .conftest import LENGTH
+
+        result = tsindex_global.knn(query, 1, exclude=(500 - LENGTH, 500 + LENGTH))
+        assert result.distances[0] > 0.0
+        position = int(result.positions[0])
+        assert position < 500 - LENGTH or position >= 500 + LENGTH
+
+    def test_matches_filtered_brute_force(self, tsindex_global, source_global, query_of):
+        query = query_of(321)
+        exclude = (300, 350)
+        result = tsindex_global.knn(query, 5, exclude=exclude)
+        block = source_global.window_block(0, source_global.count)
+        profile = np.max(np.abs(block - query), axis=1)
+        profile[exclude[0] : exclude[1]] = np.inf
+        assert np.allclose(np.sort(result.distances), np.sort(profile)[:5])
+
+    def test_empty_exclusion_is_noop(self, tsindex_global, query_of):
+        query = query_of(77)
+        plain = tsindex_global.knn(query, 3)
+        trivial = tsindex_global.knn(query, 3, exclude=(0, 0))
+        assert np.allclose(plain.distances, trivial.distances)
+
+    def test_exclude_everything_returns_nothing(self, tsindex_global, source_global, query_of):
+        result = tsindex_global.knn(
+            query_of(5), 3, exclude=(0, source_global.count)
+        )
+        assert len(result) == 0
+
+    def test_invalid_range(self, tsindex_global, query_of):
+        with pytest.raises(InvalidParameterError, match="start <= stop"):
+            tsindex_global.knn(query_of(0), 1, exclude=(10, 5))

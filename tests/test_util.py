@@ -1,0 +1,146 @@
+"""Tests for the internal helpers in repro._util."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_float_array,
+    as_position_array,
+    check_non_negative,
+    check_positive_int,
+    check_window_length,
+    intervals_to_positions,
+    iter_chunks,
+    positions_to_intervals,
+)
+from repro.exceptions import InvalidParameterError
+
+
+class TestAsFloatArray:
+    def test_accepts_list(self):
+        array = as_float_array([1, 2, 3])
+        assert array.dtype == np.float64
+        assert array.tolist() == [1.0, 2.0, 3.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError, match="empty"):
+            as_float_array([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidParameterError, match="one-dimensional"):
+            as_float_array([[1.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError, match="NaN"):
+            as_float_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(InvalidParameterError, match="NaN or infinite"):
+            as_float_array([1.0, np.inf])
+
+    def test_name_in_message(self):
+        with pytest.raises(InvalidParameterError, match="my_field"):
+            as_float_array([], name="my_field")
+
+    def test_contiguous(self):
+        strided = np.arange(10.0)[::2]
+        assert as_float_array(strided).flags["C_CONTIGUOUS"]
+
+
+class TestAsPositionArray:
+    def test_empty_allowed(self):
+        assert as_position_array([]).size == 0
+
+    def test_dtype(self):
+        assert as_position_array([1, 2]).dtype == np.int64
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidParameterError):
+            as_position_array([[1, 2]])
+
+
+class TestCheckPositiveInt:
+    def test_accepts_one(self):
+        assert check_positive_int(1, name="x") == 1
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), name="x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(0, name="x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(True, name="x")
+
+    def test_rejects_float(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive_int(2.5, name="x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, name="eps") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            check_non_negative(-0.1, name="eps")
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidParameterError):
+            check_non_negative(float("nan"), name="eps")
+
+    def test_rejects_string(self):
+        with pytest.raises(InvalidParameterError):
+            check_non_negative("abc", name="eps")
+
+
+class TestCheckWindowLength:
+    def test_exact_fit(self):
+        assert check_window_length(5, 5) == 5
+
+    def test_too_long(self):
+        with pytest.raises(InvalidParameterError, match="exceeds"):
+            check_window_length(6, 5)
+
+
+class TestIterChunks:
+    def test_exact_division(self):
+        assert list(iter_chunks(6, 3)) == [(0, 3), (3, 6)]
+
+    def test_remainder(self):
+        assert list(iter_chunks(7, 3)) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_empty(self):
+        assert list(iter_chunks(0, 3)) == []
+
+    def test_bad_chunk(self):
+        with pytest.raises(InvalidParameterError):
+            list(iter_chunks(5, 0))
+
+
+class TestIntervals:
+    def test_round_trip(self):
+        positions = [1, 2, 3, 7, 9, 10]
+        intervals = positions_to_intervals(positions)
+        assert intervals == [(1, 4), (7, 8), (9, 11)]
+        assert intervals_to_positions(intervals).tolist() == positions
+
+    def test_single_position(self):
+        assert positions_to_intervals([4]) == [(4, 5)]
+
+    def test_empty(self):
+        assert positions_to_intervals([]) == []
+        assert intervals_to_positions([]).size == 0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(InvalidParameterError):
+            positions_to_intervals([3, 1])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvalidParameterError):
+            positions_to_intervals([1, 1])
+
+    def test_fully_contiguous(self):
+        assert positions_to_intervals(list(range(100))) == [(0, 100)]

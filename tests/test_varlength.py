@@ -1,0 +1,105 @@
+"""Tests for variable-length twin queries over a TS-Index."""
+
+import numpy as np
+import pytest
+
+from repro.core.tsindex import TSIndex, TSIndexParams
+from repro.core.windows import WindowSource
+from repro.extensions.varlength import search_variable_length
+from repro.exceptions import (
+    InvalidParameterError,
+    UnsupportedNormalizationError,
+)
+
+from .conftest import LENGTH
+
+
+def _naive(values: np.ndarray, query: np.ndarray, epsilon: float):
+    m = query.size
+    return [
+        p
+        for p in range(values.size - m + 1)
+        if np.max(np.abs(values[p : p + m] - query)) <= epsilon
+    ]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m", [5, 17, 30, LENGTH])
+    def test_matches_naive_raw(self, series_values, m):
+        source = WindowSource(series_values[:900], LENGTH, "none")
+        index = TSIndex.from_source(
+            source, params=TSIndexParams(min_children=4, max_children=10)
+        )
+        query = np.asarray(series_values[200 : 200 + m])
+        for epsilon in (0.0, 0.2, 0.8):
+            result = search_variable_length(index, query, epsilon)
+            assert result.positions.tolist() == _naive(
+                source.values, query, epsilon
+            )
+
+    def test_full_length_agrees_with_search(self, tsindex_global, source_global, query_of):
+        query = query_of(123)
+        for epsilon in (0.0, 0.4):
+            expected = tsindex_global.search(query, epsilon)
+            actual = search_variable_length(tsindex_global, query, epsilon)
+            assert np.array_equal(actual.positions, expected.positions)
+
+    def test_tail_positions_found(self, series_values):
+        # A short query matching at a position with no full l-window.
+        values = np.asarray(series_values[:300])
+        source = WindowSource(values, 100, "none")
+        index = TSIndex.from_source(source)
+        m = 20
+        tail_position = values.size - m  # inside the unindexed tail
+        query = values[tail_position : tail_position + m]
+        result = search_variable_length(index, query, 0.0)
+        assert tail_position in result.positions
+
+    def test_global_regime_in_normalized_domain(self, tsindex_global, source_global):
+        m = 25
+        query = np.array(source_global.values[500 : 500 + m])
+        result = search_variable_length(tsindex_global, query, 0.0)
+        assert 500 in result.positions
+
+    def test_distances_reported(self, tsindex_global, source_global):
+        m = 30
+        query = np.array(source_global.values[100 : 100 + m])
+        result = search_variable_length(tsindex_global, query, 0.3)
+        for position, distance in result:
+            window = source_global.values[int(position) : int(position) + m]
+            assert np.isclose(distance, np.max(np.abs(window - query)))
+
+    def test_positions_sorted(self, tsindex_global, source_global):
+        query = np.array(source_global.values[40:70])
+        result = search_variable_length(tsindex_global, query, 0.5)
+        assert np.all(np.diff(result.positions) > 0)
+
+
+class TestPruning:
+    def test_prunes_nodes(self, tsindex_global, source_global):
+        query = np.array(source_global.values[900:940])
+        result = search_variable_length(tsindex_global, query, 0.1)
+        assert result.stats.nodes_pruned > 0
+
+    def test_shorter_query_weaker_pruning(self, tsindex_global, source_global):
+        # Fewer constrained timestamps -> no more pruning than full length.
+        short = np.array(source_global.values[900:910])
+        full = np.array(source_global.values[900 : 900 + LENGTH])
+        short_stats = search_variable_length(tsindex_global, short, 0.2).stats
+        full_stats = search_variable_length(tsindex_global, full, 0.2).stats
+        assert short_stats.candidates >= full_stats.candidates - LENGTH
+
+
+class TestValidation:
+    def test_rejects_per_window(self, source_per_window):
+        index = TSIndex.from_source(source_per_window)
+        with pytest.raises(UnsupportedNormalizationError):
+            search_variable_length(index, np.zeros(10), 0.1)
+
+    def test_rejects_too_long_query(self, tsindex_global):
+        with pytest.raises(InvalidParameterError, match="exceeds"):
+            search_variable_length(tsindex_global, np.zeros(LENGTH + 1), 0.1)
+
+    def test_rejects_negative_epsilon(self, tsindex_global):
+        with pytest.raises(InvalidParameterError):
+            search_variable_length(tsindex_global, np.zeros(10), -1.0)

@@ -1,0 +1,149 @@
+"""Tests for WindowSource across all three normalization regimes."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Normalization, znormalize
+from repro.core.series import TimeSeries
+from repro.core.windows import WindowSource
+from repro.exceptions import InvalidParameterError
+
+
+@pytest.fixture()
+def values():
+    return np.array([1.0, 3.0, 2.0, 5.0, 4.0, 6.0, 0.0, 2.0])
+
+
+class TestBasics:
+    def test_count(self, values):
+        source = WindowSource(values, 3, "none")
+        assert source.count == 6
+        assert len(source) == 6
+
+    def test_single_window(self, values):
+        source = WindowSource(values, len(values), "none")
+        assert source.count == 1
+
+    def test_length_property(self, values):
+        assert WindowSource(values, 4, "none").length == 4
+
+    def test_too_long_raises(self, values):
+        with pytest.raises(InvalidParameterError):
+            WindowSource(values, 9, "none")
+
+    def test_accepts_time_series(self, values):
+        source = WindowSource(TimeSeries(values, name="x"), 3, "none")
+        assert source.series.name == "x"
+
+    def test_repr(self, values):
+        assert "normalization='none'" in repr(WindowSource(values, 3, "none"))
+
+
+class TestRawWindows:
+    def test_window_matches_slice(self, values):
+        source = WindowSource(values, 3, "none")
+        for p in range(source.count):
+            assert np.array_equal(source.window(p), values[p : p + 3])
+
+    def test_windows_matrix(self, values):
+        source = WindowSource(values, 3, "none")
+        block = source.windows([0, 2, 5])
+        assert block.shape == (3, 3)
+        assert np.array_equal(block[1], values[2:5])
+
+    def test_window_block_is_view(self, values):
+        source = WindowSource(values, 3, "none")
+        block = source.window_block(1, 4)
+        assert block.shape == (3, 3)
+        assert np.shares_memory(block, source.values)
+
+    def test_windows_returns_copy(self, values):
+        source = WindowSource(values, 3, "none")
+        block = source.windows([0])
+        block[0, 0] = 999.0
+        assert source.window(0)[0] == values[0]
+
+    def test_position_out_of_range(self, values):
+        source = WindowSource(values, 3, "none")
+        with pytest.raises(InvalidParameterError):
+            source.window(6)
+        with pytest.raises(InvalidParameterError):
+            source.windows([0, 6])
+
+    def test_block_bounds(self, values):
+        source = WindowSource(values, 3, "none")
+        with pytest.raises(InvalidParameterError):
+            source.window_block(2, 8)
+
+    def test_empty_windows_request(self, values):
+        source = WindowSource(values, 3, "none")
+        assert source.windows([]).shape == (0, 3)
+
+
+class TestGlobalRegime:
+    def test_buffer_is_znormalized(self, values):
+        source = WindowSource(values, 3, "global")
+        assert np.allclose(source.values, znormalize(values))
+
+    def test_window_from_normalized_buffer(self, values):
+        source = WindowSource(values, 3, "global")
+        z = znormalize(values)
+        assert np.allclose(source.window(2), z[2:5])
+
+    def test_means_match_normalized_buffer(self, values):
+        source = WindowSource(values, 3, "global")
+        z = znormalize(values)
+        expected = [z[p : p + 3].mean() for p in range(source.count)]
+        assert np.allclose(source.means(), expected)
+
+
+class TestPerWindowRegime:
+    def test_each_window_znormalized(self, values):
+        source = WindowSource(values, 3, "per_window")
+        for p in range(source.count):
+            window = source.window(p)
+            assert abs(window.mean()) < 1e-9
+            assert abs(window.std() - 1.0) < 1e-9 or np.allclose(window, 0.0)
+
+    def test_windows_matrix_matches_scalar(self, values):
+        source = WindowSource(values, 3, "per_window")
+        block = source.windows(np.arange(source.count))
+        for p in range(source.count):
+            assert np.allclose(block[p], source.window(p))
+
+    def test_window_block_matches_scalar(self, values):
+        source = WindowSource(values, 3, "per_window")
+        block = source.window_block(1, 5)
+        for offset, p in enumerate(range(1, 5)):
+            assert np.allclose(block[offset], source.window(p))
+
+    def test_constant_window_is_zeros(self):
+        values = np.concatenate([np.full(5, 3.0), [1.0, 2.0]])
+        source = WindowSource(values, 5, "per_window")
+        assert np.allclose(source.window(0), 0.0)
+
+    def test_means_all_zero(self, values):
+        source = WindowSource(values, 3, "per_window")
+        assert np.allclose(source.means(), 0.0)
+
+
+class TestPrepareQuery:
+    def test_none_passthrough(self, values):
+        source = WindowSource(values, 3, "none")
+        query = np.array([9.0, 8.0, 7.0])
+        assert np.array_equal(source.prepare_query(query), query)
+
+    def test_per_window_znormalizes(self, values):
+        source = WindowSource(values, 3, "per_window")
+        query = np.array([9.0, 8.0, 7.0])
+        assert np.allclose(source.prepare_query(query), znormalize(query))
+
+    def test_wrong_length_raises(self, values):
+        source = WindowSource(values, 3, "none")
+        with pytest.raises(InvalidParameterError, match="query length"):
+            source.prepare_query(np.array([1.0, 2.0]))
+
+    def test_means_match_naive(self, values):
+        source = WindowSource(values, 3, "none")
+        expected = [values[p : p + 3].mean() for p in range(source.count)]
+        assert np.allclose(source.means(), expected)
