@@ -1,0 +1,124 @@
+"""Engine throughput: queries/sec vs shard count, and cache hit-rate.
+
+The serving-layer benches (not paper experiments):
+
+* batch throughput of :class:`repro.engine.ShardedTSIndex` across shard
+  counts, with query-level fan-out on a thread pool — the configuration
+  :meth:`QueryEngine.batch` serves;
+* shard-parallel single-query latency across shard counts;
+* :class:`repro.engine.QueryEngine` end-to-end with a repeated workload,
+  reporting the cache hit rate alongside throughput.
+
+Each bench records queries/sec (and hit rate where applicable) in
+``benchmark.extra_info`` so the recorded JSON carries the serving
+metrics, matching how the other suites record matches/recall.
+"""
+
+import concurrent.futures
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import DEFAULT_LENGTH
+from repro.engine import QueryEngine, ShardedTSIndex
+
+from conftest import default_epsilon, get_context, get_workload
+
+DATASET = "insect"
+NORMALIZATION = "global"
+
+#: Shard counts swept by the throughput benches (1 == monolithic).
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Workload repetitions for the cache bench (first pass misses, the
+#: rest hit).
+CACHE_ROUNDS = 4
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with concurrent.futures.ThreadPoolExecutor(max_workers=8) as executor:
+        yield executor
+
+
+def _sharded(shards: int) -> ShardedTSIndex:
+    context = get_context(DATASET)
+    return ShardedTSIndex.build(
+        np.asarray(context.series),
+        DEFAULT_LENGTH,
+        normalization=NORMALIZATION,
+        shards=shards,
+    )
+
+
+@pytest.mark.benchmark(max_time=1.0, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_engine_batch_throughput(benchmark, pool, shards):
+    """Batch queries/sec with query-level fan-out, per shard count."""
+    engine = _sharded(shards)
+    workload = get_workload(DATASET, DEFAULT_LENGTH, NORMALIZATION)
+    epsilon = default_epsilon(DATASET, NORMALIZATION)
+    queries = list(workload)
+    benchmark.group = "engine-batch-throughput"
+
+    def run():
+        return engine.search_batch(queries, epsilon, executor=pool)
+
+    batch = benchmark(run)
+    seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["queries_per_sec"] = round(len(queries) / seconds, 1)
+    benchmark.extra_info["matches"] = batch.total_matches
+    assert len(batch) == len(queries)
+
+
+@pytest.mark.benchmark(max_time=1.0, min_rounds=2, warmup=False)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_engine_single_query_shard_fanout(benchmark, pool, shards):
+    """Single-query latency with shard-level fan-out, per shard count."""
+    engine = _sharded(shards)
+    workload = get_workload(DATASET, DEFAULT_LENGTH, NORMALIZATION)
+    epsilon = default_epsilon(DATASET, NORMALIZATION)
+    query = workload.queries[0]
+    benchmark.group = "engine-single-query"
+
+    result = benchmark(lambda: engine.search(query, epsilon, executor=pool))
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["matches"] = len(result)
+
+
+@pytest.mark.benchmark(max_time=2.0, min_rounds=1, warmup=False)
+@pytest.mark.parametrize("use_cache", [True, False], ids=["cached", "uncached"])
+def test_engine_cache_hit_rate(benchmark, use_cache):
+    """Repeated workload through QueryEngine; records the hit rate."""
+    context = get_context(DATASET)
+    workload = get_workload(DATASET, DEFAULT_LENGTH, NORMALIZATION)
+    epsilon = default_epsilon(DATASET, NORMALIZATION)
+    queries = list(workload)
+    benchmark.group = "engine-cache"
+
+    def run():
+        with QueryEngine(cache_capacity=4 * len(queries)) as engine:
+            engine.build(
+                DATASET,
+                np.asarray(context.series),
+                DEFAULT_LENGTH,
+                normalization=NORMALIZATION,
+                shards=4,
+            )
+            total = 0
+            for _ in range(CACHE_ROUNDS):
+                total += engine.batch(
+                    DATASET, queries, epsilon, use_cache=use_cache
+                ).total_matches
+            return engine.stats()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    served = CACHE_ROUNDS * len(queries)
+    benchmark.extra_info["queries_served"] = served
+    benchmark.extra_info["cache_hit_rate"] = round(stats.cache.hit_rate, 3)
+    if use_cache:
+        # Every repeat after the first pass must hit.
+        assert stats.cache.hits >= (CACHE_ROUNDS - 1) * len(queries)
+    else:
+        assert stats.cache.lookups == 0

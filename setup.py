@@ -1,0 +1,9 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so legacy tooling (``python setup.py --version``, editable
+installs on environments without the ``wheel`` package) keeps working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -31,6 +31,22 @@ True
 >>> result = twin_search(series, series[250:350], epsilon=0.4)
 >>> 250 in result.positions
 True
+
+Beyond the paper, :mod:`repro.engine` turns the library into a
+query-serving engine: :class:`~repro.engine.ShardedTSIndex` partitions
+a series into per-shard TS-Indexes (parallel build, fan-out queries,
+results exactly equal to a monolithic index),
+:class:`~repro.engine.QueryCache` memoizes repeated queries, and
+:class:`~repro.engine.QueryEngine` composes both with a named-index
+registry behind a thread pool for concurrent callers:
+
+>>> from repro import QueryEngine
+>>> with QueryEngine() as serving:
+...     _ = serving.build("demo", series, length=100, shards=2,
+...                       normalization="none")
+...     result = serving.query("demo", series[250:350], epsilon=0.4)
+>>> 250 in result.positions
+True
 """
 
 from __future__ import annotations
@@ -54,6 +70,14 @@ from .core import (
 )
 from .core.bulkload import bulk_load, bulk_load_source
 from .data import load_dataset, load_series
+from .engine import (
+    CacheStats,
+    EngineStats,
+    IndexRegistry,
+    QueryCache,
+    QueryEngine,
+    ShardedTSIndex,
+)
 from .exceptions import (
     IncompatibleQueryError,
     IndexNotBuiltError,
@@ -79,20 +103,26 @@ __all__ = [
     "MBTS",
     "BatchResult",
     "BuildStats",
+    "CacheStats",
     "CollectionIndex",
     "CollectionMatch",
+    "EngineStats",
     "ISAXIndex",
     "ISAXParams",
     "IncompatibleQueryError",
     "IndexNotBuiltError",
+    "IndexRegistry",
     "InvalidParameterError",
     "KVIndex",
     "KVIndexParams",
     "Normalization",
+    "QueryCache",
+    "QueryEngine",
     "QueryStats",
     "ReproError",
     "SearchResult",
     "SerializationError",
+    "ShardedTSIndex",
     "SubsequenceIndex",
     "SweeplineSearch",
     "TSIndex",

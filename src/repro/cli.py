@@ -1,4 +1,4 @@
-"""Command-line experiment driver.
+"""Command-line experiment driver and engine front end.
 
 Regenerate any table or figure of the paper::
 
@@ -13,6 +13,15 @@ Defaults follow the paper (100 queries of length 100); ``--scale-eeg``
 truncates the 1.8M-point EEG surrogate so tree construction stays
 tractable in pure Python (DESIGN.md §4 explains why this preserves the
 comparisons).
+
+Drive the sharded query engine (:mod:`repro.engine`)::
+
+    python -m repro.cli engine build --output idx.npz --dataset insect \
+        --scale 0.1 --length 100 --shards 4
+    python -m repro.cli engine query --index idx.npz --position 250 \
+        --epsilon 0.5
+    python -m repro.cli engine query --index idx.npz --position 250 --knn 5
+    python -m repro.cli engine stats --index idx.npz
 """
 
 from __future__ import annotations
@@ -28,16 +37,28 @@ DEFAULT_SCALE_INSECT = 1.0
 DEFAULT_SCALE_EEG = 0.1
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8")
-COMMANDS = ("table1", "table2", "intro", "all") + FIGURES
+COMMANDS = ("table1", "table2", "intro", "all") + FIGURES + ("engine",)
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests)."""
+    """The CLI argument parser (exposed for tests).
+
+    The ``engine`` command is dispatched to its own parser (see
+    :func:`build_engine_parser`) before this one runs; it is listed in
+    the choices so help and error messages stay complete.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-twin",
-        description="Regenerate the paper's tables and figures.",
+        description="Regenerate the paper's tables and figures, or "
+        "drive the sharded query engine.",
+        epilog="engine subcommands: `engine build|query|stats` "
+        "(see `repro-twin engine --help`).",
     )
-    parser.add_argument("command", choices=COMMANDS, help="experiment to run")
+    parser.add_argument(
+        "command",
+        choices=COMMANDS,
+        help="experiment to run, or `engine` for the serving engine",
+    )
     parser.add_argument(
         "--dataset",
         choices=("insect", "eeg", "both"),
@@ -151,9 +172,231 @@ def _run_command(command: str, contexts) -> None:
             print(format_table(report["rows"]))
 
 
+# ----------------------------------------------------------------------
+# Engine subcommands (repro.engine)
+# ----------------------------------------------------------------------
+def build_engine_parser() -> argparse.ArgumentParser:
+    """Parser for the ``engine build|query|stats`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-twin engine",
+        description="Build, query and inspect sharded twin-query engines.",
+    )
+    commands = parser.add_subparsers(dest="engine_command", required=True)
+
+    build = commands.add_parser(
+        "build", help="build a sharded TS-Index and save it to disk"
+    )
+    build.add_argument("--output", required=True, help="archive path (.npz)")
+    source = build.add_mutually_exclusive_group()
+    source.add_argument(
+        "--dataset",
+        choices=("insect", "eeg"),
+        default="insect",
+        help="surrogate dataset to index (default: insect)",
+    )
+    source.add_argument("--input", help="CSV/text file with one series column")
+    build.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="fraction of the dataset to index (default: 0.1)",
+    )
+    build.add_argument(
+        "--length", type=int, default=100, help="window length (default: 100)"
+    )
+    build.add_argument(
+        "--normalization",
+        choices=("none", "global", "per_window"),
+        default="global",
+        help="value-preparation regime (default: global)",
+    )
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: auto from core count)",
+    )
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="build thread count (default: one per shard)",
+    )
+
+    query = commands.add_parser(
+        "query", help="run a twin or k-NN query against a saved engine"
+    )
+    query.add_argument("--index", required=True, help="archive built by `engine build`")
+    what = query.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--position",
+        type=int,
+        help="use the indexed window at this position as the query",
+    )
+    what.add_argument(
+        "--query-file",
+        help="CSV/text file with the query values in the raw value "
+        "domain (mapped into the index's domain automatically)",
+    )
+    query.add_argument(
+        "--epsilon", type=float, default=None, help="twin threshold ε"
+    )
+    query.add_argument(
+        "--knn", type=int, default=None, help="run a k-NN query instead of ε"
+    )
+    query.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="matches to print (default: 10; totals always shown)",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="per-shard structural stats of a saved engine"
+    )
+    stats.add_argument("--index", required=True, help="archive built by `engine build`")
+    return parser
+
+
+def _engine_series(args):
+    if args.input:
+        from .data import load_series
+
+        return load_series(args.input)
+    from .data import load_dataset
+
+    return load_dataset(args.dataset, scale=args.scale)
+
+
+def _engine_load(path):
+    from .engine import ShardedTSIndex
+    from .persistence import load_index
+
+    engine = load_index(path)
+    if not isinstance(engine, ShardedTSIndex):
+        raise SystemExit(
+            f"{path}: not a sharded engine archive (got "
+            f"{type(engine).__name__}; build one with `engine build`)"
+        )
+    return engine
+
+
+def _engine_query_values(args, engine):
+    if args.position is not None:
+        block = engine.source.window_block(args.position, args.position + 1)
+        import numpy as np
+
+        return np.array(block[0])
+    from .data import load_series
+
+    values = load_series(args.query_file).values
+    source = engine.source
+    if source.normalization.value == "global":
+        # File queries arrive in the raw value domain, but under GLOBAL
+        # the index holds windows of the z-normalized series and
+        # ``prepare_query`` expects normalized-domain input. Map the
+        # query with the *series'* moments — elementwise, so a raw
+        # slice of the original series matches its window exactly.
+        import numpy as np
+
+        from .core.normalization import STD_FLOOR
+
+        raw = np.asarray(source.series.values)
+        std = float(raw.std())
+        if std < STD_FLOOR:
+            return np.zeros_like(values)
+        return (values - raw.mean()) / std
+    return values
+
+
+def run_engine(argv) -> int:
+    """Execute one ``engine`` subcommand; returns an exit code.
+
+    Library errors (bad parameters, unreadable archives, mismatched
+    queries) surface as clean one-line messages instead of tracebacks.
+    """
+    from .exceptions import ReproError
+
+    try:
+        return _run_engine(argv)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _run_engine(argv) -> int:
+    args = build_engine_parser().parse_args(argv)
+
+    if args.engine_command == "build":
+        from .engine import ShardedTSIndex
+        from .persistence import save_index
+
+        series = _engine_series(args)
+        engine = ShardedTSIndex.build(
+            series,
+            args.length,
+            normalization=args.normalization,
+            shards=args.shards,
+            max_workers=args.workers,
+        )
+        save_index(engine, args.output)
+        build = engine.build_stats
+        print(
+            f"built {engine!r} in {build.seconds:.2f}s "
+            f"(critical path; {build.nodes} nodes, {build.splits} splits)"
+        )
+        print(f"saved to {args.output}")
+        return 0
+
+    if args.engine_command == "query":
+        if (args.epsilon is None) == (args.knn is None):
+            raise SystemExit("pass exactly one of --epsilon or --knn")
+        engine = _engine_load(args.index)
+        query = _engine_query_values(args, engine)
+        if args.knn is not None:
+            result = engine.knn(query, args.knn)
+            print(f"{len(result)} nearest windows:")
+        else:
+            result = engine.search(query, args.epsilon)
+            print(f"{len(result)} twins within epsilon={args.epsilon:g}:")
+        rows = [
+            {"position": position, "distance": round(distance, 6)}
+            for position, distance in list(result)[: max(0, args.limit)]
+        ]
+        if rows:
+            print(format_table(rows))
+        if len(result) > len(rows):
+            print(f"... and {len(result) - len(rows)} more")
+        stats = result.stats
+        print(
+            f"stats: candidates={stats.candidates} "
+            f"nodes_visited={stats.nodes_visited} "
+            f"nodes_pruned={stats.nodes_pruned} "
+            f"leaves_accessed={stats.leaves_accessed}"
+        )
+        return 0
+
+    engine = _engine_load(args.index)
+    print(f"{engine!r} normalization={engine.source.normalization.value}")
+    print(format_table(engine.shard_stats()))
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "engine":
+        return run_engine(argv[1:])
     args = build_parser().parse_args(argv)
+    if args.command == "engine":
+        # Reached only when "engine" was not the first argument (main
+        # dispatches argv[0] == "engine" before this parser runs).
+        raise SystemExit(
+            "`engine` must be the first argument: "
+            "repro-twin engine build|query|stats (see "
+            "`repro-twin engine --help`)"
+        )
     contexts = _contexts(args)
     if args.command == "all":
         for command in ("table1", "table2", "intro") + FIGURES:

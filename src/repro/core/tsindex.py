@@ -628,6 +628,11 @@ class TSIndex:
         NN argument carries over because Eq. 2 lower-bounds the exact
         distance of every window under the node (Lemma 1).
 
+        Ties at the k-th distance are broken by smallest position, so
+        the answer is a deterministic function of the data — and agrees
+        exactly with :class:`repro.engine.ShardedTSIndex`'s shard merge,
+        which ranks by ``(distance, position)``.
+
         ``exclude`` removes the half-open position range ``[a, b)`` from
         consideration — the *exclusion zone* used by matrix-profile
         style self joins to skip trivial matches of a query with its own
@@ -649,7 +654,9 @@ class TSIndex:
         frontier = [
             (self._root.mbts.distance_to_sequence(query), next(counter), self._root)
         ]
-        # Max-heap of the best k (distance negated).
+        # Max-heap of the best k ((distance, position) both negated, so
+        # the root is the lexicographically worst entry and ties at the
+        # k-th distance resolve to the smallest positions).
         best: list[tuple[float, int]] = []
 
         def kth() -> float:
@@ -673,11 +680,12 @@ class TSIndex:
                 profile = np.max(np.abs(block - query), axis=1)
                 stats.candidates += positions.size
                 stats.verified += positions.size
-                for distance, position in zip(profile, positions):
+                for distance, position in zip(profile.tolist(), positions.tolist()):
+                    entry = (-float(distance), -int(position))
                     if len(best) < k:
-                        heapq.heappush(best, (-float(distance), int(position)))
-                    elif distance < -best[0][0]:
-                        heapq.heapreplace(best, (-float(distance), int(position)))
+                        heapq.heappush(best, entry)
+                    elif entry > best[0]:
+                        heapq.heapreplace(best, entry)
             else:
                 for child in node.children:
                     child_bound = child.mbts.distance_to_sequence(query)
@@ -688,7 +696,7 @@ class TSIndex:
                     else:
                         stats.nodes_pruned += 1
 
-        ranked = sorted((-negated, position) for negated, position in best)
+        ranked = sorted((-negated, -negated_position) for negated, negated_position in best)
         stats.matches = len(ranked)
         return SearchResult(
             positions=np.asarray([p for _, p in ranked], dtype=POSITION_DTYPE),

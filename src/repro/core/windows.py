@@ -167,6 +167,56 @@ class WindowSource:
         return block
 
     # ------------------------------------------------------------------
+    # Sharding support (repro.engine)
+    # ------------------------------------------------------------------
+    def shard(self, start: int, stop: int) -> "WindowSource":
+        """A window source over the position range ``[start, stop)``.
+
+        The shard covers the value chunk ``[start, stop + length - 1)``,
+        i.e. consecutive shards overlap by ``length - 1`` values so no
+        window is lost at a shard boundary. Window ``p`` of the shard is
+        **bitwise identical** to window ``start + p`` of this source:
+
+        * the shard aliases this source's *prepared* value buffer, so
+          under ``GLOBAL`` it reuses the whole-series z-normalization
+          instead of re-normalizing the chunk with chunk-local moments;
+        * under ``PER_WINDOW`` the shard aliases slices of this source's
+          rolling statistics, so window scaling carries over exactly
+          (recomputing them over the chunk would perturb the cumulative
+          sums by float rounding).
+
+        This exactness is what lets :class:`repro.engine.ShardedTSIndex`
+        return byte-identical results to a monolithic index. Everything
+        is a zero-copy NumPy view; no values are duplicated.
+        """
+        if not (
+            isinstance(start, (int, np.integer))
+            and isinstance(stop, (int, np.integer))
+        ):
+            raise InvalidParameterError(
+                f"shard bounds must be integers, got [{start!r}, {stop!r})"
+            )
+        if not 0 <= start < stop <= self.count:
+            raise InvalidParameterError(
+                f"invalid shard [{start}, {stop}) for {self.count} windows"
+            )
+        shard = object.__new__(WindowSource)
+        hi = int(stop) + self._length - 1
+        name = self._series.name
+        shard._series = TimeSeries(
+            self._series.values[start:hi],
+            name=f"{name}[{start}:{hi}]" if name else f"[{start}:{hi}]",
+            copy=False,
+        )
+        shard._values = self._values[start:hi]
+        shard._length = self._length
+        shard._normalization = self._normalization
+        shard._view = self._view[start:stop]
+        shard._means = None if self._means is None else self._means[start:stop]
+        shard._stds = None if self._stds is None else self._stds[start:stop]
+        return shard
+
+    # ------------------------------------------------------------------
     # Aggregates used by the indices
     # ------------------------------------------------------------------
     def means(self) -> np.ndarray:

@@ -1,0 +1,38 @@
+"""repro.engine — sharded, cached, concurrent twin-query serving.
+
+The paper's library answers one query against one in-memory index; this
+subsystem turns that into a query-serving engine:
+
+* :class:`ShardedTSIndex` — partitions a series into overlapping chunks
+  (overlap ``length - 1``, so no window is lost), builds one TS-Index
+  per shard in parallel, and fans ``search`` / ``knn`` /
+  ``search_batch`` out across the shards with exact result merging;
+* :class:`QueryCache` — a thread-safe LRU over (query digest, ε,
+  options) with hit/miss/eviction counters;
+* :class:`IndexRegistry` — a named-index owner with build / evict /
+  persist (via :mod:`repro.persistence`) and per-index stats;
+* :class:`QueryEngine` — the front door composing all three behind a
+  thread pool, safe for concurrent callers.
+
+Sharded execution is *exactly* equivalent to a monolithic index — the
+shard window sources are zero-copy views of the monolithic one (see
+:meth:`repro.core.windows.WindowSource.shard`), enforced by the
+equivalence property tests.
+"""
+
+from .cache import CacheStats, QueryCache, query_key
+from .executor import EngineStats, QueryEngine
+from .registry import IndexRegistry
+from .sharding import ShardedTSIndex, default_shard_count, shard_spans
+
+__all__ = [
+    "CacheStats",
+    "EngineStats",
+    "IndexRegistry",
+    "QueryCache",
+    "QueryEngine",
+    "ShardedTSIndex",
+    "default_shard_count",
+    "query_key",
+    "shard_spans",
+]

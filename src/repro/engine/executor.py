@@ -1,0 +1,279 @@
+"""The query-serving front door: registry + cache + concurrent execution.
+
+:class:`QueryEngine` is what a server embeds. It composes
+
+* an :class:`~repro.engine.registry.IndexRegistry` owning the built
+  sharded indexes,
+* one :class:`~repro.engine.cache.QueryCache` turning repeated queries
+  into O(1) hits, and
+* a shared :class:`~concurrent.futures.ThreadPoolExecutor` that fans
+  shard work (single queries) or query work (batches) out across cores,
+
+behind a small surface — ``build`` / ``query`` / ``knn`` / ``batch`` /
+``stats`` — that is safe to call from many threads at once. Per-query
+structural counters stay exact and deterministic; the engine aggregates
+them across calls into :class:`EngineStats`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import threading
+
+from ..core.batch import BatchResult
+from ..core.stats import QueryStats, SearchResult
+from .cache import CacheStats, QueryCache, query_key
+from .registry import IndexRegistry
+from .sharding import ShardedTSIndex
+
+
+@dataclasses.dataclass
+class EngineStats:
+    """A snapshot of one engine's serving counters."""
+
+    #: queries answered (cache hits included).
+    queries: int
+    #: structural counters aggregated over every *executed* query
+    #: (cache hits execute nothing and add nothing here).
+    query_stats: QueryStats
+    #: cache counters at snapshot time.
+    cache: CacheStats
+    #: per-index structural stats rows.
+    indexes: list[dict]
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for report tables and the CLI."""
+        return {
+            "queries": self.queries,
+            "query_stats": self.query_stats.as_dict(),
+            "cache": self.cache.as_dict(),
+            "indexes": self.indexes,
+        }
+
+
+class QueryEngine:
+    """Concurrent, cached twin-query serving over named sharded indexes.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.engine import QueryEngine
+    >>> series = np.cumsum(np.random.default_rng(1).normal(size=3000))
+    >>> with QueryEngine(cache_capacity=32) as engine:
+    ...     _ = engine.build("demo", series, length=50,
+    ...                      shards=2, normalization="none")
+    ...     first = engine.query("demo", series[100:150], epsilon=0.25)
+    ...     again = engine.query("demo", series[100:150], epsilon=0.25)
+    >>> again is first  # served from the cache
+    True
+    """
+
+    def __init__(
+        self,
+        registry: IndexRegistry | None = None,
+        *,
+        cache_capacity: int = 256,
+        max_workers: int | None = None,
+    ):
+        self._registry = registry if registry is not None else IndexRegistry()
+        self._cache = QueryCache(cache_capacity)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-engine"
+        )
+        self._lock = threading.Lock()
+        self._queries = 0
+        self._query_stats = QueryStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def registry(self) -> IndexRegistry:
+        """The registry owning this engine's indexes."""
+        return self._registry
+
+    @property
+    def cache(self) -> QueryCache:
+        """The shared result cache."""
+        return self._cache
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent); indexes stay usable
+        through the registry."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Index management (delegates to the registry)
+    # ------------------------------------------------------------------
+    def build(self, name: str, series, length: int, **build_options) -> ShardedTSIndex:
+        """Build and register a sharded index (see
+        :meth:`IndexRegistry.build`).
+
+        Rebuilding an existing name (``overwrite=True``) also drops the
+        cache, so the new index can never serve the old one's results.
+        Mutating :attr:`registry` directly bypasses this invalidation —
+        route index changes through the engine.
+        """
+        index = self._registry.build(name, series, length, **build_options)
+        if build_options.get("overwrite"):
+            # Correctness comes from generation-stamped cache keys (a
+            # replaced index's entries become unreachable); the clear
+            # just releases their memory promptly.
+            self._cache.clear()
+        return index
+
+    def load(self, name: str, path, *, overwrite: bool = False) -> ShardedTSIndex:
+        """Restore an index from disk and register it (see
+        :meth:`IndexRegistry.load`), invalidating the cache when it
+        may replace an existing name."""
+        index = self._registry.load(name, path, overwrite=overwrite)
+        if overwrite:
+            self._cache.clear()
+        return index
+
+    def evict(self, name: str) -> ShardedTSIndex:
+        """Evict the named index and drop its cached results."""
+        engine = self._registry.evict(name)
+        # Cached entries key on the index name; a blanket clear keeps
+        # eviction O(1) and correctness obvious (a rebuilt index under
+        # the same name must never serve the old index's results).
+        self._cache.clear()
+        return engine
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        name: str,
+        query,
+        epsilon: float,
+        *,
+        verification: str = "bulk",
+        use_cache: bool = True,
+    ) -> SearchResult:
+        """One twin query against the named index.
+
+        Cache hits return the previously computed
+        :class:`~repro.core.stats.SearchResult` object itself; misses
+        execute shard-parallel on the engine pool and populate the
+        cache. Treat results as immutable (the library never mutates
+        them). Keys carry the index's registration *generation*, so a
+        miss computed against an index that is rebuilt mid-flight lands
+        under a key the rebuilt index never reads — the new index can
+        never serve the old one's results.
+        """
+        index, generation = self._registry.get_with_generation(name)
+
+        def execute() -> SearchResult:
+            result = index.search(
+                query, epsilon, verification=verification, executor=self._pool
+            )
+            self._record(result.stats)
+            return result
+
+        self._count_query()
+        if not use_cache:
+            return execute()
+        key = query_key(
+            query, epsilon,
+            index=name, generation=generation, verification=verification,
+        )
+        return self._cache.get_or_compute(key, execute)
+
+    def knn(self, name: str, query, k: int, *, exclude=None) -> SearchResult:
+        """k-NN twin query against the named index (never cached: the
+        result depends on ``k`` and ``exclude``, and k-NN traffic rarely
+        repeats exactly)."""
+        index = self._registry.get(name)
+        self._count_query()
+        result = index.knn(query, k, exclude=exclude, executor=self._pool)
+        self._record(result.stats)
+        return result
+
+    def batch(
+        self,
+        name: str,
+        queries,
+        epsilon: float,
+        *,
+        use_cache: bool = True,
+        **search_options,
+    ) -> BatchResult:
+        """A whole workload against the named index.
+
+        Queries fan out across the engine pool (each walking its shards
+        serially — the right split for many small queries); each query
+        still consults the shared cache, so repeated workloads are
+        mostly hits.
+        """
+        index, generation = self._registry.get_with_generation(name)
+        queries = list(queries)
+        # Key on the *effective* verification mode so batch() and
+        # query() share cache entries for the same logical query.
+        search_options.setdefault("verification", "bulk")
+
+        def one(query) -> SearchResult:
+            self._count_query()
+            if not use_cache:
+                result = index.search(query, epsilon, **search_options)
+                self._record(result.stats)
+                return result
+            key = query_key(
+                query, epsilon, index=name, generation=generation,
+                **{str(k): v for k, v in search_options.items()},
+            )
+
+            def execute() -> SearchResult:
+                result = index.search(query, epsilon, **search_options)
+                self._record(result.stats)
+                return result
+
+            return self._cache.get_or_compute(key, execute)
+
+        if len(queries) > 1:
+            results = list(self._pool.map(one, queries))
+        else:
+            results = [one(query) for query in queries]
+        aggregate = QueryStats()
+        for result in results:
+            aggregate = aggregate.merge(result.stats)
+        return BatchResult(
+            results=results, stats=aggregate, epsilon=float(epsilon)
+        )
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """A consistent snapshot of serving, cache and index stats."""
+        with self._lock:
+            queries = self._queries
+            query_stats = dataclasses.replace(self._query_stats)
+        return EngineStats(
+            queries=queries,
+            query_stats=query_stats,
+            cache=self._cache.stats(),
+            indexes=self._registry.stats_all(),
+        )
+
+    def _count_query(self) -> None:
+        with self._lock:
+            self._queries += 1
+
+    def _record(self, stats: QueryStats) -> None:
+        with self._lock:
+            self._query_stats = self._query_stats.merge(stats)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine(indexes={self._registry.names()}, "
+            f"cache={self._cache!r})"
+        )

@@ -1,0 +1,211 @@
+"""Named-index registry: owns built engines for multi-tenant serving.
+
+A server process typically holds several built indexes at once (one per
+archive / window length / regime). :class:`IndexRegistry` is the owner:
+it builds :class:`~repro.engine.sharding.ShardedTSIndex` engines under
+caller-chosen names, hands out live references, evicts them, persists
+them through :mod:`repro.persistence`, and reports per-index stats.
+All operations are thread-safe; builds for distinct names can proceed
+concurrently (the registry lock is only held around map mutation, never
+around a build).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..core.normalization import Normalization
+from ..core.tsindex import TSIndexParams
+from ..exceptions import IndexNotBuiltError, InvalidParameterError
+from .sharding import ShardedTSIndex
+
+
+class IndexRegistry:
+    """A thread-safe name → :class:`ShardedTSIndex` mapping with
+    ownership semantics (build, evict, persist, stats).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.engine import IndexRegistry
+    >>> registry = IndexRegistry()
+    >>> series = np.cumsum(np.random.default_rng(0).normal(size=2000))
+    >>> engine = registry.build(
+    ...     "demo", series, length=50, shards=2, normalization="none"
+    ... )
+    >>> registry.names()
+    ['demo']
+    >>> registry.get("demo") is engine
+    True
+    """
+
+    def __init__(self):
+        self._engines: dict[str, ShardedTSIndex] = {}
+        self._built_at: dict[str, float] = {}
+        # Monotonic per-name registration counter. Callers that cache
+        # results key on (name, generation) so an in-flight computation
+        # against a replaced index can never be served for its
+        # successor (see QueryEngine).
+        self._generations: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        name: str,
+        series,
+        length: int,
+        *,
+        normalization=Normalization.GLOBAL,
+        shards: int | None = None,
+        params: TSIndexParams | None = None,
+        max_workers: int | None = None,
+        overwrite: bool = False,
+    ) -> ShardedTSIndex:
+        """Build a sharded engine and register it under ``name``.
+
+        Refuses to clobber an existing name unless ``overwrite=True``
+        (rebuilding a live index should be a deliberate act).
+        """
+        name = self._check_name(name)
+        if not overwrite and name in self._engines:
+            raise InvalidParameterError(
+                f"index {name!r} already exists; pass overwrite=True to rebuild"
+            )
+        engine = ShardedTSIndex.build(
+            series,
+            length,
+            normalization=normalization,
+            shards=shards,
+            params=params,
+            max_workers=max_workers,
+        )
+        self.add(name, engine, overwrite=overwrite)
+        return engine
+
+    def add(
+        self, name: str, engine: ShardedTSIndex, *, overwrite: bool = False
+    ) -> None:
+        """Register an engine built elsewhere (e.g. loaded from disk)."""
+        name = self._check_name(name)
+        if not isinstance(engine, ShardedTSIndex):
+            raise InvalidParameterError(
+                "registry entries must be ShardedTSIndex instances, got "
+                f"{type(engine).__name__}"
+            )
+        with self._lock:
+            if not overwrite and name in self._engines:
+                raise InvalidParameterError(
+                    f"index {name!r} already exists; pass overwrite=True"
+                )
+            self._engines[name] = engine
+            self._built_at[name] = time.time()
+            self._generations[name] = self._generations.get(name, 0) + 1
+
+    def get(self, name: str) -> ShardedTSIndex:
+        """The live engine registered under ``name``."""
+        return self.get_with_generation(name)[0]
+
+    def get_with_generation(self, name: str) -> tuple[ShardedTSIndex, int]:
+        """The live engine plus its registration generation (atomic).
+
+        The generation increments every time ``name`` is (re)registered,
+        so ``(name, generation)`` uniquely identifies one built index
+        across rebuilds.
+        """
+        with self._lock:
+            try:
+                return self._engines[name], self._generations[name]
+            except KeyError:
+                known = ", ".join(sorted(self._engines)) or "<none>"
+                raise IndexNotBuiltError(
+                    f"no index named {name!r} (built: {known})"
+                ) from None
+
+    def evict(self, name: str) -> ShardedTSIndex:
+        """Remove and return the engine under ``name`` (the last live
+        reference unless a caller kept one)."""
+        with self._lock:
+            try:
+                engine = self._engines.pop(name)
+            except KeyError:
+                raise IndexNotBuiltError(f"no index named {name!r}") from None
+            self._built_at.pop(name, None)
+            return engine
+
+    def names(self) -> list[str]:
+        """Registered names, sorted."""
+        with self._lock:
+            return sorted(self._engines)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._engines)
+
+    def __contains__(self, name) -> bool:
+        with self._lock:
+            return name in self._engines
+
+    # ------------------------------------------------------------------
+    # Persistence (via repro.persistence)
+    # ------------------------------------------------------------------
+    def save(self, name: str, path) -> None:
+        """Persist the engine under ``name`` to a ``.npz`` archive."""
+        engine = self.get(name)
+        from ..persistence import save_index  # lazy: avoids import cycle
+
+        save_index(engine, path)
+
+    def load(self, name: str, path, *, overwrite: bool = False) -> ShardedTSIndex:
+        """Restore an engine from ``path`` and register it as ``name``."""
+        from ..persistence import load_index  # lazy: avoids import cycle
+
+        engine = load_index(path)
+        if not isinstance(engine, ShardedTSIndex):
+            raise InvalidParameterError(
+                f"archive {path!r} holds a {type(engine).__name__}, "
+                "not a sharded engine"
+            )
+        self.add(name, engine, overwrite=overwrite)
+        return engine
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def stats(self, name: str) -> dict:
+        """Structural stats for one index (shape, shards, build cost)."""
+        engine = self.get(name)
+        with self._lock:
+            built_at = self._built_at.get(name, 0.0)
+        build = engine.build_stats
+        return {
+            "name": name,
+            "windows": engine.size,
+            "length": engine.length,
+            "normalization": engine.source.normalization.value,
+            "shards": engine.shard_count,
+            "nodes": build.nodes,
+            "splits": build.splits,
+            "build_seconds": round(build.seconds, 4),
+            "built_at": built_at,
+            "shard_stats": engine.shard_stats(),
+        }
+
+    def stats_all(self) -> list[dict]:
+        """Stats rows for every registered index."""
+        return [self.stats(name) for name in self.names()]
+
+    def __repr__(self) -> str:
+        return f"IndexRegistry(indexes={self.names()})"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_name(name) -> str:
+        if not isinstance(name, str) or not name.strip():
+            raise InvalidParameterError(
+                f"index name must be a non-empty string, got {name!r}"
+            )
+        return name

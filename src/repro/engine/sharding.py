@@ -1,0 +1,400 @@
+"""Sharded TS-Index: partitioned build and fan-out query execution.
+
+A :class:`ShardedTSIndex` splits the position range of a series into
+contiguous spans, builds one :class:`~repro.core.tsindex.TSIndex` per
+span and answers queries by fanning out across the shards and merging.
+Consecutive shards cover value chunks that overlap by ``length - 1``
+points, so every window of the series belongs to exactly one shard and
+no window is lost at a boundary. Shard window sources are zero-copy
+views created by :meth:`~repro.core.windows.WindowSource.shard`, which
+guarantees each shard window is bitwise identical to the corresponding
+monolithic window — making sharded results *exactly* equal to the
+monolithic ones, not merely approximately (enforced by the equivalence
+property tests).
+
+Shard builds run in parallel via :mod:`concurrent.futures`; queries can
+run the per-shard work serially, on a caller-supplied executor, or on a
+shard-count-sized private pool (see ``executor`` arguments).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import heapq
+import os
+
+import numpy as np
+
+from .._util import (
+    FLOAT_DTYPE,
+    POSITION_DTYPE,
+    check_non_negative,
+    check_positive_int,
+)
+from ..core.batch import BatchResult
+from ..core.normalization import Normalization
+from ..core.stats import BuildStats, QueryStats, SearchResult
+from ..core.tsindex import TSIndex, TSIndexParams
+from ..core.windows import WindowSource
+from ..exceptions import InvalidParameterError
+
+#: A shard smaller than this many windows is pointless overhead; the
+#: automatic shard count keeps every shard at least this large.
+MIN_SHARD_WINDOWS = 256
+
+
+def default_shard_count(window_count: int) -> int:
+    """Shard count used when the caller does not pick one.
+
+    One shard per available core, but never so many that a shard drops
+    below :data:`MIN_SHARD_WINDOWS` windows, and always at least one.
+    """
+    cores = os.cpu_count() or 1
+    return max(1, min(cores, window_count // MIN_SHARD_WINDOWS))
+
+
+def shard_spans(window_count: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(window_count)`` into ``shards`` contiguous spans.
+
+    Spans are half-open ``[start, stop)`` position ranges differing in
+    size by at most one. Raises if there are more shards than windows.
+
+    >>> shard_spans(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    shards = check_positive_int(shards, name="shards")
+    if shards > window_count:
+        raise InvalidParameterError(
+            f"cannot split {window_count} windows into {shards} shards"
+        )
+    base, extra = divmod(window_count, shards)
+    spans = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+class ShardedTSIndex:
+    """A TS-Index partitioned into per-span shard trees.
+
+    Answers the same query surface as :class:`~repro.core.tsindex.TSIndex`
+    (``search``, ``knn``, plus a batch entry point) with results merged
+    across shards and positions re-offset to the global frame. Results
+    are exactly those a monolithic index would return.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.engine import ShardedTSIndex
+    >>> series = np.cumsum(np.random.default_rng(3).normal(size=4000))
+    >>> engine = ShardedTSIndex.build(
+    ...     series, length=64, shards=4, normalization="none"
+    ... )
+    >>> result = engine.search(series[300:364], epsilon=0.3)
+    >>> 300 in result.positions
+    True
+    """
+
+    def __init__(
+        self,
+        source: WindowSource,
+        starts: list[int],
+        shards: list[TSIndex],
+        params: TSIndexParams,
+    ):
+        self._source = source
+        self._starts = starts
+        self._shards = shards
+        self._params = params
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        series,
+        length: int,
+        *,
+        normalization=Normalization.GLOBAL,
+        shards: int | None = None,
+        params: TSIndexParams | None = None,
+        max_workers: int | None = None,
+    ) -> "ShardedTSIndex":
+        """Build shard trees over all ``length``-windows of ``series``.
+
+        ``shards`` defaults to :func:`default_shard_count`; shard trees
+        build concurrently on a thread pool of ``max_workers`` threads
+        (default: one per shard, capped by the core count).
+        """
+        source = WindowSource(series, length, normalization)
+        return cls.from_source(
+            source, shards=shards, params=params, max_workers=max_workers
+        )
+
+    @classmethod
+    def from_source(
+        cls,
+        source: WindowSource,
+        *,
+        shards: int | None = None,
+        params: TSIndexParams | None = None,
+        max_workers: int | None = None,
+    ) -> "ShardedTSIndex":
+        """Build from a prepared monolithic window source."""
+        if shards is None:
+            shards = default_shard_count(source.count)
+        spans = shard_spans(source.count, shards)
+        params = params or TSIndexParams()
+        sources = [source.shard(start, stop) for start, stop in spans]
+        if max_workers is None:
+            max_workers = min(len(spans), os.cpu_count() or 1)
+        if max_workers > 1 and len(spans) > 1:
+            with concurrent.futures.ThreadPoolExecutor(max_workers) as pool:
+                trees = list(
+                    pool.map(
+                        lambda shard_source: TSIndex.from_source(
+                            shard_source, params=params
+                        ),
+                        sources,
+                    )
+                )
+        else:
+            trees = [
+                TSIndex.from_source(shard_source, params=params)
+                for shard_source in sources
+            ]
+        return cls(source, [start for start, _ in spans], trees, params)
+
+    @classmethod
+    def _from_prebuilt(
+        cls,
+        source: WindowSource,
+        starts: list[int],
+        shards: list[TSIndex],
+        params: TSIndexParams,
+    ) -> "ShardedTSIndex":
+        """Internal hook used by the persistence layer."""
+        return cls(source, starts, shards, params)
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> WindowSource:
+        """The monolithic window source the shards partition."""
+        return self._source
+
+    @property
+    def params(self) -> TSIndexParams:
+        """Tree construction parameters shared by every shard."""
+        return self._params
+
+    @property
+    def length(self) -> int:
+        """Indexed window length ``l``."""
+        return self._source.length
+
+    @property
+    def size(self) -> int:
+        """Total number of indexed windows across all shards."""
+        return self._source.count
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[TSIndex, ...]:
+        """The per-span shard trees (read-only view)."""
+        return tuple(self._shards)
+
+    @property
+    def spans(self) -> list[tuple[int, int]]:
+        """Half-open global position spans, one per shard."""
+        return [
+            (start, start + tree.size)
+            for start, tree in zip(self._starts, self._shards)
+        ]
+
+    @property
+    def build_stats(self) -> BuildStats:
+        """Shard build stats aggregated (seconds: max, the parallel
+        critical path; counters: summed)."""
+        merged = BuildStats()
+        for tree in self._shards:
+            stats = tree.build_stats
+            merged.seconds = max(merged.seconds, stats.seconds)
+            merged.windows += stats.windows
+            merged.splits += stats.splits
+            merged.height = max(merged.height, stats.height)
+            merged.nodes += stats.nodes
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedTSIndex(windows={self.size}, length={self.length}, "
+            f"shards={self.shard_count})"
+        )
+
+    def shard_stats(self) -> list[dict]:
+        """One diagnostics row per shard (for `engine stats` and tests)."""
+        rows = []
+        for (start, stop), tree in zip(self.spans, self._shards):
+            rows.append(
+                {
+                    "span": f"[{start}, {stop})",
+                    "windows": tree.size,
+                    "height": tree.height,
+                    "nodes": tree.node_count,
+                    "splits": tree.build_stats.splits,
+                    "build_seconds": round(tree.build_stats.seconds, 4),
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query,
+        epsilon: float,
+        *,
+        verification: str = "bulk",
+        executor: concurrent.futures.Executor | None = None,
+    ) -> SearchResult:
+        """All twins of ``query`` within Chebyshev ``ε``, shard-merged.
+
+        Each shard runs Algorithm 1 over its span; shard-local positions
+        are re-offset by the span start and concatenated (spans are
+        disjoint and ascending, so the merged result is sorted without a
+        final sort). With ``executor`` the per-shard searches run
+        concurrently; structural counters are merged in shard order
+        either way, so stats are deterministic.
+        """
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        query = self._source.prepare_query(query)
+
+        def one(tree: TSIndex) -> SearchResult:
+            return tree.search(query, epsilon, verification=verification)
+
+        # Position re-offsetting happens in _merge_search, which pairs
+        # each result back with its span start.
+        results = self._map(executor, one, self._shards)
+        return self._merge_search(results)
+
+    def count(self, query, epsilon: float) -> int:
+        """Number of twins (convenience wrapper over :meth:`search`)."""
+        return len(self.search(query, epsilon))
+
+    def knn(
+        self,
+        query,
+        k: int,
+        *,
+        exclude: tuple[int, int] | None = None,
+        executor: concurrent.futures.Executor | None = None,
+    ) -> SearchResult:
+        """The ``k`` globally nearest windows, merged across shards.
+
+        Each shard answers a local k-NN (with the exclusion zone
+        translated into its frame); the union is re-ranked by
+        ``(distance, position)`` and truncated to ``k``.
+        """
+        k = check_positive_int(k, name="k")
+        query = self._source.prepare_query(query)
+        if exclude is not None:
+            exclude_start, exclude_stop = int(exclude[0]), int(exclude[1])
+            if exclude_start > exclude_stop:
+                raise InvalidParameterError(
+                    f"exclude range must satisfy start <= stop, got {exclude}"
+                )
+
+        def one(args) -> SearchResult:
+            start, tree = args
+            local_exclude = None
+            if exclude is not None:
+                lo = max(0, exclude_start - start)
+                hi = min(tree.size, exclude_stop - start)
+                if lo < hi:
+                    local_exclude = (lo, hi)
+            return tree.knn(query, min(k, tree.size), exclude=local_exclude)
+
+        results = self._map(executor, one, list(zip(self._starts, self._shards)))
+
+        merged_stats = QueryStats()
+        entries: list[tuple[float, int]] = []
+        for start, result in zip(self._starts, results):
+            merged_stats = merged_stats.merge(result.stats)
+            entries.extend(
+                (float(distance), int(position) + start)
+                for position, distance in zip(
+                    result.positions.tolist(), result.distances.tolist()
+                )
+            )
+        top = heapq.nsmallest(k, entries)
+        merged_stats.matches = len(top)
+        return SearchResult(
+            positions=np.asarray([p for _, p in top], dtype=POSITION_DTYPE),
+            distances=np.asarray([d for d, _ in top], dtype=FLOAT_DTYPE),
+            stats=merged_stats,
+        )
+
+    def search_batch(
+        self,
+        queries,
+        epsilon: float,
+        *,
+        executor: concurrent.futures.Executor | None = None,
+        **search_options,
+    ) -> BatchResult:
+        """Run every query of ``queries`` at ``epsilon``.
+
+        With ``executor`` the *queries* fan out across the pool (each
+        query then walks its shards serially — the profitable split for
+        workloads of many small queries, and it avoids nested-pool
+        deadlock); without one the batch runs serially. Result order
+        always matches the input order.
+        """
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        queries = list(queries)
+
+        def one(query) -> SearchResult:
+            return self.search(query, epsilon, **search_options)
+
+        results = self._map(executor, one, queries)
+        aggregate = QueryStats()
+        for result in results:
+            aggregate = aggregate.merge(result.stats)
+        return BatchResult(
+            results=results, stats=aggregate, epsilon=float(epsilon)
+        )
+
+    # ------------------------------------------------------------------
+    def _merge_search(self, results: list[SearchResult]) -> SearchResult:
+        merged_stats = QueryStats()
+        positions: list[np.ndarray] = []
+        distances: list[np.ndarray] = []
+        for start, result in zip(self._starts, results):
+            merged_stats = merged_stats.merge(result.stats)
+            if result.positions.size:
+                positions.append(result.positions + start)
+                distances.append(result.distances)
+        if not positions:
+            return SearchResult.empty(merged_stats)
+        return SearchResult(
+            positions=np.concatenate(positions),
+            distances=np.concatenate(distances),
+            stats=merged_stats,
+        )
+
+    @staticmethod
+    def _map(executor, fn, items: list) -> list:
+        if executor is None or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(executor.map(fn, items))

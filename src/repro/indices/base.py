@@ -93,6 +93,14 @@ def create_method_from_source(name: str, source: WindowSource, **kwargs):
         if kwargs:
             params = TSIndexParams(**kwargs)
         return TSIndex.from_source(source, params=params)
+    if normalized in ("sharded", "shardedtsindex", "engine"):
+        # The serving-layer index (repro.engine); answers the same
+        # ``search`` surface, so the harness can drive it by name. Not
+        # listed in METHOD_NAMES: the paper's figures compare only the
+        # four paper methods.
+        from ..engine.sharding import ShardedTSIndex
+
+        return ShardedTSIndex.from_source(source, **kwargs)
     raise InvalidParameterError(
         f"unknown method {name!r}; expected one of {METHOD_NAMES}"
     )

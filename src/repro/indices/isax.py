@@ -116,13 +116,20 @@ class ISAXIndex(SubsequenceIndex):
         self._sax: np.ndarray | None = None
         self._root_children: dict[tuple, _ISAXNode] = {}
         self._build_stats = BuildStats()
-        # PAA means come from cumulative sums: the indexed matrix and
-        # the query transform round differently by a few ulps, so the
+        # PAA means come from cumulative sums over the *whole series*:
+        # the indexed matrix and the query transform round differently,
+        # with cumsum error accumulating over all n prefix terms — so
+        # identical windows at distant positions can disagree by up to
+        # ~n·eps·peak, not just a few window-length ulps. The
         # per-segment filter is padded by this slack to avoid losing
-        # exact twins at tiny epsilons (see tests/test_properties.py).
+        # exact twins at tiny epsilons (see tests/test_properties.py);
+        # verification is exact, so the padding only admits candidates.
         peak = float(np.max(np.abs(source.values)))
         self._paa_slack = (
-            8.0 * np.finfo(float).eps * max(1e-300, peak) * source.length
+            8.0
+            * np.finfo(float).eps
+            * max(1e-300, peak)
+            * max(source.length, len(source.values))
         )
 
     # ------------------------------------------------------------------

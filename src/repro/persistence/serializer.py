@@ -34,8 +34,12 @@ FORMAT_VERSION = 1
 
 def save_index(index, path) -> None:
     """Serialize ``index`` to ``path`` (a ``.npz`` archive)."""
+    from ..engine.sharding import ShardedTSIndex  # lazy: engine imports us
+
     path = os.fspath(path)
-    if isinstance(index, TSIndex):
+    if isinstance(index, ShardedTSIndex):
+        payload = _dump_sharded(index)
+    elif isinstance(index, TSIndex):
         payload = _dump_tsindex(index)
     elif isinstance(index, KVIndex):
         payload = _dump_kvindex(index)
@@ -72,6 +76,7 @@ def load_index(path):
         "kvindex": _load_kvindex,
         "isax": _load_isax,
         "sweepline": _load_sweepline,
+        "sharded_tsindex": _load_sharded,
     }
     if method not in loaders:
         raise SerializationError(f"unknown method {method!r} in archive")
@@ -112,7 +117,20 @@ def _build_stats_from(meta: dict) -> BuildStats:
 # ----------------------------------------------------------------------
 # TS-Index: pre-order flattening with explicit child ranges
 # ----------------------------------------------------------------------
-def _dump_tsindex(index: TSIndex) -> dict:
+def _tsindex_params_meta(params: TSIndexParams) -> dict:
+    return {
+        "min_children": params.min_children,
+        "max_children": params.max_children,
+        "split_metric": params.split_metric,
+    }
+
+
+def _flatten_tree(root: _Node) -> dict:
+    """Flatten one TS-Index tree into plain arrays (no meta, no series).
+
+    Breadth-first so children of one node are contiguous; shared by the
+    monolithic and the sharded dump paths.
+    """
     uppers, lowers = [], []
     kinds, child_starts, child_counts = [], [], []
     position_offsets, position_data = [], []
@@ -131,11 +149,8 @@ def _dump_tsindex(index: TSIndex) -> dict:
             position_data.extend(node.positions)
         return my_id
 
-    # Breadth-first so children of one node are contiguous.
-    if index._root is None:
-        raise SerializationError("cannot serialize an empty TS-Index")
-    queue = [index._root]
-    visit(index._root)
+    queue = [root]
+    visit(root)
     head = 0
     while head < len(queue):
         node = queue[head]
@@ -148,22 +163,7 @@ def _dump_tsindex(index: TSIndex) -> dict:
                 visit(child)
                 queue.append(child)
 
-    params = index.params
     return {
-        "meta": np.asarray(
-            _meta_for(
-                index,
-                "tsindex",
-                {
-                    "params": {
-                        "min_children": params.min_children,
-                        "max_children": params.max_children,
-                        "split_metric": params.split_metric,
-                    }
-                },
-            )
-        ),
-        "series": index.source.series.values,
         "uppers": np.asarray(uppers),
         "lowers": np.asarray(lowers),
         "kinds": np.asarray(kinds, dtype=np.int8),
@@ -176,16 +176,15 @@ def _dump_tsindex(index: TSIndex) -> dict:
     }
 
 
-def _load_tsindex(meta: dict, data: dict) -> TSIndex:
-    source = _source_from(meta, data)
-    params = TSIndexParams(**meta["params"])
-    kinds = data["kinds"]
-    uppers = data["uppers"]
-    lowers = data["lowers"]
-    child_starts = data["child_starts"]
-    child_counts = data["child_counts"]
-    offsets = data["position_offsets"]
-    positions = data["positions"]
+def _tree_from_arrays(data: dict, *, prefix: str = "") -> _Node | None:
+    """Rebuild a TS-Index node tree from :func:`_flatten_tree` arrays."""
+    kinds = data[f"{prefix}kinds"]
+    uppers = data[f"{prefix}uppers"]
+    lowers = data[f"{prefix}lowers"]
+    child_starts = data[f"{prefix}child_starts"]
+    child_counts = data[f"{prefix}child_counts"]
+    offsets = data[f"{prefix}position_offsets"]
+    positions = data[f"{prefix}positions"]
 
     nodes: list[_Node] = []
     for i in range(kinds.size):
@@ -204,7 +203,28 @@ def _load_tsindex(meta: dict, data: dict) -> TSIndex:
             nodes[i].children = [
                 nodes[j] for j in range(first, first + int(child_counts[i]))
             ]
-    root = nodes[0] if nodes else None
+    return nodes[0] if nodes else None
+
+
+def _dump_tsindex(index: TSIndex) -> dict:
+    if index._root is None:
+        raise SerializationError("cannot serialize an empty TS-Index")
+    payload = {
+        "meta": np.asarray(
+            _meta_for(
+                index, "tsindex", {"params": _tsindex_params_meta(index.params)}
+            )
+        ),
+        "series": index.source.series.values,
+    }
+    payload.update(_flatten_tree(index._root))
+    return payload
+
+
+def _load_tsindex(meta: dict, data: dict) -> TSIndex:
+    source = _source_from(meta, data)
+    params = TSIndexParams(**meta["params"])
+    root = _tree_from_arrays(data)
     index = TSIndex._from_prebuilt_root(
         source, root, params, _build_stats_from(meta)
     )
@@ -361,6 +381,66 @@ def _load_isax(meta: dict, data: dict) -> ISAXIndex:
         index._root_children[key] = node
     index._build_stats = _build_stats_from(meta)
     return index
+
+
+# ----------------------------------------------------------------------
+# Sharded TS-Index: per-shard trees flattened under prefixed keys
+# ----------------------------------------------------------------------
+def _dump_sharded(engine) -> dict:
+    """One archive holding the full series plus every shard tree.
+
+    Shard window sources are zero-copy views of the monolithic source,
+    so only the monolithic series is stored; shard ``i``'s arrays are
+    prefixed ``s{i}_`` and its span recorded in the metadata.
+    """
+    shard_meta = []
+    payload: dict = {"series": engine.source.series.values}
+    for i, ((start, stop), tree) in enumerate(zip(engine.spans, engine.shards)):
+        if tree._root is None:
+            raise SerializationError("cannot serialize an empty shard tree")
+        for key, value in _flatten_tree(tree._root).items():
+            payload[f"s{i}_{key}"] = value
+        shard_meta.append(
+            {
+                "start": start,
+                "stop": stop,
+                "build_stats": dataclasses.asdict(tree.build_stats),
+            }
+        )
+    payload["meta"] = np.asarray(
+        _meta_for(
+            engine,
+            "sharded_tsindex",
+            {
+                "params": _tsindex_params_meta(engine.params),
+                "shards": shard_meta,
+            },
+        )
+    )
+    return payload
+
+
+def _load_sharded(meta: dict, data: dict):
+    from ..engine.sharding import ShardedTSIndex  # lazy: engine imports us
+
+    source = _source_from(meta, data)
+    params = TSIndexParams(**meta["params"])
+    starts: list[int] = []
+    trees: list[TSIndex] = []
+    for i, shard in enumerate(meta["shards"]):
+        start, stop = int(shard["start"]), int(shard["stop"])
+        shard_source = source.shard(start, stop)
+        root = _tree_from_arrays(data, prefix=f"s{i}_")
+        trees.append(
+            TSIndex._from_prebuilt_root(
+                shard_source,
+                root,
+                params,
+                BuildStats(**shard.get("build_stats", {})),
+            )
+        )
+        starts.append(start)
+    return ShardedTSIndex._from_prebuilt(source, starts, trees, params)
 
 
 # ----------------------------------------------------------------------

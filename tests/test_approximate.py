@@ -29,7 +29,7 @@ class TestISAXApproximate:
         assert approx.stats.leaves_accessed == 1
 
     def test_unseen_word_returns_empty(self, isax_global):
-        from .conftest import LENGTH
+        from conftest import LENGTH
 
         # A wildly out-of-range query maps to a root word with no child.
         query = np.full(LENGTH, 1e6)

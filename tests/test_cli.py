@@ -1,5 +1,6 @@
-"""Tests for the CLI experiment driver."""
+"""Tests for the CLI experiment driver and engine subcommands."""
 
+import numpy as np
 import pytest
 
 from repro import cli
@@ -85,3 +86,118 @@ class TestExecution:
         assert code == 0
         output = capsys.readouterr().out
         assert "euclidean results" in output
+
+
+class TestEngineCLI:
+    def test_engine_parser_subcommands(self):
+        parser = cli.build_engine_parser()
+        args = parser.parse_args(
+            ["build", "--output", "x.npz", "--shards", "4"]
+        )
+        assert args.engine_command == "build"
+        assert args.shards == 4
+        args = parser.parse_args(
+            ["query", "--index", "x.npz", "--position", "5", "--epsilon", "0.5"]
+        )
+        assert args.engine_command == "query"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["frobnicate"])
+
+    def test_engine_missing_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_engine_parser().parse_args([])
+
+    @pytest.fixture(scope="class")
+    def built_archive(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("engine") / "idx.npz"
+        code = cli.main(
+            [
+                "engine", "build", "--output", str(path),
+                "--dataset", "insect", "--scale", "0.02",
+                "--length", "50", "--shards", "3",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_engine_build_output(self, built_archive, capsys):
+        assert built_archive.exists()
+
+    def test_engine_query_epsilon(self, built_archive, capsys):
+        code = cli.main(
+            [
+                "engine", "query", "--index", str(built_archive),
+                "--position", "250", "--epsilon", "0.5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "twins within epsilon" in output
+        assert "250" in output
+        assert "candidates=" in output
+
+    def test_engine_query_knn(self, built_archive, capsys):
+        code = cli.main(
+            [
+                "engine", "query", "--index", str(built_archive),
+                "--position", "250", "--knn", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "3 nearest windows" in output
+
+    def test_engine_query_requires_exactly_one_mode(self, built_archive):
+        with pytest.raises(SystemExit):
+            cli.main(
+                [
+                    "engine", "query", "--index", str(built_archive),
+                    "--position", "250",
+                ]
+            )
+        with pytest.raises(SystemExit):
+            cli.main(
+                [
+                    "engine", "query", "--index", str(built_archive),
+                    "--position", "250", "--epsilon", "0.5", "--knn", "3",
+                ]
+            )
+
+    def test_engine_query_from_file_raw_domain(self, built_archive, tmp_path, capsys):
+        """File queries are raw values even against a GLOBAL index."""
+        from repro.persistence import load_index
+
+        engine = load_index(built_archive)
+        assert engine.source.normalization.value == "global"
+        raw_window = engine.source.series.values[100:150]
+        query_path = tmp_path / "query.csv"
+        np.savetxt(query_path, np.asarray(raw_window))
+        code = cli.main(
+            [
+                "engine", "query", "--index", str(built_archive),
+                "--query-file", str(query_path), "--epsilon", "0.25",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "0 twins" not in output
+        assert "100" in output
+
+    def test_engine_stats(self, built_archive, capsys):
+        code = cli.main(["engine", "stats", "--index", str(built_archive)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ShardedTSIndex" in output
+        assert "span" in output
+
+    def test_engine_stats_rejects_monolithic_archive(self, tmp_path, capsys):
+        from repro.core.tsindex import TSIndex
+        from repro.persistence import save_index
+
+        series = np.cumsum(np.random.default_rng(0).normal(size=500))
+        save_index(
+            TSIndex.build(series, 50, normalization="none"),
+            tmp_path / "mono.npz",
+        )
+        with pytest.raises(SystemExit, match="not a sharded engine"):
+            cli.main(["engine", "stats", "--index", str(tmp_path / "mono.npz")])

@@ -4,18 +4,28 @@ import doctest
 
 import pytest
 
+import repro
 import repro.bench.timing
 import repro.core.series
 import repro.core.tsindex
+import repro.engine.cache
+import repro.engine.executor
+import repro.engine.registry
+import repro.engine.sharding
 import repro.extensions.streaming
 import repro.indices.isax
 import repro.indices.kvindex
 import repro.indices.sweepline
 
 MODULES = [
+    repro,
     repro.bench.timing,
     repro.core.series,
     repro.core.tsindex,
+    repro.engine.cache,
+    repro.engine.executor,
+    repro.engine.registry,
+    repro.engine.sharding,
     repro.extensions.streaming,
     repro.indices.isax,
     repro.indices.kvindex,

@@ -1,0 +1,134 @@
+"""Tests for the thread-safe LRU query cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import QueryCache, query_key
+from repro.exceptions import InvalidParameterError
+
+
+class TestQueryKey:
+    def test_equal_values_equal_keys(self):
+        a = query_key([1.0, 2.0, 3.0], 0.5)
+        b = query_key(np.asarray([1.0, 2.0, 3.0]), 0.5)
+        assert a == b
+
+    def test_different_values_different_keys(self):
+        assert query_key([1.0, 2.0], 0.5) != query_key([1.0, 2.1], 0.5)
+
+    def test_epsilon_distinguishes(self):
+        assert query_key([1.0], 0.5) != query_key([1.0], 0.25)
+
+    def test_options_distinguish(self):
+        base = query_key([1.0], 0.5)
+        named = query_key([1.0], 0.5, index="a")
+        other = query_key([1.0], 0.5, index="b")
+        assert base != named != other
+
+    def test_option_order_irrelevant(self):
+        assert query_key([1.0], 0.5, a=1, b=2) == query_key([1.0], 0.5, b=2, a=1)
+
+
+class TestQueryCache:
+    def test_hit_returns_cached_object(self):
+        cache = QueryCache(capacity=4)
+        key = query_key([1.0, 2.0], 0.5)
+        sentinel = object()
+        cache.put(key, sentinel)
+        assert cache.get(key) is sentinel
+
+    def test_miss_returns_default(self):
+        cache = QueryCache(capacity=4)
+        assert cache.get(("nope",)) is None
+        assert cache.get(("nope",), default=42) == 42
+
+    def test_eviction_at_capacity_is_lru(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+        assert cache.stats().evictions == 1
+
+    def test_put_refresh_does_not_evict(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert
+        assert cache.stats().evictions == 0
+        assert cache.get("a") == 10
+
+    def test_stats_counters(self):
+        cache = QueryCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (2, 1)
+        assert stats.lookups == 3
+        assert stats.hit_rate == pytest.approx(2 / 3)
+        assert stats.size == 1 and stats.capacity == 2
+        row = stats.as_dict()
+        assert row["hit_rate"] == pytest.approx(0.6667, abs=1e-4)
+
+    def test_hit_rate_idle_is_zero(self):
+        assert QueryCache(capacity=1).stats().hit_rate == 0.0
+
+    def test_get_or_compute(self):
+        cache = QueryCache(capacity=4)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_compute("k", compute) == "value"
+        assert cache.get_or_compute("k", compute) == "value"
+        assert len(calls) == 1
+
+    def test_clear_keeps_counters(self):
+        cache = QueryCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+    def test_contains(self):
+        cache = QueryCache(capacity=4)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QueryCache(capacity=0)
+
+    def test_concurrent_mixed_workload_stays_consistent(self):
+        cache = QueryCache(capacity=32)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(500):
+                    key = (worker_id * 7 + i) % 64
+                    if cache.get(key) is None:
+                        cache.put(key, key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.lookups == 8 * 500
+        assert len(cache) <= 32

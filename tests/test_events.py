@@ -79,7 +79,7 @@ class TestEventPositions:
 
 class TestEndToEnd:
     def test_recurring_pattern_collapses_to_events(self, tsindex_global, query_of):
-        from .conftest import LENGTH
+        from conftest import LENGTH
 
         query = query_of(700)
         result = tsindex_global.search(query, 0.8)

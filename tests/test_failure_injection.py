@@ -19,7 +19,7 @@ from repro import (
 )
 from repro.exceptions import InvalidParameterError, ReproError
 
-from .conftest import LENGTH
+from conftest import LENGTH
 
 BUILDERS = [TSIndex, KVIndex, ISAXIndex, SweeplineSearch]
 BUILDER_IDS = ["tsindex", "kvindex", "isax", "sweepline"]

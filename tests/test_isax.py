@@ -9,7 +9,7 @@ from repro.indices.isax import ISAXIndex, ISAXParams
 from repro.indices.paa import paa_matrix
 from repro.indices.sax import SAXAlphabet
 
-from .conftest import LENGTH
+from conftest import LENGTH
 
 
 class TestParams:
@@ -191,3 +191,26 @@ class TestDegenerateSplits:
             for node in index.iter_nodes()
             if node.is_leaf
         )
+
+
+class TestPAASlackRegression:
+    def test_near_constant_series_exact_twins_not_pruned(self):
+        """Regression: PAA cumsum rounding accumulates over the whole
+        series, so the filter slack must scale with the series length —
+        with the old window-length slack, exact twins of a near-constant
+        series were pruned at epsilon 0 (found by hypothesis)."""
+        from repro.indices.sweepline import SweeplineSearch
+
+        values = np.full(114, 44.983586792595474)
+        values[4] = 0.0
+        values[40] = 71.5
+        source = WindowSource(values, 4, "none")
+        sweepline = SweeplineSearch.from_source(source)
+        index = ISAXIndex.from_source(
+            source, params=ISAXParams(segments=4, leaf_capacity=8)
+        )
+        for position in range(source.count):
+            query = np.array(source.window_block(position, position + 1)[0])
+            expected = sweepline.search(query, 0.0).positions
+            actual = index.search(query, 0.0).positions
+            assert np.array_equal(actual, expected), position

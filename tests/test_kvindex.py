@@ -7,7 +7,7 @@ from repro.core.windows import WindowSource
 from repro.exceptions import UnsupportedNormalizationError
 from repro.indices.kvindex import KVIndex, KVIndexParams
 
-from .conftest import LENGTH
+from conftest import LENGTH
 
 
 class TestConstruction:

@@ -14,7 +14,7 @@ from repro.euclidean.mass import (
 )
 from repro.exceptions import InvalidParameterError
 
-from .conftest import LENGTH
+from conftest import LENGTH
 
 
 class TestEuclideanProfile:

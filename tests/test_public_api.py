@@ -35,6 +35,11 @@ class TestTopLevelExports:
             "repro.bench",
             "repro.bench.experiments",
             "repro.bench.record",
+            "repro.engine",
+            "repro.engine.sharding",
+            "repro.engine.cache",
+            "repro.engine.registry",
+            "repro.engine.executor",
             "repro.persistence",
             "repro.cli",
         ],
@@ -44,7 +49,7 @@ class TestTopLevelExports:
 
     def test_subpackage_all_resolve(self):
         for module_name in ("repro.core", "repro.indices", "repro.data",
-                            "repro.bench", "repro.extensions"):
+                            "repro.bench", "repro.extensions", "repro.engine"):
             module = importlib.import_module(module_name)
             for name in module.__all__:
                 assert hasattr(module, name), f"{module_name}.{name}"
@@ -79,4 +84,13 @@ class TestDoctestsInDocstrings:
         result = index.search(series[250:350], epsilon=0.4)
         assert 250 in result.positions
         result = repro.twin_search(series, series[250:350], epsilon=0.4)
+        assert 250 in result.positions
+
+    def test_engine_docstring_example_runs(self):
+        # The engine quickstart from the module docstring.
+        series = np.cumsum(np.random.default_rng(0).normal(size=5000))
+        with repro.QueryEngine() as serving:
+            serving.build("demo", series, length=100, shards=2,
+                          normalization="none")
+            result = serving.query("demo", series[250:350], epsilon=0.4)
         assert 250 in result.positions

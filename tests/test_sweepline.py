@@ -6,7 +6,7 @@ import pytest
 from repro.indices.sweepline import SweeplineSearch
 from repro.exceptions import InvalidParameterError
 
-from .conftest import LENGTH
+from conftest import LENGTH
 
 
 class TestConstruction:

@@ -9,7 +9,7 @@ from repro.core.windows import WindowSource
 from repro.data import synthetic
 from repro.exceptions import IncompatibleQueryError, InvalidParameterError
 
-from .conftest import LENGTH
+from conftest import LENGTH
 
 
 class TestParams:

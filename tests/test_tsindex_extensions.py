@@ -11,7 +11,7 @@ class TestExists:
         assert tsindex_global.exists(query_of(10), 0.0)
 
     def test_false_for_far_query(self, tsindex_global):
-        from .conftest import LENGTH
+        from conftest import LENGTH
 
         assert not tsindex_global.exists(np.full(LENGTH, 100.0), 0.5)
 
@@ -33,7 +33,7 @@ class TestExists:
 class TestKnnExclusion:
     def test_excludes_self(self, tsindex_global, query_of):
         query = query_of(500)
-        from .conftest import LENGTH
+        from conftest import LENGTH
 
         result = tsindex_global.knn(query, 1, exclude=(500 - LENGTH, 500 + LENGTH))
         assert result.distances[0] > 0.0

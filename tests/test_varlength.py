@@ -11,7 +11,7 @@ from repro.exceptions import (
     UnsupportedNormalizationError,
 )
 
-from .conftest import LENGTH
+from conftest import LENGTH
 
 
 def _naive(values: np.ndarray, query: np.ndarray, epsilon: float):

@@ -19,7 +19,7 @@ from repro.core.verification import (
 from repro.core.windows import WindowSource
 from repro.exceptions import InvalidParameterError
 
-from .conftest import LENGTH
+from conftest import LENGTH
 
 
 @pytest.fixture()

@@ -10,7 +10,7 @@ from repro.bench.workloads import (
 )
 from repro.exceptions import InvalidParameterError
 
-from .conftest import LENGTH
+from conftest import LENGTH
 
 
 class TestGenerateWorkload:
