@@ -65,9 +65,13 @@ def test_engine_batch_throughput(benchmark, pool, shards):
         return engine.search_batch(queries, epsilon, executor=pool)
 
     batch = benchmark(run)
-    seconds = benchmark.stats.stats.mean
     benchmark.extra_info["shards"] = shards
-    benchmark.extra_info["queries_per_sec"] = round(len(queries) / seconds, 1)
+    if benchmark.stats is not None:
+        # Absent when run with --benchmark-disable (the CI smoke mode).
+        seconds = benchmark.stats.stats.mean
+        benchmark.extra_info["queries_per_sec"] = round(
+            len(queries) / seconds, 1
+        )
     benchmark.extra_info["matches"] = batch.total_matches
     assert len(batch) == len(queries)
 

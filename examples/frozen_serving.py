@@ -1,0 +1,79 @@
+"""The dynamic → frozen index lifecycle: build, freeze, serve, persist.
+
+Demonstrates :class:`repro.core.frozen.FrozenTSIndex` end to end —
+build a dynamic TS-Index (the structure that accepts inserts), freeze
+it into the flat array-backed query plane, check the answers are
+byte-identical, run a batched workload through one shared traversal,
+and round-trip the flat arrays through the ``.npz`` serializer.
+
+Run:  python examples/frozen_serving.py
+"""
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro import TSIndex
+from repro.data import synthetic
+from repro.persistence import load_index, save_index
+
+
+def main() -> None:
+    series = synthetic.noisy_sines(30_000, seed=9, noise_std=0.2)
+    length, epsilon = 100, 0.35
+
+    # --- build (dynamic: optimized for insertion) ---------------------
+    started = time.perf_counter()
+    dynamic = TSIndex.build(series, length, normalization="global")
+    print(f"built {dynamic!r} in {time.perf_counter() - started:.2f}s")
+
+    # --- freeze (read-optimized: flat arrays, vectorized frontiers) ---
+    frozen = dynamic.freeze()
+    print(f"frozen to {frozen!r} in {frozen.freeze_seconds * 1e3:.1f}ms")
+
+    # --- identical answers --------------------------------------------
+    query = frozen.source.window(4242)
+    a = dynamic.search(query, epsilon)
+    b = frozen.search(query, epsilon)
+    identical = np.array_equal(a.positions, b.positions) and np.array_equal(
+        a.distances, b.distances
+    )
+    print(f"frozen == dynamic: {identical} ({len(b)} twins)")
+    print(f"nearest 5: {frozen.knn(query, 5).positions.tolist()}")
+    print(f"any twin within 0.05? {frozen.exists(query, 0.05)}")
+
+    # --- a batched workload shares one traversal ----------------------
+    rng = np.random.default_rng(3)
+    workload = [
+        frozen.source.window(int(p))
+        for p in rng.integers(0, frozen.size, size=50)
+    ]
+    started = time.perf_counter()
+    batch = frozen.search_batch(workload, epsilon)
+    elapsed = time.perf_counter() - started
+    print(
+        f"batched {len(workload)} queries in {elapsed * 1e3:.1f}ms "
+        f"({batch.total_matches} twins, "
+        f"{len(workload) / elapsed:.0f} q/s)"
+    )
+
+    # --- persistence: the flat arrays round-trip natively -------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "frozen.npz")
+        save_index(frozen, path)
+        restored = load_index(path)
+        again = restored.search(query, epsilon)
+        print(
+            f"reloaded {restored!r}: answers match = "
+            f"{np.array_equal(again.positions, b.positions)}"
+        )
+
+    # --- thaw when the index must grow again --------------------------
+    thawed = frozen.thaw()
+    print(f"thawed back to {thawed!r} (accepts inserts again)")
+
+
+if __name__ == "__main__":
+    main()

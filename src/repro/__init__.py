@@ -32,10 +32,15 @@ True
 >>> 250 in result.positions
 True
 
-Beyond the paper, :mod:`repro.engine` turns the library into a
-query-serving engine: :class:`~repro.engine.ShardedTSIndex` partitions
-a series into per-shard TS-Indexes (parallel build, fan-out queries,
-results exactly equal to a monolithic index),
+Beyond the paper, a built TS-Index can be frozen into a read-optimized
+flat form (:class:`~repro.core.frozen.FrozenTSIndex`, via
+:meth:`TSIndex.freeze <repro.core.tsindex.TSIndex.freeze>`): identical
+answers from structure-of-arrays storage with vectorized frontier
+traversal and a batched ``search_batch``. :mod:`repro.engine` turns the
+library into a query-serving engine: :class:`~repro.engine.ShardedTSIndex`
+partitions a series into per-shard TS-Indexes (parallel build, frozen
+shards by default, fan-out queries, results exactly equal to a
+monolithic index),
 :class:`~repro.engine.QueryCache` memoizes repeated queries, and
 :class:`~repro.engine.QueryEngine` composes both with a named-index
 registry behind a thread pool for concurrent callers:
@@ -57,6 +62,7 @@ from .core import (
     BuildStats,
     CollectionIndex,
     CollectionMatch,
+    FrozenTSIndex,
     Normalization,
     QueryStats,
     SearchResult,
@@ -107,6 +113,7 @@ __all__ = [
     "CollectionIndex",
     "CollectionMatch",
     "EngineStats",
+    "FrozenTSIndex",
     "ISAXIndex",
     "ISAXParams",
     "IncompatibleQueryError",

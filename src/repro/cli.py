@@ -17,7 +17,9 @@ comparisons).
 Drive the sharded query engine (:mod:`repro.engine`)::
 
     python -m repro.cli engine build --output idx.npz --dataset insect \
-        --scale 0.1 --length 100 --shards 4
+        --scale 0.1 --length 100 --shards 4          # frozen by default
+    python -m repro.cli engine build --output idx.npz --no-frozen \
+        --dataset insect                             # dynamic pointer trees
     python -m repro.cli engine query --index idx.npz --position 250 \
         --epsilon 0.5
     python -m repro.cli engine query --index idx.npz --position 250 --knn 5
@@ -222,6 +224,15 @@ def build_engine_parser() -> argparse.ArgumentParser:
         default=None,
         help="build thread count (default: one per shard)",
     )
+    build.add_argument(
+        "--frozen",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="freeze shards into flat read-optimized arrays after the "
+        "build (identical answers, much faster queries; the archive "
+        "stores the arrays natively). Default: on; pass --no-frozen "
+        "to keep dynamic pointer trees.",
+    )
 
     query = commands.add_parser(
         "query", help="run a twin or k-NN query against a saved engine"
@@ -337,6 +348,7 @@ def _run_engine(argv) -> int:
             normalization=args.normalization,
             shards=args.shards,
             max_workers=args.workers,
+            frozen=args.frozen,
         )
         save_index(engine, args.output)
         build = engine.build_stats

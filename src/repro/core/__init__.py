@@ -1,16 +1,18 @@
 """Core building blocks: series, windows, distances, MBTS and TS-Index.
 
 This subpackage holds the paper's primary contribution (the TS-Index,
-Section 5) together with the substrate every search method shares: the
-time-series container, the sliding-window extractor with its three
-normalization regimes, the Chebyshev/Euclidean distance kernels, the
-Minimum Bounding Time Series geometry, and the shared filter/verification
-machinery (Section 3.2).
+Section 5, plus its read-optimized frozen form in
+:mod:`~repro.core.frozen`) together with the substrate every search
+method shares: the time-series container, the sliding-window extractor
+with its three normalization regimes, the Chebyshev/Euclidean distance
+kernels, the Minimum Bounding Time Series geometry, and the shared
+filter/verification machinery (Section 3.2).
 """
 
 from .batch import BatchResult, search_batch
 from .collection import CollectionIndex, CollectionMatch
 from .events import MatchGroup, event_positions, group_matches
+from .frozen import FrozenTSIndex
 from .distance import (
     chebyshev_distance,
     chebyshev_distance_early_abandon,
@@ -47,6 +49,7 @@ __all__ = [
     "BuildStats",
     "CollectionIndex",
     "CollectionMatch",
+    "FrozenTSIndex",
     "MatchGroup",
     "Normalization",
     "QueryStats",

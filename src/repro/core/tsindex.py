@@ -213,6 +213,29 @@ class TSIndex:
         index._build_stats = build_stats
         return index
 
+    def freeze(self):
+        """Snapshot this tree into a read-optimized
+        :class:`~repro.core.frozen.FrozenTSIndex`.
+
+        The frozen form answers ``search`` / ``knn`` / ``exists`` /
+        ``search_batch`` over flat structure-of-arrays storage with
+        vectorized frontier traversal — byte-identical results, a
+        fraction of the latency. Freeze once the tree stops growing
+        (the snapshot does not see later :meth:`insert` calls); thaw
+        with :meth:`FrozenTSIndex.thaw
+        <repro.core.frozen.FrozenTSIndex.thaw>` to resume insertion.
+        """
+        from .frozen import FrozenTSIndex  # local: frozen imports us
+
+        return FrozenTSIndex.from_tree(
+            self._source,
+            self._root,
+            self._params,
+            # Copy: later inserts into this tree must not mutate the
+            # snapshot's (or its serialized form's) build counters.
+            dataclasses.replace(self._build_stats),
+        )
+
     # ------------------------------------------------------------------
     # Metadata
     # ------------------------------------------------------------------
@@ -535,8 +558,8 @@ class TSIndex:
                     np.asarray(node.positions, dtype=POSITION_DTYPE)
                 )
             else:
-                for child in node.children:
-                    child_bound = child.mbts.distance_to_sequence(query)
+                bounds = self._child_bounds(node, query)
+                for child_bound, child in zip(bounds.tolist(), node.children):
                     if child_bound <= epsilon:
                         heapq.heappush(
                             frontier, (child_bound, next(counter), child)
@@ -551,31 +574,73 @@ class TSIndex:
         )
         return verify(self._source, query, candidates, epsilon, stats=stats)
 
-    def exists(self, query, epsilon: float) -> bool:
+    def exists(
+        self, query, epsilon: float, *, stats: QueryStats | None = None
+    ) -> bool:
         """Whether *any* twin exists, with early exit (extension).
 
         Unlike :meth:`search`, qualifying leaves are verified as soon as
         they are reached and the traversal stops at the first twin —
         the cheapest possible decision procedure for questions like
         "has this pattern occurred before?".
+
+        Pass a :class:`QueryStats` to receive the traversal counters
+        (nodes visited/pruned, leaves accessed, candidates verified;
+        ``matches`` is 1 when a twin was found). The counters match
+        :meth:`FrozenTSIndex.exists
+        <repro.core.frozen.FrozenTSIndex.exists>` exactly, so the two
+        paths stay comparable.
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = self._prepare_query(query)
+        stats = stats if stats is not None else QueryStats()
         if self._root is None:
             return False
+
+        stats.nodes_visited += 1
+        if self._root.mbts.distance_to_sequence(query) > epsilon:
+            stats.nodes_pruned += 1
+            return False
+        if self._root.is_leaf:
+            return self._leaf_has_twin(self._root, query, epsilon, stats)
+
         stack = [self._root]
         while stack:
             node = stack.pop()
-            if node.mbts.distance_to_sequence(query) > epsilon:
-                continue
-            if node.is_leaf:
-                positions = np.asarray(node.positions, dtype=POSITION_DTYPE)
-                block = self._source.windows(positions)
-                if bool(np.any(np.max(np.abs(block - query), axis=1) <= epsilon)):
-                    return True
-            else:
-                stack.extend(node.children)
+            bounds = self._child_bounds(node, query)
+            stats.nodes_visited += len(node.children)
+            for bound, child in zip(bounds.tolist(), node.children):
+                if bound > epsilon:
+                    stats.nodes_pruned += 1
+                    continue
+                if child.is_leaf:
+                    if self._leaf_has_twin(child, query, epsilon, stats):
+                        return True
+                else:
+                    stack.append(child)
         return False
+
+    def _leaf_has_twin(
+        self, node: _Node, query: np.ndarray, epsilon: float, stats: QueryStats
+    ) -> bool:
+        stats.leaves_accessed += 1
+        positions = np.asarray(node.positions, dtype=POSITION_DTYPE)
+        block = self._source.windows(positions)
+        stats.candidates += int(positions.size)
+        stats.verified += int(positions.size)
+        found = bool(np.any(np.max(np.abs(block - query), axis=1) <= epsilon))
+        if found:
+            stats.matches += 1
+        return found
+
+    @staticmethod
+    def _child_bounds(node: _Node, query: np.ndarray) -> np.ndarray:
+        """Eq. 2 bound of ``query`` against every child of ``node`` —
+        one vectorized reduction over the cached envelope matrices
+        instead of a per-child ``distance_to_sequence`` call."""
+        upper, lower = node.child_envelopes()
+        outside = np.maximum(query - upper, lower - query).max(axis=1)
+        return np.maximum(outside, 0.0)
 
     def _collect_candidates(
         self, query: np.ndarray, epsilon: float, stats: QueryStats
@@ -687,9 +752,10 @@ class TSIndex:
                     elif entry > best[0]:
                         heapq.heapreplace(best, entry)
             else:
-                for child in node.children:
-                    child_bound = child.mbts.distance_to_sequence(query)
-                    if child_bound <= kth():
+                bounds = self._child_bounds(node, query)
+                threshold = kth()
+                for child_bound, child in zip(bounds.tolist(), node.children):
+                    if child_bound <= threshold:
                         heapq.heappush(
                             frontier, (child_bound, next(counter), child)
                         )

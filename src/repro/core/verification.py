@@ -113,20 +113,28 @@ def verify_positions_blocked(
     matched_positions: list[np.ndarray] = []
     matched_distances: list[np.ndarray] = []
     for start, stop in iter_chunks(positions.size, chunk_size):
-        chunk = positions[start:stop]
-        block = source.windows(chunk)
-        alive = np.arange(chunk.size)
-        running = np.zeros(chunk.size)
+        # Keep the survivors *compacted*: ``survivors`` always holds only
+        # the still-alive rows, so each block performs a single column
+        # fancy-index (``survivors[:, idx]``) instead of the double
+        # ``block[alive][:, idx]`` gather that copied the full alive
+        # submatrix once per block.
+        alive_positions = positions[start:stop]
+        survivors = source.windows(alive_positions)
+        running = np.zeros(alive_positions.size)
         for block_start, block_stop in iter_chunks(order.size, block_size):
             idx = order[block_start:block_stop]
-            diffs = np.max(np.abs(block[alive][:, idx] - query[idx]), axis=1)
-            running[alive] = np.maximum(running[alive], diffs)
-            alive = alive[running[alive] <= epsilon]
-            if alive.size == 0:
+            diffs = np.max(np.abs(survivors[:, idx] - query[idx]), axis=1)
+            np.maximum(running, diffs, out=running)
+            keep = running <= epsilon
+            if not keep.all():
+                survivors = survivors[keep]
+                alive_positions = alive_positions[keep]
+                running = running[keep]
+            if alive_positions.size == 0:
                 break
-        if alive.size:
-            matched_positions.append(chunk[alive])
-            matched_distances.append(running[alive])
+        if alive_positions.size:
+            matched_positions.append(alive_positions)
+            matched_distances.append(running)
 
     return _collect(matched_positions, matched_distances, stats)
 

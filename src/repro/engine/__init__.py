@@ -5,8 +5,10 @@ subsystem turns that into a query-serving engine:
 
 * :class:`ShardedTSIndex` — partitions a series into overlapping chunks
   (overlap ``length - 1``, so no window is lost), builds one TS-Index
-  per shard in parallel, and fans ``search`` / ``knn`` /
-  ``search_batch`` out across the shards with exact result merging;
+  per shard in parallel (frozen into flat
+  :class:`~repro.core.frozen.FrozenTSIndex` arrays by default), and
+  fans ``search`` / ``knn`` / ``search_batch`` out across the shards
+  with exact result merging;
 * :class:`QueryCache` — a thread-safe LRU over (query digest, ε,
   options) with hit/miss/eviction counters;
 * :class:`IndexRegistry` — a named-index owner with build / evict /

@@ -114,7 +114,8 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def build(self, name: str, series, length: int, **build_options) -> ShardedTSIndex:
         """Build and register a sharded index (see
-        :meth:`IndexRegistry.build`).
+        :meth:`IndexRegistry.build`; shards are frozen into flat
+        read-optimized arrays unless ``frozen=False`` is passed).
 
         Rebuilding an existing name (``overwrite=True``) also drops the
         cache, so the new index can never serve the old one's results.

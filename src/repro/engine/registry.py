@@ -63,12 +63,15 @@ class IndexRegistry:
         shards: int | None = None,
         params: TSIndexParams | None = None,
         max_workers: int | None = None,
+        frozen: bool = True,
         overwrite: bool = False,
     ) -> ShardedTSIndex:
         """Build a sharded engine and register it under ``name``.
 
-        Refuses to clobber an existing name unless ``overwrite=True``
-        (rebuilding a live index should be a deliberate act).
+        Shards are frozen into flat read-optimized arrays by default
+        (``frozen=False`` keeps dynamic trees). Refuses to clobber an
+        existing name unless ``overwrite=True`` (rebuilding a live index
+        should be a deliberate act).
         """
         name = self._check_name(name)
         if not overwrite and name in self._engines:
@@ -82,6 +85,7 @@ class IndexRegistry:
             shards=shards,
             params=params,
             max_workers=max_workers,
+            frozen=frozen,
         )
         self.add(name, engine, overwrite=overwrite)
         return engine
@@ -187,6 +191,7 @@ class IndexRegistry:
             "length": engine.length,
             "normalization": engine.source.normalization.value,
             "shards": engine.shard_count,
+            "frozen": engine.frozen,
             "nodes": build.nodes,
             "splits": build.splits,
             "build_seconds": round(build.seconds, 4),

@@ -15,6 +15,14 @@ property tests).
 Shard builds run in parallel via :mod:`concurrent.futures`; queries can
 run the per-shard work serially, on a caller-supplied executor, or on a
 shard-count-sized private pool (see ``executor`` arguments).
+
+By default shard trees are **frozen** after construction (see
+:class:`~repro.core.frozen.FrozenTSIndex`): each shard becomes a flat
+structure-of-arrays query plane with vectorized frontier traversal —
+byte-identical answers, much lower per-query latency, and a batched
+``search_batch`` path in which all queries share one traversal per
+shard. Pass ``frozen=False`` to keep dynamic pointer trees (e.g. when
+shards must keep accepting inserts).
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from .._util import (
     check_positive_int,
 )
 from ..core.batch import BatchResult
+from ..core.frozen import FrozenTSIndex
 from ..core.normalization import Normalization
 from ..core.stats import BuildStats, QueryStats, SearchResult
 from ..core.tsindex import TSIndex, TSIndexParams
@@ -41,6 +50,13 @@ from ..exceptions import InvalidParameterError
 #: A shard smaller than this many windows is pointless overhead; the
 #: automatic shard count keeps every shard at least this large.
 MIN_SHARD_WINDOWS = 256
+
+#: Below this many total windows, frozen per-shard *batched* traversal
+#: is slower than the plain per-query loop (its fixed per-level setup
+#: outweighs the shared work on small trees — see
+#: ``benchmarks/bench_frozen_traversal.py``), so ``search_batch`` only
+#: auto-selects it for larger indexes.
+BATCHED_MIN_WINDOWS = 50_000
 
 
 def default_shard_count(window_count: int) -> int:
@@ -102,7 +118,7 @@ class ShardedTSIndex:
         self,
         source: WindowSource,
         starts: list[int],
-        shards: list[TSIndex],
+        shards: list[TSIndex | FrozenTSIndex],
         params: TSIndexParams,
     ):
         self._source = source
@@ -123,16 +139,25 @@ class ShardedTSIndex:
         shards: int | None = None,
         params: TSIndexParams | None = None,
         max_workers: int | None = None,
+        frozen: bool = True,
     ) -> "ShardedTSIndex":
         """Build shard trees over all ``length``-windows of ``series``.
 
         ``shards`` defaults to :func:`default_shard_count`; shard trees
         build concurrently on a thread pool of ``max_workers`` threads
-        (default: one per shard, capped by the core count).
+        (default: one per shard, capped by the core count). With
+        ``frozen=True`` (the default) each shard is frozen into a flat
+        :class:`~repro.core.frozen.FrozenTSIndex` as soon as it is
+        built — identical answers, faster serving; pass ``frozen=False``
+        to keep dynamic pointer trees.
         """
         source = WindowSource(series, length, normalization)
         return cls.from_source(
-            source, shards=shards, params=params, max_workers=max_workers
+            source,
+            shards=shards,
+            params=params,
+            max_workers=max_workers,
+            frozen=frozen,
         )
 
     @classmethod
@@ -143,6 +168,7 @@ class ShardedTSIndex:
         shards: int | None = None,
         params: TSIndexParams | None = None,
         max_workers: int | None = None,
+        frozen: bool = True,
     ) -> "ShardedTSIndex":
         """Build from a prepared monolithic window source."""
         if shards is None:
@@ -152,22 +178,32 @@ class ShardedTSIndex:
         sources = [source.shard(start, stop) for start, stop in spans]
         if max_workers is None:
             max_workers = min(len(spans), os.cpu_count() or 1)
+
+        def build_one(shard_source):
+            tree = TSIndex.from_source(shard_source, params=params)
+            return tree.freeze() if frozen else tree
+
         if max_workers > 1 and len(spans) > 1:
             with concurrent.futures.ThreadPoolExecutor(max_workers) as pool:
-                trees = list(
-                    pool.map(
-                        lambda shard_source: TSIndex.from_source(
-                            shard_source, params=params
-                        ),
-                        sources,
-                    )
-                )
+                trees = list(pool.map(build_one, sources))
         else:
-            trees = [
-                TSIndex.from_source(shard_source, params=params)
-                for shard_source in sources
-            ]
+            trees = [build_one(shard_source) for shard_source in sources]
         return cls(source, [start for start, _ in spans], trees, params)
+
+    def freeze(self) -> "ShardedTSIndex":
+        """A copy of this engine with every shard frozen (no-op view of
+        already-frozen shards; dynamic shards are snapshotted)."""
+        if self.frozen:
+            return self
+        return ShardedTSIndex(
+            self._source,
+            list(self._starts),
+            [
+                tree if isinstance(tree, FrozenTSIndex) else tree.freeze()
+                for tree in self._shards
+            ],
+            self._params,
+        )
 
     @classmethod
     def _from_prebuilt(
@@ -209,9 +245,16 @@ class ShardedTSIndex:
         return len(self._shards)
 
     @property
-    def shards(self) -> tuple[TSIndex, ...]:
+    def shards(self) -> tuple[TSIndex | FrozenTSIndex, ...]:
         """The per-span shard trees (read-only view)."""
         return tuple(self._shards)
+
+    @property
+    def frozen(self) -> bool:
+        """True when every shard is a frozen (flat-array) index."""
+        return all(
+            isinstance(tree, FrozenTSIndex) for tree in self._shards
+        )
 
     @property
     def spans(self) -> list[tuple[int, int]]:
@@ -238,7 +281,7 @@ class ShardedTSIndex:
     def __repr__(self) -> str:
         return (
             f"ShardedTSIndex(windows={self.size}, length={self.length}, "
-            f"shards={self.shard_count})"
+            f"shards={self.shard_count}, frozen={self.frozen})"
         )
 
     def shard_stats(self) -> list[dict]:
@@ -253,6 +296,7 @@ class ShardedTSIndex:
                     "nodes": tree.node_count,
                     "splits": tree.build_stats.splits,
                     "build_seconds": round(tree.build_stats.seconds, 4),
+                    "frozen": isinstance(tree, FrozenTSIndex),
                 }
             )
         return rows
@@ -351,6 +395,7 @@ class ShardedTSIndex:
         epsilon: float,
         *,
         executor: concurrent.futures.Executor | None = None,
+        batched: bool | None = None,
         **search_options,
     ) -> BatchResult:
         """Run every query of ``queries`` at ``epsilon``.
@@ -358,16 +403,53 @@ class ShardedTSIndex:
         With ``executor`` the *queries* fan out across the pool (each
         query then walks its shards serially — the profitable split for
         workloads of many small queries, and it avoids nested-pool
-        deadlock); without one the batch runs serially. Result order
-        always matches the input order.
+        deadlock); without one the batch runs serially. When every shard
+        is frozen, no executor is supplied and the index is large
+        enough (:data:`BATCHED_MIN_WINDOWS`; on smaller trees the
+        shared traversal's fixed setup costs more than it saves), each
+        shard answers the whole workload with one batched traversal
+        (:meth:`FrozenTSIndex.search_batch
+        <repro.core.frozen.FrozenTSIndex.search_batch>`) — identical
+        results, fewer NumPy dispatches. ``batched=False`` forces the
+        per-query loop; ``batched=True`` forces the shared traversal and
+        raises if it cannot run (dynamic shards, or an executor).
+        Result order always matches the input order.
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
         queries = list(queries)
 
-        def one(query) -> SearchResult:
-            return self.search(query, epsilon, **search_options)
+        if batched is None:
+            batched = (
+                executor is None
+                and len(queries) > 1
+                and self.size >= BATCHED_MIN_WINDOWS
+                and self.frozen
+            )
+        elif batched:
+            if executor is not None:
+                raise InvalidParameterError(
+                    "batched=True runs each shard's whole workload in "
+                    "one traversal and cannot fan out on an executor"
+                )
+            if not self.frozen:
+                raise InvalidParameterError(
+                    "batched=True requires frozen shards (build with "
+                    "frozen=True, the default, or call freeze())"
+                )
+        if batched and queries:
+            per_shard = [
+                tree.search_batch(queries, epsilon, **search_options)
+                for tree in self._shards
+            ]
+            results = [
+                self._merge_search([batch.results[i] for batch in per_shard])
+                for i in range(len(queries))
+            ]
+        else:
+            def one(query) -> SearchResult:
+                return self.search(query, epsilon, **search_options)
 
-        results = self._map(executor, one, queries)
+            results = self._map(executor, one, queries)
         aggregate = QueryStats()
         for result in results:
             aggregate = aggregate.merge(result.stats)

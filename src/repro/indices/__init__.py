@@ -28,9 +28,11 @@ from .sweepline import SweeplineSearch
 # TS-Index lives in repro.core (it is the paper's contribution) but
 # satisfies the same interface; register it as a virtual subclass so
 # ``isinstance(index, SubsequenceIndex)`` holds for all four methods.
+from ..core.frozen import FrozenTSIndex as _FrozenTSIndex
 from ..core.tsindex import TSIndex as _TSIndex
 
 SubsequenceIndex.register(_TSIndex)
+SubsequenceIndex.register(_FrozenTSIndex)
 
 __all__ = [
     "ISAXIndex",

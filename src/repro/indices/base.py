@@ -93,6 +93,14 @@ def create_method_from_source(name: str, source: WindowSource, **kwargs):
         if kwargs:
             params = TSIndexParams(**kwargs)
         return TSIndex.from_source(source, params=params)
+    if normalized in ("frozen", "frozentsindex"):
+        # Read-optimized flat form of TS-Index (repro.core.frozen):
+        # same answers, vectorized frontier traversal. Not in
+        # METHOD_NAMES for the same reason as "sharded".
+        params = kwargs.pop("params", None)
+        if kwargs:
+            params = TSIndexParams(**kwargs)
+        return TSIndex.from_source(source, params=params).freeze()
     if normalized in ("sharded", "shardedtsindex", "engine"):
         # The serving-layer index (repro.engine); answers the same
         # ``search`` surface, so the harness can drive it by name. Not

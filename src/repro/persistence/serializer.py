@@ -6,6 +6,12 @@ the raw series, the construction parameters and the method-specific
 structure (flattened with explicit child offsets, so reload is O(size)
 with no recursion). Loaded indices answer queries identically to the
 originals — enforced by round-trip tests.
+
+Frozen indexes (:class:`~repro.core.frozen.FrozenTSIndex`, standalone
+or as shards of a sharded engine) round-trip their flat arrays
+*natively*: the archive stores the structure-of-arrays form verbatim
+and loading is pure array reads — no node objects are rebuilt and no
+windows are re-inserted.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ import os
 import numpy as np
 
 from .._util import POSITION_DTYPE
+from ..core.frozen import ARRAY_FIELDS, FrozenTSIndex
 from ..core.mbts import MBTS
 from ..core.normalization import Normalization
 from ..core.stats import BuildStats
@@ -39,6 +46,8 @@ def save_index(index, path) -> None:
     path = os.fspath(path)
     if isinstance(index, ShardedTSIndex):
         payload = _dump_sharded(index)
+    elif isinstance(index, FrozenTSIndex):
+        payload = _dump_frozen(index)
     elif isinstance(index, TSIndex):
         payload = _dump_tsindex(index)
     elif isinstance(index, KVIndex):
@@ -221,14 +230,42 @@ def _dump_tsindex(index: TSIndex) -> dict:
     return payload
 
 
-def _load_tsindex(meta: dict, data: dict) -> TSIndex:
+def _load_tsindex(meta: dict, data: dict) -> TSIndex | FrozenTSIndex:
     source = _source_from(meta, data)
     params = TSIndexParams(**meta["params"])
+    if meta.get("frozen"):
+        # Frozen archives hold the flat arrays natively; loading is
+        # pure array reads — no node objects, no re-insertion.
+        return FrozenTSIndex.from_arrays(
+            source,
+            params,
+            _build_stats_from(meta),
+            {field: data[field] for field in ARRAY_FIELDS},
+        )
     root = _tree_from_arrays(data)
     index = TSIndex._from_prebuilt_root(
         source, root, params, _build_stats_from(meta)
     )
     return index
+
+
+def _dump_frozen(index: FrozenTSIndex) -> dict:
+    """Frozen indexes serialize their flat arrays verbatim."""
+    payload = {
+        "meta": np.asarray(
+            _meta_for(
+                index,
+                "tsindex",
+                {
+                    "params": _tsindex_params_meta(index.params),
+                    "frozen": True,
+                },
+            )
+        ),
+        "series": index.source.series.values,
+    }
+    payload.update(index.arrays())
+    return payload
 
 
 def _leaf_span(i: int, kinds, offsets, total: int) -> int:
@@ -396,14 +433,21 @@ def _dump_sharded(engine) -> dict:
     shard_meta = []
     payload: dict = {"series": engine.source.series.values}
     for i, ((start, stop), tree) in enumerate(zip(engine.spans, engine.shards)):
-        if tree._root is None:
-            raise SerializationError("cannot serialize an empty shard tree")
-        for key, value in _flatten_tree(tree._root).items():
+        if isinstance(tree, FrozenTSIndex):
+            arrays = tree.arrays()
+            frozen = True
+        else:
+            if tree._root is None:
+                raise SerializationError("cannot serialize an empty shard tree")
+            arrays = _flatten_tree(tree._root)
+            frozen = False
+        for key, value in arrays.items():
             payload[f"s{i}_{key}"] = value
         shard_meta.append(
             {
                 "start": start,
                 "stop": stop,
+                "frozen": frozen,
                 "build_stats": dataclasses.asdict(tree.build_stats),
             }
         )
@@ -426,19 +470,30 @@ def _load_sharded(meta: dict, data: dict):
     source = _source_from(meta, data)
     params = TSIndexParams(**meta["params"])
     starts: list[int] = []
-    trees: list[TSIndex] = []
+    trees: list[TSIndex | FrozenTSIndex] = []
     for i, shard in enumerate(meta["shards"]):
         start, stop = int(shard["start"]), int(shard["stop"])
         shard_source = source.shard(start, stop)
-        root = _tree_from_arrays(data, prefix=f"s{i}_")
-        trees.append(
-            TSIndex._from_prebuilt_root(
-                shard_source,
-                root,
-                params,
-                BuildStats(**shard.get("build_stats", {})),
+        build_stats = BuildStats(**shard.get("build_stats", {}))
+        if shard.get("frozen"):
+            trees.append(
+                FrozenTSIndex.from_arrays(
+                    shard_source,
+                    params,
+                    build_stats,
+                    {
+                        field: data[f"s{i}_{field}"]
+                        for field in ARRAY_FIELDS
+                    },
+                )
             )
-        )
+        else:
+            root = _tree_from_arrays(data, prefix=f"s{i}_")
+            trees.append(
+                TSIndex._from_prebuilt_root(
+                    shard_source, root, params, build_stats
+                )
+            )
         starts.append(start)
     return ShardedTSIndex._from_prebuilt(source, starts, trees, params)
 
