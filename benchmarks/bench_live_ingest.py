@@ -1,0 +1,293 @@
+"""Live ingestion plane: sustained append throughput + query latency.
+
+Measures, on a synthetic monitoring stream, the numbers behind
+:mod:`repro.live`:
+
+* **ingest** — sustained append throughput (readings/s) of the
+  in-memory LSM lifecycle (delta inserts + seals + inline compaction),
+  and the same with the write-ahead log on (durable ingest);
+* **strawman** — the rebuild-per-append baseline: rebuilding a
+  monolithic TS-Index from scratch after every batch, the only way to
+  keep a static index fresh (measured on a few batches, it is orders
+  of magnitude off);
+* **query latency under concurrent ingest** — p50/p99 of ``search``
+  while a feeder thread appends at full speed, versus quiescent
+  latency on the same final plane.
+
+Correctness is asserted before timing: the live plane's answers are
+byte-identical to a from-scratch TS-Index over the final series.
+Results are written as JSON — ``BENCH_live.json`` by default — and CI
+runs ``--smoke`` and uploads the artifact.
+
+Run::
+
+    python benchmarks/bench_live_ingest.py             # full: 120k readings
+    python benchmarks/bench_live_ingest.py --smoke     # CI-sized
+    python benchmarks/bench_live_ingest.py --readings 50000 --batch 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.core.tsindex import TSIndex, TSIndexParams
+from repro.data import synthetic
+from repro.live import LiveTwinIndex
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Benchmark live ingestion vs rebuild-per-append."
+    )
+    parser.add_argument(
+        "--readings", type=int, default=120_000,
+        help="total readings streamed (default: 120000)",
+    )
+    parser.add_argument(
+        "--initial", type=int, default=5_000,
+        help="warmup readings indexed before timing (default: 5000)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=64,
+        help="readings per append call (default: 64)",
+    )
+    parser.add_argument(
+        "--length", type=int, default=100, help="window length (default: 100)"
+    )
+    parser.add_argument(
+        "--seal-threshold", type=int, default=8_192,
+        help="delta windows per sealed segment (default: 8192)",
+    )
+    parser.add_argument(
+        "--max-segments", type=int, default=8,
+        help="segment count that triggers compaction (default: 8)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=200,
+        help="queries timed per latency stage (default: 200)",
+    )
+    parser.add_argument(
+        "--strawman-batches", type=int, default=5,
+        help="append batches measured for the rebuild-per-append "
+        "strawman (default: 5; it is far too slow for more)",
+    )
+    parser.add_argument(
+        "--neighbors", type=int, default=10,
+        help="epsilon = median k-th NN distance of sample queries "
+        "(default: 10)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output", default="BENCH_live.json",
+        help="JSON results path (default: BENCH_live.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.readings = 8_000
+        args.initial = 1_000
+        args.seal_threshold = 1_024
+        args.queries = 24
+        args.strawman_batches = 2
+    return args
+
+
+def make_stream(n: int, seed: int) -> np.ndarray:
+    """A traffic-like monitoring stream (daily cycle + noise)."""
+    base = synthetic.noisy_sines(
+        n, seed=seed, frequencies=(1 / 288, 1 / 2016),
+        amplitudes=(40.0, 12.0), noise_std=4.0,
+    )
+    return np.maximum(base + 60.0, 0.0)
+
+
+def pick_epsilon(live: LiveTwinIndex, queries, neighbors: int) -> float:
+    kth = []
+    for query in queries[:8]:
+        ranked = live.knn(query, neighbors)
+        if len(ranked):
+            kth.append(float(ranked.distances[-1]))
+    return float(np.median(kth)) if kth else 0.5
+
+
+def assert_equal(a, b, label: str) -> None:
+    if not (
+        np.array_equal(a.positions, b.positions)
+        and np.array_equal(a.distances, b.distances)
+    ):
+        raise AssertionError(f"{label}: live != from-scratch")
+
+
+def ingest(args, series, *, directory=None) -> tuple[LiveTwinIndex, dict]:
+    """Stream ``series`` through a live plane; returns it plus timings."""
+    options = dict(
+        length=args.length,
+        seal_threshold=args.seal_threshold,
+        max_segments=args.max_segments,
+    )
+    if directory is None:
+        live = LiveTwinIndex(series[: args.initial], **options)
+    else:
+        live = LiveTwinIndex.create(directory, series[: args.initial], **options)
+    started = time.perf_counter()
+    for start in range(args.initial, series.size, args.batch):
+        live.append(series[start : start + args.batch])
+    live.wait_for_compaction()
+    elapsed = time.perf_counter() - started
+    streamed = series.size - args.initial
+    row = {
+        "readings": int(streamed),
+        "seconds": round(elapsed, 4),
+        "readings_per_second": round(streamed / elapsed, 1),
+        "seals": live.seal_count,
+        "compactions": live.compaction_count,
+        "segments": live.segment_count,
+    }
+    return live, row
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+    series = make_stream(args.readings, args.seed)
+    params = TSIndexParams()
+
+    results = {
+        "config": {
+            "readings": args.readings,
+            "initial": args.initial,
+            "batch": args.batch,
+            "length": args.length,
+            "seal_threshold": args.seal_threshold,
+            "max_segments": args.max_segments,
+            "queries": args.queries,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+    # --- ingest throughput (in-memory, then durable) -------------------
+    print(f"streaming {args.readings} readings in batches of {args.batch} ...")
+    live, row = ingest(args, series)
+    results["ingest"] = row
+    print(
+        f"  in-memory: {row['readings_per_second']:.0f} readings/s "
+        f"({row['seals']} seals, {row['compactions']} compactions)"
+    )
+    directory = tempfile.mkdtemp(prefix="repro-bench-live-")
+    try:
+        durable, row = ingest(args, series, directory=directory)
+        durable.close()
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    results["ingest_durable"] = row
+    print(f"  with WAL:  {row['readings_per_second']:.0f} readings/s")
+
+    # --- correctness gate + workload -----------------------------------
+    reference = TSIndex.from_source(live.source, params=params)
+    positions = rng.integers(0, live.window_count, size=args.queries)
+    queries = [
+        np.array(live.source.window_block(int(p), int(p) + 1)[0])
+        for p in positions
+    ]
+    epsilon = pick_epsilon(live, queries, args.neighbors)
+    for query in queries[:16]:
+        assert_equal(
+            live.search(query, epsilon),
+            reference.search(query, epsilon),
+            "search",
+        )
+        assert_equal(live.knn(query, 5), reference.knn(query, 5), "knn")
+    print(f"equality checks passed; workload epsilon={epsilon:.4f}")
+
+    # --- strawman: rebuild a static index per append batch -------------
+    strawman_series = series[: args.initial + args.strawman_batches * args.batch]
+    started = time.perf_counter()
+    batches = 0
+    for start in range(args.initial, strawman_series.size, args.batch):
+        TSIndex.build(
+            strawman_series[: start + args.batch],
+            args.length,
+            normalization="none",
+            params=params,
+        )
+        batches += 1
+    strawman_seconds = time.perf_counter() - started
+    strawman_rate = batches * args.batch / strawman_seconds
+    results["strawman_rebuild_per_append"] = {
+        "batches_measured": batches,
+        "seconds": round(strawman_seconds, 4),
+        "readings_per_second": round(strawman_rate, 2),
+        "live_speedup": round(
+            results["ingest"]["readings_per_second"] / strawman_rate, 1
+        ),
+    }
+    print(
+        f"strawman rebuild-per-append: {strawman_rate:.0f} readings/s "
+        f"→ live is {results['strawman_rebuild_per_append']['live_speedup']}x"
+    )
+
+    # --- query latency: quiescent, then under concurrent ingest --------
+    def percentiles(latencies) -> dict:
+        array = np.asarray(latencies)
+        return {
+            "p50_ms": round(float(np.percentile(array, 50)) * 1e3, 3),
+            "p99_ms": round(float(np.percentile(array, 99)) * 1e3, 3),
+            "mean_ms": round(float(array.mean()) * 1e3, 3),
+            "queries": int(array.size),
+        }
+
+    quiescent = []
+    for query in queries:
+        started = time.perf_counter()
+        live.search(query, epsilon)
+        quiescent.append(time.perf_counter() - started)
+    results["query_quiescent"] = percentiles(quiescent)
+
+    feeder_stop = threading.Event()
+
+    def feeder():
+        feed_rng = np.random.default_rng(args.seed + 1)
+        while not feeder_stop.is_set():
+            live.append(feed_rng.normal(60.0, 4.0, size=args.batch))
+
+    thread = threading.Thread(target=feeder)
+    thread.start()
+    try:
+        under_ingest = []
+        for query in queries:
+            started = time.perf_counter()
+            live.search(query, epsilon)
+            under_ingest.append(time.perf_counter() - started)
+    finally:
+        feeder_stop.set()
+        thread.join()
+    live.wait_for_compaction()
+    results["query_under_ingest"] = percentiles(under_ingest)
+    for name in ("query_quiescent", "query_under_ingest"):
+        row = results[name]
+        print(f"{name}: p50 {row['p50_ms']}ms  p99 {row['p99_ms']}ms")
+
+    live.close()
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,16 @@ registry behind a thread pool for concurrent callers:
 ...     result = serving.query("demo", series[250:350], epsilon=0.4)
 >>> 250 in result.positions
 True
+
+Growing series are first-class too: :mod:`repro.live` is an LSM-style
+ingestion plane — :class:`~repro.live.LiveTwinIndex` appends readings
+(durably, through a write-ahead log when created with
+:meth:`~repro.live.LiveTwinIndex.create`), seals the mutable delta into
+frozen segments, compacts them in the background, and answers
+``search`` / ``knn`` / ``exists`` byte-identically to a from-scratch
+index over the full series. Serve one through the engine with
+:meth:`QueryEngine.add_live <repro.engine.QueryEngine.add_live>` /
+:meth:`QueryEngine.append <repro.engine.QueryEngine.append>`.
 """
 
 from __future__ import annotations
@@ -102,6 +112,7 @@ from .indices import (
     available_methods,
     create_method,
 )
+from .live import LiveTwinIndex, WriteAheadLog
 
 __version__ = "1.0.0"
 
@@ -122,6 +133,7 @@ __all__ = [
     "InvalidParameterError",
     "KVIndex",
     "KVIndexParams",
+    "LiveTwinIndex",
     "Normalization",
     "QueryCache",
     "QueryEngine",
@@ -137,6 +149,7 @@ __all__ = [
     "TimeSeries",
     "UnsupportedNormalizationError",
     "WindowSource",
+    "WriteAheadLog",
     "available_methods",
     "bulk_load",
     "bulk_load_source",

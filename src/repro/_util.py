@@ -80,6 +80,17 @@ def check_window_length(length, series_length: int, *, name: str = "length") -> 
     return length
 
 
+def map_with_executor(executor, fn, items: Sequence) -> list:
+    """``[fn(item) for item in items]``, fanned out on ``executor`` when
+    one is given and there is more than one item (the shared fan-out
+    policy of :class:`~repro.engine.sharding.ShardedTSIndex` and
+    :class:`~repro.live.LiveTwinIndex`). Result order always matches
+    the input order."""
+    if executor is None or len(items) <= 1:
+        return [fn(item) for item in items]
+    return list(executor.map(fn, items))
+
+
 def iter_chunks(total: int, chunk_size: int) -> Iterator[tuple[int, int]]:
     """Yield ``(start, stop)`` pairs covering ``range(total)`` in chunks."""
     if chunk_size < 1:

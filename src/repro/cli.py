@@ -24,6 +24,16 @@ Drive the sharded query engine (:mod:`repro.engine`)::
         --epsilon 0.5
     python -m repro.cli engine query --index idx.npz --position 250 --knn 5
     python -m repro.cli engine stats --index idx.npz
+
+Drive the live ingestion plane (:mod:`repro.live`) — a durable,
+appendable index with WAL recovery::
+
+    python -m repro.cli live init --path ./traffic --length 100
+    python -m repro.cli live append --path ./traffic --input readings.csv
+    python -m repro.cli live append --path ./traffic --values 1.5,2.0,1.8
+    python -m repro.cli live query --path ./traffic --position 250 \
+        --epsilon 0.5
+    python -m repro.cli live stats --path ./traffic
 """
 
 from __future__ import annotations
@@ -39,7 +49,9 @@ DEFAULT_SCALE_INSECT = 1.0
 DEFAULT_SCALE_EEG = 0.1
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8")
-COMMANDS = ("table1", "table2", "intro", "all") + FIGURES + ("engine",)
+COMMANDS = (
+    ("table1", "table2", "intro", "all") + FIGURES + ("engine", "live")
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -320,6 +332,221 @@ def _engine_query_values(args, engine):
     return values
 
 
+def build_live_parser() -> argparse.ArgumentParser:
+    """Parser for the ``live init|append|query|stats`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-twin live",
+        description="Initialize, feed and query a durable live "
+        "ingestion plane (WAL + sealed segments).",
+    )
+    commands = parser.add_subparsers(dest="live_command", required=True)
+
+    init = commands.add_parser(
+        "init", help="initialize a live index directory"
+    )
+    init.add_argument("--path", required=True, help="live index directory")
+    init.add_argument(
+        "--length", type=int, required=True, help="window length l"
+    )
+    init.add_argument(
+        "--normalization",
+        choices=("none", "per_window"),
+        default="none",
+        help="value regime (global z-norm is undefined for a growing "
+        "series; default: none)",
+    )
+    init.add_argument(
+        "--seal-threshold",
+        type=int,
+        default=None,
+        help="delta windows per sealed segment (default: library default)",
+    )
+    init.add_argument(
+        "--max-segments",
+        type=int,
+        default=None,
+        help="segment count that triggers compaction (default: library "
+        "default)",
+    )
+    seed_source = init.add_mutually_exclusive_group()
+    seed_source.add_argument(
+        "--input", help="CSV/text file with initial readings (optional)"
+    )
+    seed_source.add_argument(
+        "--dataset",
+        choices=("insect", "eeg"),
+        help="seed with a surrogate dataset instead of a file",
+    )
+    init.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="fraction of --dataset to seed with (default: 0.05)",
+    )
+    init.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every journal write (power-loss safe, slower)",
+    )
+
+    append = commands.add_parser(
+        "append", help="durably append readings to a live index"
+    )
+    append.add_argument("--path", required=True, help="live index directory")
+    what = append.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--values", help="comma-separated readings, e.g. 1.5,2.0,1.8"
+    )
+    what.add_argument("--input", help="CSV/text file with readings")
+
+    query = commands.add_parser(
+        "query", help="run a twin or k-NN query against a live index"
+    )
+    query.add_argument("--path", required=True, help="live index directory")
+    what = query.add_mutually_exclusive_group(required=True)
+    what.add_argument(
+        "--position",
+        type=int,
+        help="use the indexed window at this position as the query",
+    )
+    what.add_argument(
+        "--query-file", help="CSV/text file with the query values"
+    )
+    query.add_argument(
+        "--epsilon", type=float, default=None, help="twin threshold ε"
+    )
+    query.add_argument(
+        "--knn", type=int, default=None, help="run a k-NN query instead of ε"
+    )
+    query.add_argument(
+        "--limit",
+        type=int,
+        default=10,
+        help="matches to print (default: 10; totals always shown)",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="segment/delta/WAL stats of a live index"
+    )
+    stats.add_argument("--path", required=True, help="live index directory")
+    return parser
+
+
+def _live_readings(args):
+    """Readings from --values or --input for `live append`."""
+    import numpy as np
+
+    if getattr(args, "values", None):
+        try:
+            return np.asarray(
+                [float(part) for part in args.values.split(",") if part.strip()]
+            )
+        except ValueError as exc:
+            raise SystemExit(f"--values: {exc}") from exc
+    from .data import load_series
+
+    return load_series(args.input).values
+
+
+def run_live(argv) -> int:
+    """Execute one ``live`` subcommand; returns an exit code."""
+    from .exceptions import ReproError
+
+    try:
+        return _run_live(argv)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+
+
+def _run_live(argv) -> int:
+    import numpy as np
+
+    from .live import LiveTwinIndex
+
+    args = build_live_parser().parse_args(argv)
+
+    if args.live_command == "init":
+        initial = None
+        if args.input:
+            from .data import load_series
+
+            initial = load_series(args.input).values
+        elif args.dataset:
+            from .data import load_dataset
+
+            initial = load_dataset(args.dataset, scale=args.scale)
+        options = {}
+        if args.seal_threshold is not None:
+            options["seal_threshold"] = args.seal_threshold
+        if args.max_segments is not None:
+            options["max_segments"] = args.max_segments
+        with LiveTwinIndex.create(
+            args.path,
+            initial,
+            length=args.length,
+            normalization=args.normalization,
+            fsync=args.fsync,
+            **options,
+        ) as live:
+            print(f"initialized {live!r} at {args.path}")
+        return 0
+
+    if args.live_command == "append":
+        readings = _live_readings(args)
+        with LiveTwinIndex.recover(args.path) as live:
+            added = live.append(readings)
+            print(
+                f"appended {len(readings)} readings "
+                f"({added} new windows); now {live!r}"
+            )
+        return 0
+
+    if args.live_command == "query":
+        if (args.epsilon is None) == (args.knn is None):
+            raise SystemExit("pass exactly one of --epsilon or --knn")
+        with LiveTwinIndex.recover(args.path) as live:
+            if args.position is not None:
+                block = live.source.window_block(
+                    args.position, args.position + 1
+                )
+                query = np.array(block[0])
+            else:
+                from .data import load_series
+
+                query = load_series(args.query_file).values
+            if args.knn is not None:
+                result = live.knn(query, args.knn)
+                print(f"{len(result)} nearest windows:")
+            else:
+                result = live.search(query, args.epsilon)
+                print(f"{len(result)} twins within epsilon={args.epsilon:g}:")
+            rows = [
+                {"position": position, "distance": round(distance, 6)}
+                for position, distance in list(result)[: max(0, args.limit)]
+            ]
+            if rows:
+                print(format_table(rows))
+            if len(result) > len(rows):
+                print(f"... and {len(result) - len(rows)} more")
+            stats = result.stats
+            print(
+                f"stats: candidates={stats.candidates} "
+                f"nodes_visited={stats.nodes_visited} "
+                f"nodes_pruned={stats.nodes_pruned} "
+                f"leaves_accessed={stats.leaves_accessed}"
+            )
+        return 0
+
+    with LiveTwinIndex.recover(args.path) as live:
+        snapshot = live.stats()
+        segment_rows = snapshot.pop("segment_stats")
+        print(f"{live!r} normalization={snapshot['normalization']}")
+        print(format_table([snapshot]))
+        if segment_rows:
+            print(format_table(segment_rows))
+    return 0
+
+
 def run_engine(argv) -> int:
     """Execute one ``engine`` subcommand; returns an exit code.
 
@@ -400,14 +627,16 @@ def main(argv=None) -> int:
     argv = list(argv)
     if argv and argv[0] == "engine":
         return run_engine(argv[1:])
+    if argv and argv[0] == "live":
+        return run_live(argv[1:])
     args = build_parser().parse_args(argv)
-    if args.command == "engine":
-        # Reached only when "engine" was not the first argument (main
-        # dispatches argv[0] == "engine" before this parser runs).
+    if args.command in ("engine", "live"):
+        # Reached only when the subsystem word was not the first
+        # argument (main dispatches argv[0] before this parser runs).
         raise SystemExit(
-            "`engine` must be the first argument: "
-            "repro-twin engine build|query|stats (see "
-            "`repro-twin engine --help`)"
+            f"`{args.command}` must be the first argument: "
+            f"repro-twin {args.command} ... (see "
+            f"`repro-twin {args.command} --help`)"
         )
     contexts = _contexts(args)
     if args.command == "all":

@@ -81,27 +81,82 @@ def rolling_mean(values, length: int) -> np.ndarray:
     return (csum[length:] - csum[:-length]) / length
 
 
+#: Minimum window positions per independently-centered block of the
+#: rolling-std computation. Each block is centered on its own first
+#: value, so the intermediate squares scale with the *local* value
+#: range — far better conditioned than one global center on drifting
+#: series — while block boundaries at fixed absolute positions keep the
+#: result prefix-stable (see below). The effective block size is
+#: :func:`std_block_size`.
+STD_BLOCK = 256
+
+
+def std_block_size(length: int) -> int:
+    """Block size (in window positions) used by :func:`rolling_std`.
+
+    At least :data:`STD_BLOCK`, but never smaller than the window
+    length: each block's value span is ``block + length - 1`` points, so
+    growing the block with ``length`` caps the blocked kernel's overlap
+    overhead (memory and arithmetic) at 2x the series size regardless
+    of ``length``. Deterministic in ``length`` alone, so the blocking —
+    and with it prefix-stability — is identical however the series is
+    grown.
+    """
+    return max(STD_BLOCK, int(length))
+
+
 def rolling_std(values, length: int, *, floor: float = STD_FLOOR) -> np.ndarray:
     """Standard deviation of every ``length``-sized window of ``values``.
 
-    Uses the cumulative-sum-of-squares identity on *globally centered*
-    values — variance is shift-invariant, and centering keeps the
-    intermediate squares small so large baselines (e.g. values around
-    1e6) do not suffer catastrophic cancellation. Standard deviations
-    below ``floor`` are clamped to 1.0, matching :data:`STD_FLOOR`
-    semantics so constant windows z-normalize to zero vectors.
+    Uses the cumulative-sum-of-squares identity on *centered* values —
+    variance is shift-invariant, and centering keeps the intermediate
+    squares small so large baselines (e.g. values around 1e6) do not
+    suffer catastrophic cancellation. The computation runs in blocks of
+    :func:`std_block_size` window positions, each centered on its own
+    first value. That choice serves two masters at once:
+
+    * **conditioning** — drifting series (random walks) stray far from
+      any single global center, but within one block + window span the
+      local range is small, so the squares stay small;
+    * **prefix-stability** — block boundaries sit at fixed *absolute*
+      positions and a block's center never changes when readings are
+      appended, so ``rolling_std(x[:n], l)`` is bitwise equal to the
+      first entries of ``rolling_std(x[:m], l)`` for any ``m > n``
+      (cumulative sums are sequential). The live ingestion plane
+      (:mod:`repro.live`) relies on this to keep sealed
+      per-window-normalized segments byte-identical to a from-scratch
+      index over the grown series; centering on the (ever-shifting)
+      global mean would perturb every std on each append.
+
+    Standard deviations below ``floor`` are clamped to 1.0, matching
+    :data:`STD_FLOOR` semantics so constant windows z-normalize to zero
+    vectors.
     """
     array = as_float_array(values)
     length = check_window_length(length, array.size)
-    centered = array - array.mean()
-    csum = np.concatenate(([0.0], np.cumsum(centered, dtype=FLOAT_DTYPE)))
-    csum2 = np.concatenate(
-        ([0.0], np.cumsum(centered * centered, dtype=FLOAT_DTYPE))
+    count = array.size - length + 1
+    block = std_block_size(length)
+    span = block + length - 1  # values feeding one block's windows
+    blocks = (count + block - 1) // block
+    # One (blocks, span) strided matrix holds every block's value chunk;
+    # rows start `block` apart. Padding on the right feeds only the
+    # discarded tail of the last row, so its content is irrelevant —
+    # zeros keep it deterministic.
+    padded = np.zeros((blocks - 1) * block + span, dtype=FLOAT_DTYPE)
+    padded[: array.size] = array
+    stride = padded.strides[0]
+    chunks = np.lib.stride_tricks.as_strided(
+        padded, shape=(blocks, span), strides=(block * stride, stride)
     )
-    mean = (csum[length:] - csum[:-length]) / length
-    mean_sq = (csum2[length:] - csum2[:-length]) / length
+    centered = chunks - chunks[:, :1]
+    csum = np.zeros((blocks, span + 1), dtype=FLOAT_DTYPE)
+    np.cumsum(centered, axis=1, out=csum[:, 1:])
+    csum2 = np.zeros_like(csum)
+    np.cumsum(centered * centered, axis=1, out=csum2[:, 1:])
+    mean = (csum[:, length:] - csum[:, :-length]) / length
+    mean_sq = (csum2[:, length:] - csum2[:, :-length]) / length
     variance = np.maximum(mean_sq - mean * mean, 0.0)
-    std = np.sqrt(variance)
+    std = np.sqrt(variance).reshape(-1)[:count]
     std[std < floor] = 1.0
     return std
 

@@ -216,6 +216,33 @@ class WindowSource:
         shard._stds = None if self._stds is None else self._stds[start:stop]
         return shard
 
+    def detach(self, start: int, stop: int) -> "WindowSource":
+        """Like :meth:`shard`, but **self-contained**: the value chunk
+        and the per-window statistics slices are copied, so the result
+        owns its memory and stays valid (and byte-identical) after this
+        source's buffers are replaced or garbage collected.
+
+        This is how :mod:`repro.live` seals delta windows into immutable
+        segments: the live plane rebuilds its monolithic source on every
+        append, and a sealed segment must not pin the whole historical
+        buffer alive just to serve its own span. Copying preserves
+        bitwise equality because the library's rolling statistics are
+        prefix-stable under appends (see
+        :func:`~repro.core.normalization.rolling_std`).
+        """
+        shard = self.shard(start, stop)
+        name = self._series.name
+        return assemble_source(
+            np.array(shard._values),
+            self._length,
+            self._normalization,
+            means=None if shard._means is None else np.array(shard._means),
+            stds=None if shard._stds is None else np.array(shard._stds),
+            name=f"{name}[{start}:{int(stop) + self._length - 1}]"
+            if name
+            else f"[{start}:{int(stop) + self._length - 1}]",
+        )
+
     # ------------------------------------------------------------------
     # Aggregates used by the indices
     # ------------------------------------------------------------------
@@ -256,3 +283,57 @@ class WindowSource:
                 return query
             return znormalize(query)
         return query
+
+
+def assemble_source(
+    values: np.ndarray,
+    length: int,
+    normalization,
+    *,
+    means: np.ndarray | None = None,
+    stds: np.ndarray | None = None,
+    name: str = "",
+) -> WindowSource:
+    """Assemble a :class:`WindowSource` from an owned value buffer plus
+    **precomputed** per-window statistics.
+
+    Unlike the constructor, the rolling statistics are *not* recomputed
+    from ``values`` — the caller supplies the exact arrays its windows
+    must be scaled by. This is the bitwise-exactness carrier used by
+    :meth:`WindowSource.detach` and by :mod:`repro.live`'s segment
+    compaction: statistics computed over the full series are carried
+    into a chunk-sized source, so chunk windows remain byte-identical to
+    the monolithic ones (recomputing over the chunk would perturb the
+    cumulative sums by float rounding). Under ``NONE``/``GLOBAL`` pass
+    ``means=stds=None``; ``values`` must already be in the prepared
+    domain (raw, or globally normalized by the caller).
+    """
+    from .series import TimeSeries
+
+    normalization = Normalization.coerce(normalization)
+    values = np.ascontiguousarray(values, dtype=FLOAT_DTYPE)
+    length = check_window_length(length, values.size, name="length")
+    count = values.size - length + 1
+    if normalization is Normalization.PER_WINDOW:
+        if means is None or stds is None:
+            raise InvalidParameterError(
+                "per-window sources need precomputed means and stds"
+            )
+        if means.shape != (count,) or stds.shape != (count,):
+            raise InvalidParameterError(
+                f"window statistics must have shape ({count},), got "
+                f"{means.shape} and {stds.shape}"
+            )
+    source = object.__new__(WindowSource)
+    source._series = TimeSeries(values, name=name, copy=False)
+    source._values = values
+    source._length = length
+    source._normalization = normalization
+    source._view = np.lib.stride_tricks.sliding_window_view(values, length)
+    if normalization is Normalization.PER_WINDOW:
+        source._means = means
+        source._stds = stds
+    else:
+        source._means = None
+        source._stds = None
+    return source

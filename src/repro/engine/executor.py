@@ -13,6 +13,13 @@ behind a small surface — ``build`` / ``query`` / ``knn`` / ``batch`` /
 ``stats`` — that is safe to call from many threads at once. Per-query
 structural counters stay exact and deterministic; the engine aggregates
 them across calls into :class:`EngineStats`.
+
+Growing series serve through the same front door: register a
+:class:`~repro.live.LiveTwinIndex` with :meth:`QueryEngine.add_live`
+and feed it with :meth:`QueryEngine.append`. Cached results are keyed
+on the plane's mutation generation, so appends invalidate exactly the
+entries they outdate; live planes appear in :class:`EngineStats`
+``indexes`` rows with ``kind: "live"``.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import threading
 
 from ..core.batch import BatchResult
 from ..core.stats import QueryStats, SearchResult
+from ..exceptions import InvalidParameterError
 from .cache import CacheStats, QueryCache, query_key
 from .registry import IndexRegistry
 from .sharding import ShardedTSIndex
@@ -39,7 +47,8 @@ class EngineStats:
     query_stats: QueryStats
     #: cache counters at snapshot time.
     cache: CacheStats
-    #: per-index structural stats rows.
+    #: per-index structural stats rows (``kind`` distinguishes
+    #: ``"sharded"`` engines from ``"live"`` ingestion planes).
     indexes: list[dict]
 
     def as_dict(self) -> dict:
@@ -129,6 +138,40 @@ class QueryEngine:
             # just releases their memory promptly.
             self._cache.clear()
         return index
+
+    def add_live(self, name: str, index, *, overwrite: bool = False):
+        """Register a :class:`~repro.live.LiveTwinIndex` ingestion plane
+        for serving (see :meth:`IndexRegistry.add_live`).
+
+        Cached results for live planes are keyed on the plane's
+        *mutation generation*: every accepted append moves it, so a
+        stale pre-append result can never be served afterwards — no
+        blanket cache clear, entries for other indexes stay warm.
+        """
+        self._registry.add_live(name, index, overwrite=overwrite)
+        if overwrite:
+            # As in build(): correctness comes from generation-stamped
+            # keys; the clear just releases unreachable entries early.
+            self._cache.clear()
+        return index
+
+    def append(self, name: str, readings) -> int:
+        """Append readings to the live plane registered under ``name``;
+        returns the number of newly indexed windows.
+
+        Invalidation is scoped to this plane's generation: the append
+        bumps its mutation counter, so every subsequent query computes
+        fresh results under a new cache key while other indexes' cached
+        entries remain served.
+        """
+        index = self._registry.get(name)
+        append = getattr(index, "append", None)
+        if append is None:
+            raise InvalidParameterError(
+                f"index {name!r} is not appendable; register a live "
+                "plane with add_live() to serve a growing series"
+            )
+        return append(readings)
 
     def load(self, name: str, path, *, overwrite: bool = False) -> ShardedTSIndex:
         """Restore an index from disk and register it (see

@@ -8,6 +8,13 @@ them through :mod:`repro.persistence`, and reports per-index stats.
 All operations are thread-safe; builds for distinct names can proceed
 concurrently (the registry lock is only held around map mutation, never
 around a build).
+
+Mutable :class:`~repro.live.LiveTwinIndex` planes register through
+:meth:`IndexRegistry.add_live`. For those, the generation reported by
+:meth:`get_with_generation` incorporates the plane's **mutation
+counter**, so cache entries keyed on ``(name, generation)`` become
+unreachable the moment an append lands — the generation-scoped
+invalidation :class:`~repro.engine.executor.QueryEngine` relies on.
 """
 
 from __future__ import annotations
@@ -41,7 +48,8 @@ class IndexRegistry:
     """
 
     def __init__(self):
-        self._engines: dict[str, ShardedTSIndex] = {}
+        # ShardedTSIndex engines and LiveTwinIndex planes, by name.
+        self._engines: dict[str, object] = {}
         self._built_at: dict[str, float] = {}
         # Monotonic per-name registration counter. Callers that cache
         # results key on (name, generation) so an in-flight computation
@@ -94,12 +102,32 @@ class IndexRegistry:
         self, name: str, engine: ShardedTSIndex, *, overwrite: bool = False
     ) -> None:
         """Register an engine built elsewhere (e.g. loaded from disk)."""
-        name = self._check_name(name)
         if not isinstance(engine, ShardedTSIndex):
             raise InvalidParameterError(
                 "registry entries must be ShardedTSIndex instances, got "
-                f"{type(engine).__name__}"
+                f"{type(engine).__name__} (register live planes with "
+                "add_live)"
             )
+        self._register(name, engine, overwrite=overwrite)
+
+    def add_live(self, name: str, index, *, overwrite: bool = False) -> None:
+        """Register a mutable :class:`~repro.live.LiveTwinIndex` plane.
+
+        Live entries serve the same query surface; their cache
+        generation additionally tracks the plane's mutation counter, so
+        results cached before an append are never served after it.
+        """
+        from ..live import LiveTwinIndex  # lazy: live imports core only
+
+        if not isinstance(index, LiveTwinIndex):
+            raise InvalidParameterError(
+                "add_live expects a LiveTwinIndex, got "
+                f"{type(index).__name__}"
+            )
+        self._register(name, index, overwrite=overwrite)
+
+    def _register(self, name: str, engine, *, overwrite: bool) -> None:
+        name = self._check_name(name)
         with self._lock:
             if not overwrite and name in self._engines:
                 raise InvalidParameterError(
@@ -113,21 +141,30 @@ class IndexRegistry:
         """The live engine registered under ``name``."""
         return self.get_with_generation(name)[0]
 
-    def get_with_generation(self, name: str) -> tuple[ShardedTSIndex, int]:
-        """The live engine plus its registration generation (atomic).
+    def get_with_generation(self, name: str) -> tuple[ShardedTSIndex, object]:
+        """The live engine plus its cache generation (atomic).
 
         The generation increments every time ``name`` is (re)registered,
         so ``(name, generation)`` uniquely identifies one built index
-        across rebuilds.
+        across rebuilds. For mutable planes (anything exposing a
+        ``mutations`` counter, i.e. :class:`~repro.live.LiveTwinIndex`)
+        the generation is the pair ``(registration, mutations)``: every
+        accepted append moves it, so cache entries keyed on the old
+        value become unreachable without any explicit invalidation.
         """
         with self._lock:
             try:
-                return self._engines[name], self._generations[name]
+                engine = self._engines[name]
+                generation = self._generations[name]
             except KeyError:
                 known = ", ".join(sorted(self._engines)) or "<none>"
                 raise IndexNotBuiltError(
                     f"no index named {name!r} (built: {known})"
                 ) from None
+        mutations = getattr(engine, "mutations", None)
+        if mutations is not None:
+            return engine, (generation, mutations)
+        return engine, generation
 
     def evict(self, name: str) -> ShardedTSIndex:
         """Remove and return the engine under ``name`` (the last live
@@ -159,6 +196,12 @@ class IndexRegistry:
     def save(self, name: str, path) -> None:
         """Persist the engine under ``name`` to a ``.npz`` archive."""
         engine = self.get(name)
+        if not isinstance(engine, ShardedTSIndex):
+            raise InvalidParameterError(
+                f"index {name!r} is a live plane; it persists through its "
+                "write-ahead-log directory (LiveTwinIndex.create/recover), "
+                "not through snapshot archives"
+            )
         from ..persistence import save_index  # lazy: avoids import cycle
 
         save_index(engine, path)
@@ -180,13 +223,20 @@ class IndexRegistry:
     # Stats
     # ------------------------------------------------------------------
     def stats(self, name: str) -> dict:
-        """Structural stats for one index (shape, shards, build cost)."""
+        """Structural stats for one index (shape, shards/segments,
+        build cost). Live planes report their LSM shape (segments,
+        delta, seals, compactions) instead of shard rows."""
         engine = self.get(name)
         with self._lock:
             built_at = self._built_at.get(name, 0.0)
+        if not isinstance(engine, ShardedTSIndex):
+            # A live plane: its own stats snapshot carries the shape.
+            return {"name": name, "kind": "live", "built_at": built_at,
+                    **engine.stats()}
         build = engine.build_stats
         return {
             "name": name,
+            "kind": "sharded",
             "windows": engine.size,
             "length": engine.length,
             "normalization": engine.source.normalization.value,

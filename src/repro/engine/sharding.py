@@ -38,6 +38,7 @@ from .._util import (
     POSITION_DTYPE,
     check_non_negative,
     check_positive_int,
+    map_with_executor,
 )
 from ..core.batch import BatchResult
 from ..core.frozen import FrozenTSIndex
@@ -477,6 +478,4 @@ class ShardedTSIndex:
 
     @staticmethod
     def _map(executor, fn, items: list) -> list:
-        if executor is None or len(items) <= 1:
-            return [fn(item) for item in items]
-        return list(executor.map(fn, items))
+        return map_with_executor(executor, fn, items)

@@ -7,8 +7,8 @@
   queries over a fixed-length TS-Index (Section 2, reference [11]);
 * :mod:`repro.extensions.profile` — exact Chebyshev matrix profile,
   motifs and discords via exclusion-zone 1-NN self joins;
-* :mod:`repro.extensions.streaming` — an appendable TS-Index for
-  monitoring workloads.
+* :mod:`repro.extensions.streaming` — deprecated shim over the live
+  ingestion plane (:mod:`repro.live`), kept for compatibility.
 """
 
 from .pairs import PairResult, discover_twin_pairs, self_twin_pairs

@@ -1,33 +1,46 @@
-"""Streaming twin search: an appendable TS-Index (extension).
+"""Streaming twin search — **deprecated shim** over :mod:`repro.live`.
 
-The paper builds its indices over a static series. Monitoring
-applications (the intro's traffic/EEG scenarios) want to *extend* the
-series as readings arrive and query at any point. This module wraps a
-TS-Index over a growable buffer:
+This module predates the live ingestion plane: it wrapped a single
+mutable TS-Index over a growable buffer, raw values only, with no
+durability and no way to keep queries fast as the series grew.
+:class:`repro.live.LiveTwinIndex` supersedes it — durable appends,
+sealed frozen segments, background compaction, engine serving — and
+:class:`StreamingTwinIndex` is now a thin compatibility wrapper over a
+never-sealing live plane (so :attr:`StreamingTwinIndex.index` remains
+one TS-Index over everything appended, exactly as before).
 
-* ``append`` adds readings, amortized O(1) buffer growth plus one
-  index insertion per newly completed window;
-* ``search`` / ``knn`` / ``exists`` delegate to the wrapped index.
+Two behavioural changes from the original module, both strict widenings:
 
-Only the raw-value regime is supported: global z-normalization is
-undefined while the series keeps growing (the normalization constants
-would shift under every existing window), and per-window normalization
-of streaming windows is possible but deliberately out of scope here.
+* the **per-window** normalization regime is supported (it is
+  append-safe: each window is scaled by its own statistics, and the
+  library's rolling statistics are prefix-stable under appends — see
+  :func:`~repro.core.normalization.rolling_std`); only global
+  z-normalization stays rejected;
+* constructing one emits a :class:`DeprecationWarning` pointing at
+  :class:`~repro.live.LiveTwinIndex`.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from .._util import FLOAT_DTYPE, as_float_array, check_positive_int
+from .._util import as_float_array, check_positive_int
 from ..core.normalization import Normalization
 from ..core.tsindex import TSIndex, TSIndexParams
-from ..core.windows import WindowSource
 from ..exceptions import InvalidParameterError
+from ..live import LiveTwinIndex
 
 
 class StreamingTwinIndex:
     """A TS-Index over a series that can grow by appending readings.
+
+    .. deprecated::
+        Use :class:`repro.live.LiveTwinIndex`, which adds durability
+        (write-ahead log + recovery), sealed frozen segments and
+        background compaction. This shim keeps the original surface
+        working on top of a never-sealing live plane.
 
     Examples
     --------
@@ -42,99 +55,82 @@ class StreamingTwinIndex:
     True
     """
 
-    def __init__(self, initial_values, length: int, *, params: TSIndexParams | None = None):
+    def __init__(
+        self,
+        initial_values,
+        length: int,
+        *,
+        params: TSIndexParams | None = None,
+        normalization=Normalization.NONE,
+    ):
+        warnings.warn(
+            "StreamingTwinIndex is deprecated; use repro.live.LiveTwinIndex "
+            "(durable appends, sealed segments, engine serving)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         values = as_float_array(initial_values, name="initial_values")
         length = check_positive_int(length, name="length")
         if length > values.size:
             raise InvalidParameterError(
                 f"need at least {length} initial values, got {values.size}"
             )
-        self._length = length
-        self._params = params or TSIndexParams()
-        self._capacity = max(values.size * 2, 1024)
-        self._buffer = np.empty(self._capacity, dtype=FLOAT_DTYPE)
-        self._buffer[: values.size] = values
-        self._size = values.size
-        self._index = TSIndex.from_source(
-            self._make_source(), params=self._params
+        # seal_threshold=None: the delta never seals, so the plane stays
+        # a single mutable TS-Index — the original module's shape.
+        self._live = LiveTwinIndex(
+            values,
+            length,
+            normalization=normalization,
+            params=params,
+            seal_threshold=None,
         )
 
     # ------------------------------------------------------------------
     @property
     def series_length(self) -> int:
         """Number of readings appended so far."""
-        return self._size
+        return self._live.series_length
 
     @property
     def window_count(self) -> int:
         """Number of indexed windows (``series_length - length + 1``)."""
-        return self._size - self._length + 1
+        return self._live.window_count
 
     @property
     def index(self) -> TSIndex:
         """The wrapped TS-Index (read-only use)."""
-        return self._index
+        return self._live.delta
+
+    @property
+    def live(self) -> LiveTwinIndex:
+        """The backing live plane (migration escape hatch)."""
+        return self._live
 
     @property
     def values(self) -> np.ndarray:
         """The series so far (a read-only view)."""
-        view = self._buffer[: self._size]
-        view.setflags(write=False)
-        return view
+        return self._live.values
 
     def __repr__(self) -> str:
         return (
-            f"StreamingTwinIndex(readings={self._size}, "
-            f"windows={self.window_count}, length={self._length})"
+            f"StreamingTwinIndex(readings={self.series_length}, "
+            f"windows={self.window_count}, length={self._live.length})"
         )
 
     # ------------------------------------------------------------------
     def append(self, readings) -> int:
         """Append one reading or a batch; returns new windows indexed."""
-        readings = np.atleast_1d(np.asarray(readings, dtype=FLOAT_DTYPE))
-        if readings.ndim != 1 or readings.size == 0:
-            raise InvalidParameterError("readings must be a non-empty 1-D batch")
-        if not np.all(np.isfinite(readings)):
-            raise InvalidParameterError("readings contain NaN or infinity")
-
-        previous_windows = self.window_count
-        needed = self._size + readings.size
-        if needed > self._capacity:
-            while self._capacity < needed:
-                self._capacity *= 2
-            grown = np.empty(self._capacity, dtype=FLOAT_DTYPE)
-            grown[: self._size] = self._buffer[: self._size]
-            self._buffer = grown
-        self._buffer[self._size : needed] = readings
-        self._size = needed
-
-        # The index must see the extended buffer before inserting the
-        # newly completed windows. Existing window contents (and hence
-        # every stored MBTS) are unchanged: the regime is raw values.
-        self._index._source = self._make_source()
-        new_windows = self.window_count
-        for position in range(previous_windows, new_windows):
-            self._index._insert_position(position)
-        self._index._build_stats.windows = new_windows
-        return new_windows - previous_windows
-
-    def _make_source(self) -> WindowSource:
-        # Zero-copy alias of the live buffer: appends only ever write
-        # past ``self._size``, so the aliased region is stable.
-        from ..core.series import TimeSeries
-
-        series = TimeSeries(self._buffer[: self._size], copy=False)
-        return WindowSource(series, self._length, Normalization.NONE)
+        return self._live.append(readings)
 
     # ------------------------------------------------------------------
     def search(self, query, epsilon: float, **kwargs):
         """Twin search over everything appended so far."""
-        return self._index.search(query, epsilon, **kwargs)
+        return self._live.search(query, epsilon, **kwargs)
 
     def knn(self, query, k: int, **kwargs):
         """k nearest windows over everything appended so far."""
-        return self._index.knn(query, k, **kwargs)
+        return self._live.knn(query, k, **kwargs)
 
     def exists(self, query, epsilon: float) -> bool:
         """Whether the pattern has occurred anywhere so far."""
-        return self._index.exists(query, epsilon)
+        return self._live.exists(query, epsilon)

@@ -101,6 +101,13 @@ def create_method_from_source(name: str, source: WindowSource, **kwargs):
         if kwargs:
             params = TSIndexParams(**kwargs)
         return TSIndex.from_source(source, params=params).freeze()
+    if normalized in ("live", "livetwinindex"):
+        # The LSM-style ingestion plane (repro.live): answers the same
+        # ``search`` surface over an appendable series. Not listed in
+        # METHOD_NAMES for the same reason as "sharded"/"frozen".
+        from ..live import LiveTwinIndex
+
+        return LiveTwinIndex.from_source(source, **kwargs)
     if normalized in ("sharded", "shardedtsindex", "engine"):
         # The serving-layer index (repro.engine); answers the same
         # ``search`` surface, so the harness can drive it by name. Not

@@ -1,0 +1,52 @@
+"""repro.live — LSM-style live ingestion plane for twin search.
+
+The paper's indexes (and :mod:`repro.engine`'s serving plane) are built
+over a *static* series; monitoring workloads — the intro's traffic /
+EEG / seismic scenarios — need the series to grow while staying
+queryable. This subsystem provides the missing write path:
+
+* :class:`LiveTwinIndex` — appends readings into a growable buffer,
+  indexes each newly completed window in a small mutable **delta**
+  TS-Index, seals the delta into immutable
+  :class:`~repro.core.frozen.FrozenTSIndex` **segments** (value chunks
+  overlapping by ``l - 1``, so no window is lost), and compacts
+  adjacent segments on a background thread. Queries fan out over
+  delta + segments and merge exactly — results are byte-identical to a
+  from-scratch TS-Index over the full series, in both the raw and the
+  per-window normalization regimes.
+* :class:`WriteAheadLog` — a CRC-guarded append journal plus an atomic
+  segment manifest; :meth:`LiveTwinIndex.create` makes a plane durable
+  and :meth:`LiveTwinIndex.recover` replays un-sealed readings after a
+  crash.
+* :class:`Segment` / :func:`merge_segments` / :class:`Compactor` — the
+  sealed-run representation and the size-tiered merge policy.
+
+Serve a live plane through :class:`repro.engine.QueryEngine` via
+:meth:`IndexRegistry.add_live <repro.engine.IndexRegistry.add_live>`
+and :meth:`QueryEngine.append <repro.engine.QueryEngine.append>`
+(cached results are keyed on the plane's mutation generation, so an
+append can never serve a stale result), or from the command line with
+``repro-twin live init|append|query|stats``.
+"""
+
+from .compaction import Compactor, select_adjacent_pair
+from .index import (
+    DEFAULT_MAX_SEGMENTS,
+    DEFAULT_SEAL_THRESHOLD,
+    LiveTwinIndex,
+)
+from .segments import Segment, merge_segments
+from .wal import WriteAheadLog, load_manifest, save_manifest
+
+__all__ = [
+    "Compactor",
+    "DEFAULT_MAX_SEGMENTS",
+    "DEFAULT_SEAL_THRESHOLD",
+    "LiveTwinIndex",
+    "Segment",
+    "WriteAheadLog",
+    "load_manifest",
+    "merge_segments",
+    "save_manifest",
+    "select_adjacent_pair",
+]

@@ -1,0 +1,86 @@
+"""Background compaction machinery for the live ingestion plane.
+
+Sealing produces one segment per ``seal_threshold`` windows; left alone,
+query fan-out cost would grow linearly with ingest time. Compaction
+keeps the segment count bounded: whenever it exceeds ``max_segments``,
+the adjacent pair with the smallest combined window count is merged
+(:func:`repro.live.segments.merge_segments`) until the bound holds —
+the classic size-tiered LSM policy, restricted to adjacent runs because
+segments partition the position axis.
+
+The merge itself reads only the two segments' immutable sources, so the
+:class:`Compactor` runs it on a single background thread while appends
+and queries proceed; only the final list splice takes the live plane's
+lock.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+
+
+def select_adjacent_pair(segments) -> int:
+    """Index ``i`` such that merging ``segments[i]`` and
+    ``segments[i + 1]`` costs least (smallest combined window count —
+    ties resolve to the oldest pair, keeping the policy deterministic).
+    """
+    best, best_cost = 0, None
+    for i in range(len(segments) - 1):
+        cost = segments[i].size + segments[i + 1].size
+        if best_cost is None or cost < best_cost:
+            best, best_cost = i, cost
+    return best
+
+
+class Compactor:
+    """A lazily started, single-threaded driver for one work function.
+
+    ``work`` is expected to loop until the plane is quiescent (segment
+    count within bounds) and return; :meth:`schedule` guarantees a run
+    begins at or after the call, coalescing bursts into one run. The
+    thread is only created on first use, so short-lived in-memory
+    indexes never pay for it.
+    """
+
+    def __init__(self, work):
+        self._work = work
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._future: concurrent.futures.Future | None = None
+        self._lock = threading.Lock()
+        self._shutdown = False
+
+    def schedule(self) -> None:
+        """Ensure a compaction run is in flight (no-op after close)."""
+        with self._lock:
+            if self._shutdown:
+                return
+            if self._pool is None:
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="repro-live-compact"
+                )
+            if self._future is None or self._future.done():
+                self._future = self._pool.submit(self._work)
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until the in-flight run (if any) finishes; re-raises
+        any error the background merge hit."""
+        with self._lock:
+            future = self._future
+        if future is not None:
+            future.result(timeout)
+
+    def close(self) -> None:
+        """Wait for in-flight work and shut the thread down
+        (idempotent; background errors surface here)."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            future, pool = self._future, self._pool
+            self._future = None
+            self._pool = None
+        if future is not None:
+            future.result()
+        if pool is not None:
+            pool.shutdown(wait=True)

@@ -1,0 +1,1152 @@
+"""LiveTwinIndex — the LSM-style live ingestion plane.
+
+The paper motivates twin search with monitoring workloads (traffic,
+EEG, seismic) where readings arrive continuously; this module serves
+them with a log-structured lifecycle:
+
+* **append** — readings land in a growable buffer (journaled to a
+  :class:`~repro.live.wal.WriteAheadLog` first when the plane is
+  durable); each newly completed window is inserted into a small
+  mutable **delta** :class:`~repro.core.tsindex.TSIndex` (the
+  memtable);
+* **seal** — once the delta holds ``seal_threshold`` windows it is
+  flattened into an immutable
+  :class:`~repro.core.frozen.FrozenTSIndex` **segment**
+  (:class:`~repro.live.segments.Segment`) whose value chunk overlaps
+  its neighbour by ``l - 1`` readings, so no window is lost at a
+  boundary;
+* **compact** — a background thread merges adjacent segments whenever
+  more than ``max_segments`` accumulate, keeping query fan-out bounded
+  (:mod:`repro.live.compaction`);
+* **recover** — :meth:`LiveTwinIndex.recover` reloads sealed segments
+  from their archives and replays the journal's un-sealed readings
+  after a crash.
+
+``search`` / ``knn`` / ``exists`` / ``search_batch`` fan out across
+delta + segments and merge with the library's ``(distance, position)``
+tie-breaks, so results are **byte-identical to a from-scratch TSIndex
+over the full series** — enforced by the randomized interleaving suite
+in ``tests/test_live_index.py``. Both the raw and the per-window
+normalization regimes are supported (per-window scaling depends only on
+each window's own values, and the library's rolling statistics are
+prefix-stable under appends — see
+:func:`~repro.core.normalization.rolling_std`); only global
+z-normalization stays rejected, because appends shift the series
+moments under every already-indexed window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import os
+import threading
+
+import numpy as np
+
+from .._util import (
+    FLOAT_DTYPE,
+    check_non_negative,
+    check_positive_int,
+    map_with_executor,
+)
+from ..core.batch import BatchResult
+from ..core.frozen import FrozenTSIndex
+from ..core.normalization import Normalization, rolling_std, std_block_size
+from ..core.series import TimeSeries
+from ..core.stats import BuildStats, QueryStats, SearchResult
+from ..core.tsindex import TSIndex, TSIndexParams
+from ..core.windows import WindowSource, assemble_source
+from ..exceptions import (
+    IncompatibleQueryError,
+    IndexNotBuiltError,
+    InvalidParameterError,
+    SerializationError,
+    UnsupportedNormalizationError,
+)
+from ..indices.base import SubsequenceIndex
+from .compaction import Compactor, select_adjacent_pair
+from .segments import Segment, merge_segments
+from .wal import MANIFEST_FORMAT, WriteAheadLog, load_manifest, manifest_path, save_manifest
+
+#: Delta windows accumulated before the memtable is sealed into a
+#: frozen segment. Large enough that segment trees amortize their
+#: freeze cost, small enough that the insert-heavy delta stays shallow.
+DEFAULT_SEAL_THRESHOLD = 4096
+
+#: Segment count above which background compaction kicks in.
+DEFAULT_MAX_SEGMENTS = 8
+
+#: Journal file name inside a live directory.
+WAL_NAME = "wal.log"
+
+
+class LiveTwinIndex(SubsequenceIndex):
+    """An appendable twin-search index with an LSM segment lifecycle.
+
+    Build an in-memory plane with the constructor (or
+    :meth:`from_source`), a durable one with :meth:`create`, and reopen
+    a durable one with :meth:`recover`. All public methods are safe to
+    call from multiple threads; queries snapshot the segment list and
+    never block on background compaction.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.live import LiveTwinIndex
+    >>> live = LiveTwinIndex(np.zeros(32), length=16, seal_threshold=8)
+    >>> live.append(np.ones(24))
+    24
+    >>> live.window_count
+    41
+    >>> bool(live.exists(np.zeros(16), epsilon=0.0))
+    True
+    >>> live.segment_count >= 1  # the delta sealed at least once
+    True
+    """
+
+    method_name = "live"
+
+    def __init__(
+        self,
+        initial_values=None,
+        length: int | None = None,
+        *,
+        normalization=Normalization.NONE,
+        params: TSIndexParams | None = None,
+        seal_threshold: int | None = DEFAULT_SEAL_THRESHOLD,
+        max_segments: int = DEFAULT_MAX_SEGMENTS,
+        background_compaction: bool = True,
+        _directory=None,
+        _wal: WriteAheadLog | None = None,
+    ):
+        self._init_config(
+            length,
+            normalization,
+            params,
+            seal_threshold,
+            max_segments,
+            background_compaction,
+            directory=_directory,
+            wal=_wal,
+            fsync=_wal.fsync if _wal is not None else False,
+        )
+        values = _coerce_readings(initial_values, allow_empty=True)
+        self._init_buffer(values)
+        with self._lock:
+            self._absorb(0)
+
+    def _init_config(
+        self,
+        length,
+        normalization,
+        params,
+        seal_threshold,
+        max_segments,
+        background_compaction,
+        *,
+        directory,
+        wal,
+        fsync,
+    ) -> None:
+        self._length = check_positive_int(length, name="length")
+        self._normalization = Normalization.coerce(normalization)
+        if self._normalization is Normalization.GLOBAL:
+            raise UnsupportedNormalizationError(
+                "global z-normalization is undefined for a growing series "
+                "(appends shift the series moments under every "
+                "already-indexed window); use 'none' or 'per_window'"
+            )
+        self._params = params or TSIndexParams()
+        self._seal_threshold = (
+            None
+            if seal_threshold is None
+            else check_positive_int(seal_threshold, name="seal_threshold")
+        )
+        self._max_segments = check_positive_int(
+            max_segments, name="max_segments"
+        )
+        self._background = bool(background_compaction)
+        self._directory = None if directory is None else os.fspath(directory)
+        self._wal = wal
+        #: fsync segment archives (and, inside the WAL, every journal
+        #: write) — the power-loss durability mode.
+        self._fsync = bool(fsync)
+        self._lock = threading.RLock()
+        # Per-window rolling statistics, maintained incrementally (see
+        # _extend_window_stats): prefix-stability makes extending the
+        # cached arrays bitwise identical to recomputing from scratch,
+        # turning the per-append source refresh O(batch), not O(series).
+        self._csum: np.ndarray | None = None
+        self._csum_count = 0
+        self._win_means: np.ndarray | None = None
+        self._win_stds: np.ndarray | None = None
+        self._stats_count = 0
+        self._segments: list[Segment] = []
+        self._delta: TSIndex | None = None
+        self._delta_start = 0
+        self._delta_count = 0
+        self._source: WindowSource | None = None
+        self._mutations = 0
+        self._seals = 0
+        self._compactions = 0
+        self._closed = False
+        self._compactor = Compactor(self._compact_loop)
+
+    def _init_buffer(self, values: np.ndarray) -> None:
+        self._capacity = max(1024, int(values.size) * 2, self._length * 2)
+        self._buffer = np.empty(self._capacity, dtype=FLOAT_DTYPE)
+        self._buffer[: values.size] = values
+        self._size = int(values.size)
+
+    # ------------------------------------------------------------------
+    # Alternate constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_source(
+        cls,
+        source: WindowSource,
+        *,
+        params: TSIndexParams | None = None,
+        seal_threshold: int | None = DEFAULT_SEAL_THRESHOLD,
+        max_segments: int = DEFAULT_MAX_SEGMENTS,
+        background_compaction: bool = True,
+    ) -> "LiveTwinIndex":
+        """Build a live plane preloaded with a prepared source's series
+        (the :func:`~repro.indices.base.create_method` entry point)."""
+        if source.normalization is Normalization.GLOBAL:
+            raise UnsupportedNormalizationError(
+                "live indexes cannot serve globally z-normalized windows; "
+                "use 'none' or 'per_window'"
+            )
+        return cls(
+            source.series.values,
+            source.length,
+            normalization=source.normalization,
+            params=params,
+            seal_threshold=seal_threshold,
+            max_segments=max_segments,
+            background_compaction=background_compaction,
+        )
+
+    @classmethod
+    def create(
+        cls,
+        path,
+        initial_values=None,
+        *,
+        length: int,
+        normalization=Normalization.NONE,
+        params: TSIndexParams | None = None,
+        seal_threshold: int | None = DEFAULT_SEAL_THRESHOLD,
+        max_segments: int = DEFAULT_MAX_SEGMENTS,
+        background_compaction: bool = True,
+        fsync: bool = False,
+    ) -> "LiveTwinIndex":
+        """Initialize a **durable** live plane under directory ``path``.
+
+        Every subsequent :meth:`append` is journaled to the write-ahead
+        log before it is indexed; sealed segments are archived as
+        ``.npz`` files and committed to the manifest. ``fsync=True``
+        additionally fsyncs each journal write (crash-safe against
+        power loss, at a heavy per-append cost; the default survives
+        process crashes).
+        """
+        path = os.fspath(path)
+        os.makedirs(path, exist_ok=True)
+        if os.path.exists(manifest_path(path)):
+            raise InvalidParameterError(
+                f"{path!r} already holds a live index; open it with "
+                "LiveTwinIndex.recover()"
+            )
+        values = _coerce_readings(initial_values, allow_empty=True)
+        wal = WriteAheadLog.create(
+            os.path.join(path, WAL_NAME), start=0, fsync=fsync
+        )
+        if values.size:
+            wal.append(values)
+        index = cls(
+            values,
+            length,
+            normalization=normalization,
+            params=params,
+            seal_threshold=seal_threshold,
+            max_segments=max_segments,
+            background_compaction=background_compaction,
+            _directory=path,
+            _wal=wal,
+        )
+        with index._lock:
+            index._write_manifest_locked()
+        return index
+
+    @classmethod
+    def recover(
+        cls,
+        path,
+        *,
+        fsync: bool | None = None,
+        background_compaction: bool = True,
+    ) -> "LiveTwinIndex":
+        """Reopen a durable live plane after a shutdown or crash.
+
+        ``fsync`` defaults to the mode the plane was created with (it is
+        recorded in the manifest), so a durability choice made at
+        :meth:`create` time survives every reopen; pass an explicit
+        value to override.
+
+        Sealed segments are restored from their archives (pure array
+        reads — no re-insertion); the journal is replayed up to its
+        last fully durable record, and only the un-sealed windows are
+        re-inserted into a fresh delta. A torn tail record (the
+        in-flight append a crash interrupted) is dropped, which is the
+        durability contract; a corrupted manifest, a broken segment
+        chain, or a segment archive that fails its structural
+        validation raises
+        :class:`~repro.exceptions.SerializationError` /
+        :class:`~repro.exceptions.InvalidParameterError` loudly.
+        """
+        from ..persistence import load_index  # lazy: avoids import cost
+
+        path = os.fspath(path)
+        manifest = load_manifest(path)
+        try:
+            length = int(manifest["length"])
+            normalization = Normalization.coerce(manifest["normalization"])
+            params = TSIndexParams(**manifest["params"])
+            seal_threshold = manifest.get(
+                "seal_threshold", DEFAULT_SEAL_THRESHOLD
+            )
+            if seal_threshold is not None:
+                seal_threshold = int(seal_threshold)
+            max_segments = int(manifest.get("max_segments", DEFAULT_MAX_SEGMENTS))
+        except (TypeError, ValueError, InvalidParameterError) as exc:
+            raise SerializationError(
+                f"live manifest in {path!r} holds invalid configuration: {exc}"
+            ) from exc
+        if fsync is None:
+            fsync = bool(manifest.get("fsync", False))
+
+        loaded: list[tuple[int, int, str, FrozenTSIndex]] = []
+        frontier = 0
+        for entry in manifest["segments"]:
+            start, stop = int(entry["start"]), int(entry["stop"])
+            if start != frontier or stop <= start:
+                raise SerializationError(
+                    f"segment chain broken at [{start}, {stop}) "
+                    f"(expected a segment starting at {frontier})"
+                )
+            archive = load_index(os.path.join(path, str(entry["file"])))
+            if not isinstance(archive, FrozenTSIndex):
+                raise SerializationError(
+                    f"{entry['file']}: not a frozen segment archive "
+                    f"(got {type(archive).__name__})"
+                )
+            if archive.size != stop - start or archive.length != length:
+                raise SerializationError(
+                    f"{entry['file']}: archive shape disagrees with the "
+                    f"manifest span [{start}, {stop})"
+                )
+            loaded.append((start, stop, str(entry["file"]), archive))
+            frontier = stop
+        wal_offset = manifest.get("wal_offset")
+        if wal_offset is not None and int(wal_offset) != frontier:
+            raise SerializationError(
+                f"manifest wal_offset {wal_offset} disagrees with the "
+                f"sealed frontier {frontier}"
+            )
+
+        wal_path = os.path.join(path, WAL_NAME)
+        wal_start, wal_values, _clean = WriteAheadLog.replay(wal_path)
+        if wal_start > frontier:
+            raise SerializationError(
+                f"WAL begins at value {wal_start}, past the sealed "
+                f"frontier {frontier}; readings are missing"
+            )
+
+        # Reconstruct the full series: sealed chunks cover
+        # [0, frontier + l - 1), the journal covers [wal_start, ...).
+        pieces = [
+            archive.source.series.values[: stop - start]
+            for start, stop, _, archive in loaded
+        ]
+        if loaded:
+            last_start, last_stop, _, last_archive = loaded[-1]
+            pieces.append(
+                last_archive.source.series.values[last_stop - last_start :]
+            )
+        known = (
+            np.concatenate(pieces)
+            if pieces
+            else np.empty(0, dtype=FLOAT_DTYPE)
+        )
+        overlap = min(known.size, wal_start + wal_values.size) - wal_start
+        if overlap > 0 and not np.array_equal(
+            known[wal_start : wal_start + overlap], wal_values[:overlap]
+        ):
+            raise SerializationError(
+                "WAL readings disagree with sealed segment values; "
+                "refusing to recover from an inconsistent directory"
+            )
+        if wal_start + wal_values.size > known.size:
+            series = np.concatenate(
+                [known, wal_values[known.size - wal_start :]]
+            )
+        else:
+            series = known
+
+        index = cls.__new__(cls)
+        index._init_config(
+            length,
+            normalization,
+            params,
+            seal_threshold,
+            max_segments,
+            background_compaction,
+            directory=path,
+            wal=None,
+            fsync=fsync,
+        )
+        index._init_buffer(series)
+        with index._lock:
+            if index._size >= length:
+                index._refresh_source()
+            # Re-source each sealed segment against the recovered
+            # monolith: prefix-stable rolling statistics make the
+            # re-derived chunk sources bitwise equal to the pre-crash
+            # ones, and from_arrays re-validates the flat structure.
+            for start, stop, file, archive in loaded:
+                detached = index._source.detach(start, stop)
+                index._segments.append(
+                    Segment(
+                        start=start,
+                        index=FrozenTSIndex.from_arrays(
+                            detached,
+                            params,
+                            dataclasses.replace(archive.build_stats),
+                            archive.arrays(),
+                        ),
+                        file=file,
+                    )
+                )
+            index._delta_start = frontier
+            index._wal = WriteAheadLog.open(wal_path, fsync=fsync)
+            index._absorb(frontier)
+            # Normalize the journal to the recovered state: drops any
+            # torn tail record and re-anchors at the sealed frontier.
+            index._wal.rewrite(
+                start=index._delta_start,
+                values=index._buffer[index._delta_start : index._size],
+            )
+            index._write_manifest_locked()
+            # Sweep archives a crash orphaned (written but never
+            # committed to the manifest, or superseded by a compaction
+            # whose unlink step was interrupted).
+            referenced = {segment.file for segment in index._segments}
+            for name in os.listdir(path):
+                if (
+                    name.startswith("seg-")
+                    and name.endswith(".npz")
+                    and name not in referenced
+                ):
+                    try:
+                        os.unlink(os.path.join(path, name))
+                    except OSError:
+                        pass
+        return index
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Indexed window length ``l``."""
+        return self._length
+
+    @property
+    def normalization(self) -> Normalization:
+        """The active regime (``NONE`` or ``PER_WINDOW``)."""
+        return self._normalization
+
+    @property
+    def params(self) -> TSIndexParams:
+        """Tree construction parameters shared by delta and segments."""
+        return self._params
+
+    @property
+    def series_length(self) -> int:
+        """Number of readings appended so far."""
+        with self._lock:
+            return self._size
+
+    @property
+    def window_count(self) -> int:
+        """Number of indexed windows (0 until ``length`` readings)."""
+        with self._lock:
+            return max(0, self._size - self._length + 1)
+
+    @property
+    def size(self) -> int:
+        """Alias of :attr:`window_count` (the index-surface name)."""
+        return self.window_count
+
+    @property
+    def values(self) -> np.ndarray:
+        """The series so far (a read-only view)."""
+        with self._lock:
+            view = self._buffer[: self._size]
+        view.setflags(write=False)
+        return view
+
+    @property
+    def source(self) -> WindowSource:
+        """The monolithic window source over everything appended."""
+        with self._lock:
+            if self._source is None:
+                raise IndexNotBuiltError(
+                    f"no windows yet: {self._size} readings < "
+                    f"length {self._length}"
+                )
+            return self._source
+
+    @property
+    def segments(self) -> tuple[Segment, ...]:
+        """The sealed segments, ascending by span (snapshot)."""
+        with self._lock:
+            return tuple(self._segments)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of sealed segments."""
+        with self._lock:
+            return len(self._segments)
+
+    @property
+    def delta(self) -> TSIndex | None:
+        """The mutable delta tree (``None`` right after a seal)."""
+        with self._lock:
+            return self._delta
+
+    @property
+    def delta_windows(self) -> int:
+        """Windows currently held by the delta."""
+        with self._lock:
+            return self._delta_count
+
+    @property
+    def mutations(self) -> int:
+        """Count of accepted appends — the cache-invalidation
+        generation :class:`repro.engine.QueryEngine` keys results on."""
+        with self._lock:
+            return self._mutations
+
+    @property
+    def seal_count(self) -> int:
+        """Seals performed over this plane's lifetime (this process)."""
+        with self._lock:
+            return self._seals
+
+    @property
+    def compaction_count(self) -> int:
+        """Segment merges performed (this process)."""
+        with self._lock:
+            return self._compactions
+
+    @property
+    def directory(self) -> str | None:
+        """The durability directory (``None`` for in-memory planes)."""
+        return self._directory
+
+    @property
+    def durable(self) -> bool:
+        """Whether appends are journaled to a write-ahead log."""
+        return self._directory is not None
+
+    @property
+    def build_stats(self) -> BuildStats:
+        """Aggregate build counters (seconds: max over parts; counters
+        summed), mirroring :attr:`ShardedTSIndex.build_stats
+        <repro.engine.sharding.ShardedTSIndex.build_stats>`."""
+        merged = BuildStats()
+        with self._lock:
+            parts = [segment.index for segment in self._segments]
+            if self._delta is not None:
+                parts.append(self._delta)
+        for tree in parts:
+            stats = tree.build_stats
+            merged.seconds = max(merged.seconds, stats.seconds)
+            merged.windows += stats.windows
+            merged.splits += stats.splits
+            merged.height = max(merged.height, stats.height)
+            merged.nodes += stats.nodes
+        return merged
+
+    def stats(self) -> dict:
+        """One structural stats snapshot (for ``live stats`` and the
+        engine registry)."""
+        with self._lock:
+            return {
+                "windows": max(0, self._size - self._length + 1),
+                "readings": self._size,
+                "length": self._length,
+                "normalization": self._normalization.value,
+                "segments": len(self._segments),
+                "delta_windows": self._delta_count,
+                "seal_threshold": self._seal_threshold,
+                "seals": self._seals,
+                "compactions": self._compactions,
+                "mutations": self._mutations,
+                "durable": self._directory is not None,
+                "directory": self._directory,
+                "segment_stats": [
+                    segment.stats_row() for segment in self._segments
+                ],
+            }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"LiveTwinIndex(readings={self._size}, "
+                f"windows={max(0, self._size - self._length + 1)}, "
+                f"length={self._length}, segments={len(self._segments)}, "
+                f"delta={self._delta_count})"
+            )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def append(self, readings) -> int:
+        """Durably append one reading or a batch; returns the number of
+        newly indexed windows.
+
+        The journal write (durable planes) happens *before* any
+        in-memory mutation, so a crash mid-append loses at most the
+        un-journaled batch. May seal the delta and schedule background
+        compaction on the way out.
+        """
+        readings = _coerce_readings(readings, allow_empty=False)
+        with self._lock:
+            if self._closed:
+                raise InvalidParameterError(
+                    "live index is closed; reopen with LiveTwinIndex.recover()"
+                )
+            if self._wal is not None:
+                self._wal.append(readings)
+            previous_windows = max(0, self._size - self._length + 1)
+            needed = self._size + readings.size
+            if needed > self._capacity:
+                while self._capacity < needed:
+                    self._capacity *= 2
+                grown = np.empty(self._capacity, dtype=FLOAT_DTYPE)
+                grown[: self._size] = self._buffer[: self._size]
+                self._buffer = grown
+            self._buffer[self._size : needed] = readings
+            self._size = needed
+            added = self._absorb(previous_windows)
+            self._mutations += 1
+            return added
+
+    def seal(self) -> bool:
+        """Force-seal the current delta into a segment (normally the
+        ``seal_threshold`` does this automatically); returns whether a
+        seal happened."""
+        with self._lock:
+            if self._delta_count == 0:
+                return False
+            self._seal_locked()
+            return True
+
+    def compact(self, timeout: float | None = None) -> None:
+        """Compact until at most ``max_segments`` segments remain,
+        waiting for the background worker when one is in use."""
+        if self._background:
+            self._compactor.schedule()
+            self._compactor.wait(timeout)
+        else:
+            self._compact_loop()
+
+    def wait_for_compaction(self, timeout: float | None = None) -> None:
+        """Block until any in-flight background compaction finishes."""
+        self._compactor.wait(timeout)
+
+    def close(self) -> None:
+        """Seal nothing, stop background work, close the journal
+        (idempotent). The plane rejects further appends; reopen durable
+        planes with :meth:`recover`. A background-compaction error
+        surfaces here — after the journal has been closed, so shutdown
+        side effects happen even on the failure path."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._compactor.close()
+        finally:
+            with self._lock:
+                if self._wal is not None:
+                    self._wal.close()
+
+    def __enter__(self) -> "LiveTwinIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internal lifecycle (all callers hold the lock)
+    # ------------------------------------------------------------------
+    def _refresh_source(self) -> None:
+        """Point the monolithic source (and the delta's shard view) at
+        the grown buffer. Already-extracted window values never change:
+        the regime is raw or per-window, and the rolling statistics are
+        prefix-stable (see :func:`~repro.core.normalization.rolling_std`).
+
+        Under the per-window regime the rolling statistics are extended
+        incrementally rather than recomputed — prefix-stability makes
+        the extension bitwise identical, and it keeps each append
+        O(batch + block) instead of O(series)."""
+        view = self._buffer[: self._size]
+        if self._normalization is Normalization.PER_WINDOW:
+            self._extend_window_stats()
+            count = self._size - self._length + 1
+            self._source = assemble_source(
+                view,
+                self._length,
+                self._normalization,
+                means=self._win_means[:count],
+                stds=self._win_stds[:count],
+                name="live",
+            )
+        else:
+            series = TimeSeries(view, name="live", copy=False)
+            self._source = WindowSource(
+                series, self._length, self._normalization
+            )
+        if self._delta is not None:
+            self._delta._source = self._source.shard(
+                self._delta_start, self._source.count
+            )
+
+    def _extend_window_stats(self) -> None:
+        """Extend the cached per-window rolling statistics to the
+        current size — bitwise identical to recomputing
+        ``rolling_mean``/``rolling_std`` over the full buffer, because
+        the cumulative sum continues sequentially and the std kernel's
+        block boundaries sit at fixed absolute positions."""
+        size = self._size
+        if self._csum is None or self._csum.size < size + 1:
+            grown = np.zeros(self._capacity + 1, dtype=FLOAT_DTYPE)
+            if self._csum is not None:
+                grown[: self._csum_count + 1] = self._csum[
+                    : self._csum_count + 1
+                ]
+            self._csum = grown
+        if size > self._csum_count:
+            new = self._buffer[self._csum_count : size]
+            # cumsum seeded with the running total continues the exact
+            # sequential accumulation one cumsum over the whole buffer
+            # would perform — same order, same rounding.
+            tail = np.cumsum(
+                np.concatenate(([self._csum[self._csum_count]], new)),
+                dtype=FLOAT_DTYPE,
+            )
+            self._csum[self._csum_count + 1 : size + 1] = tail[1:]
+            self._csum_count = size
+        count = size - self._length + 1
+        if self._win_means is None or self._win_means.size < count:
+            grown_means = np.empty(self._capacity, dtype=FLOAT_DTYPE)
+            grown_stds = np.empty(self._capacity, dtype=FLOAT_DTYPE)
+            if self._win_means is not None:
+                grown_means[: self._stats_count] = self._win_means[
+                    : self._stats_count
+                ]
+                grown_stds[: self._stats_count] = self._win_stds[
+                    : self._stats_count
+                ]
+            self._win_means = grown_means
+            self._win_stds = grown_stds
+        if count <= self._stats_count:
+            return
+        lo = self._stats_count
+        length = self._length
+        self._win_means[lo:count] = (
+            self._csum[lo + length : count + length] - self._csum[lo:count]
+        ) / length
+        # Only std blocks touching new windows change; recomputing from
+        # the containing block's absolute boundary reproduces the global
+        # kernel's chunks (and centers) exactly.
+        block_start = (lo // std_block_size(length)) * std_block_size(length)
+        self._win_stds[block_start:count] = rolling_std(
+            self._buffer[block_start:size], length
+        )
+        self._stats_count = count
+
+    def _absorb(self, previous_windows: int) -> int:
+        """Index every window completed since ``previous_windows``,
+        sealing whenever the delta crosses the threshold."""
+        if self._size < self._length:
+            return 0
+        self._refresh_source()
+        total = self._source.count
+        for position in range(previous_windows, total):
+            self._insert_window(position)
+            if (
+                self._seal_threshold is not None
+                and self._delta_count >= self._seal_threshold
+            ):
+                self._seal_locked()
+        return total - previous_windows
+
+    def _insert_window(self, position: int) -> None:
+        if self._delta is None:
+            view = self._source.shard(self._delta_start, self._source.count)
+            self._delta = TSIndex(view, self._params)
+        self._delta._insert_position(position - self._delta_start)
+        self._delta._build_stats.windows += 1
+        self._delta_count += 1
+
+    def _seal_locked(self) -> None:
+        """Flatten the delta into an immutable segment.
+
+        The segment's source is **detached** (owns copies of its value
+        chunk and statistics slices), so sealed segments never pin the
+        historical append buffer alive. Durable planes write the
+        archive, then the manifest, then truncate the journal — each
+        step atomic, so a crash between any two recovers cleanly.
+        """
+        stop = self._delta_start + self._delta_count
+        detached = self._source.detach(self._delta_start, stop)
+        frozen = FrozenTSIndex.from_tree(
+            detached,
+            self._delta._root,
+            self._params,
+            dataclasses.replace(self._delta._build_stats),
+        )
+        segment = Segment(start=self._delta_start, index=frozen)
+        if self._directory is not None:
+            segment.file = f"seg-{segment.start:012d}-{stop:012d}.npz"
+            self._save_segment_archive(frozen, segment.file)
+        self._segments.append(segment)
+        self._delta = None
+        self._delta_count = 0
+        self._delta_start = stop
+        self._seals += 1
+        if self._directory is not None:
+            self._write_manifest_locked()
+            self._wal.rewrite(
+                start=stop, values=self._buffer[stop : self._size]
+            )
+        if len(self._segments) > self._max_segments:
+            if self._background:
+                self._compactor.schedule()
+            else:
+                self._compact_loop()
+
+    def _compact_loop(self) -> None:
+        """Merge adjacent segments until at most ``max_segments``
+        remain. The expensive merge runs without the lock (its inputs
+        are immutable); only the list splice and manifest commit are
+        locked."""
+        while True:
+            with self._lock:
+                if self._closed or len(self._segments) <= self._max_segments:
+                    return
+                pair = select_adjacent_pair(self._segments)
+                first, second = (
+                    self._segments[pair],
+                    self._segments[pair + 1],
+                )
+            merged = merge_segments(first, second, self._params)
+            if self._directory is not None:
+                merged.file = (
+                    f"seg-{merged.start:012d}-{merged.stop:012d}.npz"
+                )
+                self._save_segment_archive(merged.index, merged.file)
+            with self._lock:
+                if self._closed:
+                    return
+                # Appends only ever add segments at the tail and this
+                # loop is the only remover, so the pair is still
+                # adjacent — located by identity for robustness.
+                position = next(
+                    (
+                        i
+                        for i, segment in enumerate(self._segments)
+                        if segment is first
+                    ),
+                    None,
+                )
+                if (
+                    position is None
+                    or position + 1 >= len(self._segments)
+                    or self._segments[position + 1] is not second
+                ):
+                    continue
+                self._segments[position : position + 2] = [merged]
+                self._compactions += 1
+                if self._directory is not None:
+                    self._write_manifest_locked()
+                    for stale in (first.file, second.file):
+                        if stale and stale != merged.file:
+                            try:
+                                os.unlink(
+                                    os.path.join(self._directory, stale)
+                                )
+                            except OSError:
+                                pass
+
+    def _save_segment_archive(self, frozen: FrozenTSIndex, file: str) -> None:
+        """Write one segment archive; in fsync mode the data (and its
+        directory entry) must be durable *before* the manifest commits a
+        reference to it — otherwise a power loss could leave a manifest
+        pointing at a torn archive after the WAL was truncated."""
+        from ..persistence import save_index  # lazy: avoids import cost
+        from .wal import fsync_directory, fsync_file
+
+        path = os.path.join(self._directory, file)
+        save_index(frozen, path)
+        if self._fsync:
+            fsync_file(path)
+            fsync_directory(self._directory)
+
+    def _write_manifest_locked(self) -> None:
+        save_manifest(
+            self._directory,
+            {
+                "format": MANIFEST_FORMAT,
+                "length": self._length,
+                "normalization": self._normalization.value,
+                "params": {
+                    "min_children": self._params.min_children,
+                    "max_children": self._params.max_children,
+                    "split_metric": self._params.split_metric,
+                },
+                "seal_threshold": self._seal_threshold,
+                "max_segments": self._max_segments,
+                "fsync": self._fsync,
+                "wal_offset": self._delta_start,
+                "segments": [
+                    {
+                        "start": segment.start,
+                        "stop": segment.stop,
+                        "file": segment.file,
+                    }
+                    for segment in self._segments
+                ],
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query,
+        epsilon: float,
+        *,
+        verification: str = "bulk",
+        executor=None,
+    ) -> SearchResult:
+        """All twins of ``query`` within Chebyshev ``ε`` over everything
+        appended so far — byte-identical to a from-scratch
+        :class:`~repro.core.tsindex.TSIndex` over the full series.
+
+        Segments answer in parallel on ``executor`` when one is given;
+        the delta is searched under the plane's lock (it is the only
+        mutable part), segments from an immutable snapshot outside it.
+        """
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        with self._lock:
+            if self._source is None:
+                return SearchResult.empty()
+            prepared = self._prepare(query)
+            segments = list(self._segments)
+            delta_start = self._delta_start
+            delta_result = (
+                None
+                if self._delta is None
+                else self._delta.search(
+                    prepared, epsilon, verification=verification
+                )
+            )
+
+        def one(segment: Segment) -> SearchResult:
+            return segment.index.search(
+                prepared, epsilon, verification=verification
+            )
+
+        results = map_with_executor(executor, one, segments)
+        merged_stats = QueryStats()
+        positions: list[np.ndarray] = []
+        distances: list[np.ndarray] = []
+        for segment, result in zip(segments, results):
+            merged_stats = merged_stats.merge(result.stats)
+            if result.positions.size:
+                positions.append(result.positions + segment.start)
+                distances.append(result.distances)
+        if delta_result is not None:
+            merged_stats = merged_stats.merge(delta_result.stats)
+            if delta_result.positions.size:
+                positions.append(delta_result.positions + delta_start)
+                distances.append(delta_result.distances)
+        if not positions:
+            return SearchResult.empty(merged_stats)
+        # Segments ascend by span and the delta covers the tail, so the
+        # concatenation is globally sorted by position — exactly the
+        # monolithic result.
+        return SearchResult(
+            positions=np.concatenate(positions),
+            distances=np.concatenate(distances),
+            stats=merged_stats,
+        )
+
+    def count(self, query, epsilon: float) -> int:
+        """Number of twins (convenience wrapper over :meth:`search`)."""
+        return len(self.search(query, epsilon))
+
+    def knn(
+        self,
+        query,
+        k: int,
+        *,
+        exclude: tuple[int, int] | None = None,
+        executor=None,
+    ) -> SearchResult:
+        """The ``k`` globally nearest windows, merged across delta and
+        segments by ``(distance, position)`` — the library-wide k-NN
+        tie-break, so the answer equals the monolithic one exactly."""
+        k = check_positive_int(k, name="k")
+        if exclude is not None:
+            exclude = (int(exclude[0]), int(exclude[1]))
+            if exclude[0] > exclude[1]:
+                raise InvalidParameterError(
+                    f"exclude range must satisfy start <= stop, got {exclude}"
+                )
+        with self._lock:
+            if self._source is None:
+                return SearchResult.empty()
+            prepared = self._prepare(query)
+            segments = list(self._segments)
+            delta_start = self._delta_start
+            delta_result = None
+            if self._delta is not None:
+                delta_result = self._delta.knn(
+                    prepared,
+                    min(k, self._delta_count),
+                    exclude=_local_exclude(
+                        exclude, delta_start, self._delta_count
+                    ),
+                )
+
+        def one(segment: Segment) -> SearchResult:
+            return segment.index.knn(
+                prepared,
+                min(k, segment.size),
+                exclude=_local_exclude(exclude, segment.start, segment.size),
+            )
+
+        results = map_with_executor(executor, one, segments)
+        merged_stats = QueryStats()
+        entries: list[tuple[float, int]] = []
+        for segment, result in zip(segments, results):
+            merged_stats = merged_stats.merge(result.stats)
+            entries.extend(
+                (float(distance), int(position) + segment.start)
+                for position, distance in zip(
+                    result.positions.tolist(), result.distances.tolist()
+                )
+            )
+        if delta_result is not None:
+            merged_stats = merged_stats.merge(delta_result.stats)
+            entries.extend(
+                (float(distance), int(position) + delta_start)
+                for position, distance in zip(
+                    delta_result.positions.tolist(),
+                    delta_result.distances.tolist(),
+                )
+            )
+        top = heapq.nsmallest(k, entries)
+        merged_stats.matches = len(top)
+        return SearchResult(
+            positions=np.asarray([p for _, p in top], dtype=np.int64),
+            distances=np.asarray([d for d, _ in top], dtype=FLOAT_DTYPE),
+            stats=merged_stats,
+        )
+
+    def exists(self, query, epsilon: float) -> bool:
+        """Whether the pattern has occurred anywhere so far (early
+        exit; the delta — the freshest data — is probed first)."""
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        with self._lock:
+            if self._source is None:
+                return False
+            prepared = self._prepare(query)
+            segments = list(self._segments)
+            if self._delta is not None and self._delta.exists(
+                prepared, epsilon
+            ):
+                return True
+        return any(
+            segment.index.exists(prepared, epsilon) for segment in segments
+        )
+
+    def search_batch(
+        self,
+        queries,
+        epsilon: float,
+        *,
+        executor=None,
+        **search_options,
+    ) -> BatchResult:
+        """Run every query of ``queries`` at ``epsilon`` (queries fan
+        out across ``executor`` when one is given); result order matches
+        the input order."""
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        queries = list(queries)
+
+        def one(query) -> SearchResult:
+            return self.search(query, epsilon, **search_options)
+
+        results = map_with_executor(executor, one, queries)
+        aggregate = QueryStats()
+        for result in results:
+            aggregate = aggregate.merge(result.stats)
+        return BatchResult(
+            results=results, stats=aggregate, epsilon=float(epsilon)
+        )
+
+    # ------------------------------------------------------------------
+    def _prepare(self, query) -> np.ndarray:
+        try:
+            return self._source.prepare_query(query)
+        except InvalidParameterError as exc:
+            raise IncompatibleQueryError(
+                str(exc), expected=self._length
+            ) from exc
+
+
+# ----------------------------------------------------------------------
+def _coerce_readings(readings, *, allow_empty: bool) -> np.ndarray:
+    if readings is None:
+        if allow_empty:
+            return np.empty(0, dtype=FLOAT_DTYPE)
+        raise InvalidParameterError("readings must be a non-empty 1-D batch")
+    array = np.atleast_1d(np.asarray(readings, dtype=FLOAT_DTYPE))
+    if array.ndim != 1 or (array.size == 0 and not allow_empty):
+        raise InvalidParameterError("readings must be a non-empty 1-D batch")
+    if not np.all(np.isfinite(array)):
+        raise InvalidParameterError("readings contain NaN or infinity")
+    return array
+
+
+def _local_exclude(
+    exclude: tuple[int, int] | None, start: int, size: int
+) -> tuple[int, int] | None:
+    """Translate a global exclusion zone into a part's local frame."""
+    if exclude is None:
+        return None
+    lo = max(0, exclude[0] - start)
+    hi = min(size, exclude[1] - start)
+    return (lo, hi) if lo < hi else None
+
+

@@ -1,0 +1,299 @@
+"""Write-ahead log and segment manifest for the live ingestion plane.
+
+Durability model (classic LSM):
+
+* every appended reading is written to ``wal.log`` **before** it is
+  indexed — a crash loses at most the bytes of one in-flight record;
+* sealing a delta writes the frozen segment to its own ``.npz`` archive
+  (through :mod:`repro.persistence`), commits it to ``MANIFEST.json``
+  (atomic tmp + rename), then rewrites the WAL to hold only the
+  readings past the sealed frontier;
+* :meth:`recovery <repro.live.index.LiveTwinIndex.recover>` loads the
+  manifest's segments, replays the WAL tail, and re-inserts only the
+  un-sealed windows.
+
+WAL format: a fixed header (magic + the global value offset of the
+first reading in the file) followed by length-prefixed, CRC-guarded
+records::
+
+    b"RLWAL1" | <Q start_offset>
+    record := <I count> <I crc32(payload)> | payload (count float64 LE)
+
+Replay stops at the first incomplete or CRC-mismatched record (a torn
+tail write) and reports whether the file ended cleanly; a corrupted
+*header* fails loudly instead — a WAL whose provenance cannot be
+established must never be silently treated as empty.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+
+import numpy as np
+
+from .._util import FLOAT_DTYPE
+from ..exceptions import SerializationError
+
+#: WAL file magic (6 bytes; the trailing digit is the format version).
+WAL_MAGIC = b"RLWAL1"
+
+#: Header layout after the magic: the global value index of the first
+#: reading stored in this file.
+_HEADER = struct.Struct("<Q")
+
+#: Record layout: reading count, CRC32 of the payload bytes.
+_RECORD = struct.Struct("<II")
+
+#: Manifest file name inside a live directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Manifest format marker.
+MANIFEST_FORMAT = 1
+
+
+class WriteAheadLog:
+    """An append-only journal of readings with crash-tolerant replay.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "wal.log")
+    >>> wal = WriteAheadLog.create(path, start=0)
+    >>> wal.append([1.0, 2.0, 3.0])
+    >>> wal.close()
+    >>> start, values, clean = WriteAheadLog.replay(path)
+    >>> (start, values.tolist(), clean)
+    (0, [1.0, 2.0, 3.0], True)
+    """
+
+    def __init__(self, path, *, fsync: bool = False):
+        self._path = os.fspath(path)
+        self._fsync = bool(fsync)
+        self._file = None
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """The journal file path."""
+        return self._path
+
+    @property
+    def fsync(self) -> bool:
+        """Whether every journal write is fsynced (power-loss mode)."""
+        return self._fsync
+
+    @classmethod
+    def create(cls, path, *, start: int = 0, fsync: bool = False) -> "WriteAheadLog":
+        """Create a fresh journal whose first reading will be the global
+        value index ``start``; truncates any existing file."""
+        wal = cls(path, fsync=fsync)
+        wal._file = open(wal._path, "wb")
+        wal._file.write(WAL_MAGIC + _HEADER.pack(int(start)))
+        wal._flush()
+        return wal
+
+    @classmethod
+    def open(cls, path, *, fsync: bool = False) -> "WriteAheadLog":
+        """Open an existing journal for appending (no replay; callers
+        replay first, then open)."""
+        wal = cls(path, fsync=fsync)
+        wal._file = open(wal._path, "ab")
+        return wal
+
+    # ------------------------------------------------------------------
+    def append(self, values) -> None:
+        """Durably journal one batch of readings (before indexing)."""
+        if self._file is None:
+            raise SerializationError(f"WAL {self._path!r} is closed")
+        payload = np.ascontiguousarray(values, dtype=FLOAT_DTYPE).tobytes()
+        record = _RECORD.pack(len(payload) // 8, zlib.crc32(payload))
+        self._file.write(record + payload)
+        self._flush()
+
+    def rewrite(self, *, start: int, values) -> None:
+        """Atomically replace the journal with one holding ``values``
+        from global offset ``start`` (the post-seal truncation)."""
+        was_open = self._file is not None
+        if was_open:
+            self._file.close()
+            self._file = None
+        tmp = self._path + ".tmp"
+        payload = np.ascontiguousarray(values, dtype=FLOAT_DTYPE).tobytes()
+        with open(tmp, "wb") as handle:
+            handle.write(WAL_MAGIC + _HEADER.pack(int(start)))
+            if payload:
+                handle.write(
+                    _RECORD.pack(len(payload) // 8, zlib.crc32(payload))
+                )
+                handle.write(payload)
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self._path)
+        if self._fsync:
+            fsync_directory(os.path.dirname(self._path) or ".")
+        if was_open:
+            self._file = open(self._path, "ab")
+
+    def close(self) -> None:
+        """Close the journal handle (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def _flush(self) -> None:
+        self._file.flush()
+        if self._fsync:
+            os.fsync(self._file.fileno())
+
+    def __repr__(self) -> str:
+        state = "closed" if self._file is None else "open"
+        return f"WriteAheadLog(path={self._path!r}, {state})"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(path) -> tuple[int, np.ndarray, bool]:
+        """Read ``(start_offset, readings, clean)`` from a journal.
+
+        ``readings`` holds every fully durable reading in order;
+        ``clean`` is False when the file ended mid-record (a torn tail
+        write — the truncated record's readings are dropped, which is
+        exactly the durability contract: a reading is durable once its
+        record is fully on disk). A missing or corrupted *header* raises
+        :class:`~repro.exceptions.SerializationError` loudly.
+        """
+        path = os.fspath(path)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError as exc:
+            raise SerializationError(
+                f"cannot read WAL {path!r}: {exc}"
+            ) from exc
+        head = len(WAL_MAGIC) + _HEADER.size
+        if len(blob) < head or blob[: len(WAL_MAGIC)] != WAL_MAGIC:
+            raise SerializationError(
+                f"WAL {path!r} has a missing or corrupted header"
+            )
+        (start,) = _HEADER.unpack_from(blob, len(WAL_MAGIC))
+        chunks: list[np.ndarray] = []
+        offset = head
+        clean = True
+        while offset < len(blob):
+            if offset + _RECORD.size > len(blob):
+                clean = False  # torn header
+                break
+            count, crc = _RECORD.unpack_from(blob, offset)
+            offset += _RECORD.size
+            payload = blob[offset : offset + count * 8]
+            if len(payload) < count * 8 or zlib.crc32(payload) != crc:
+                clean = False  # torn or corrupted payload
+                break
+            chunks.append(np.frombuffer(payload, dtype=FLOAT_DTYPE))
+            offset += count * 8
+        values = (
+            np.concatenate(chunks)
+            if chunks
+            else np.empty(0, dtype=FLOAT_DTYPE)
+        )
+        return int(start), values, clean
+
+
+# ----------------------------------------------------------------------
+# Segment manifest
+# ----------------------------------------------------------------------
+def fsync_directory(directory) -> None:
+    """fsync a directory so renames/creations inside it are durable
+    (best-effort: some filesystems refuse directory fds)."""
+    try:
+        fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_file(path) -> None:
+    """fsync an already-written file's contents to disk."""
+    fd = os.open(os.fspath(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def manifest_path(directory) -> str:
+    """The manifest file path inside a live directory."""
+    return os.path.join(os.fspath(directory), MANIFEST_NAME)
+
+
+def save_manifest(directory, manifest: dict) -> None:
+    """Atomically write ``manifest`` (tmp file + fsync + rename + dir
+    fsync, so a crash leaves either the old or the new manifest, never
+    a torn one — and the rename itself is durable). Manifest writes
+    happen only at init/seal/compaction, so the extra fsyncs are off
+    the append hot path."""
+    path = manifest_path(directory)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=1)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    fsync_directory(directory)
+
+
+def load_manifest(directory) -> dict:
+    """Read and validate a live directory's manifest.
+
+    Every failure mode — missing file, invalid JSON, wrong format
+    marker, missing keys, malformed segment entries — raises
+    :class:`~repro.exceptions.SerializationError`: recovery must fail
+    loudly rather than serve from a half-understood directory.
+    """
+    path = manifest_path(directory)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except OSError as exc:
+        raise SerializationError(
+            f"cannot read live manifest {path!r}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise SerializationError(
+            f"live manifest {path!r} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise SerializationError(f"live manifest {path!r} must be an object")
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise SerializationError(
+            f"unsupported live manifest format {manifest.get('format')!r} "
+            f"in {path!r}"
+        )
+    for key in ("length", "normalization", "params", "segments"):
+        if key not in manifest:
+            raise SerializationError(
+                f"live manifest {path!r} is missing {key!r}"
+            )
+    segments = manifest["segments"]
+    if not isinstance(segments, list):
+        raise SerializationError(
+            f"live manifest {path!r}: segments must be a list"
+        )
+    for entry in segments:
+        if not isinstance(entry, dict) or not {
+            "start",
+            "stop",
+            "file",
+        } <= set(entry):
+            raise SerializationError(
+                f"live manifest {path!r}: malformed segment entry {entry!r}"
+            )
+    return manifest

@@ -16,6 +16,8 @@ import repro.extensions.streaming
 import repro.indices.isax
 import repro.indices.kvindex
 import repro.indices.sweepline
+import repro.live.index
+import repro.live.wal
 
 MODULES = [
     repro,
@@ -30,6 +32,8 @@ MODULES = [
     repro.indices.isax,
     repro.indices.kvindex,
     repro.indices.sweepline,
+    repro.live.index,
+    repro.live.wal,
 ]
 
 

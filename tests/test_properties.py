@@ -20,6 +20,7 @@ from repro.indices.isax import ISAXIndex, ISAXParams
 from repro.indices.paa import paa_transform, segment_bounds
 from repro.indices.sax import SAXAlphabet
 from repro.indices.sweepline import SweeplineSearch
+from repro.live import LiveTwinIndex
 
 #: Bounded, finite float arrays keep distances well-conditioned.
 finite_floats = st.floats(
@@ -205,11 +206,20 @@ class TestSearchEquivalenceProperty:
             source,
             params=ISAXParams(segments=min(4, length), leaf_capacity=8),
         )
+        # The live ingestion plane, segmented small so the invariant
+        # also covers delta + sealed-segment + compaction fan-out.
+        live = LiveTwinIndex.from_source(
+            source,
+            params=TSIndexParams(min_children=2, max_children=4),
+            seal_threshold=16,
+            max_segments=2,
+            background_compaction=False,
+        )
         position = rnd.randrange(source.count)
         query = np.array(source.window_block(position, position + 1)[0])
         expected = sweepline.search(query, epsilon).positions
         assert position in expected
-        for index in (tsindex, kvindex, isax):
+        for index in (tsindex, kvindex, isax, live):
             actual = index.search(query, epsilon).positions
             assert np.array_equal(actual, expected), type(index).__name__
 

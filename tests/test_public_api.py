@@ -40,6 +40,11 @@ class TestTopLevelExports:
             "repro.engine.cache",
             "repro.engine.registry",
             "repro.engine.executor",
+            "repro.live",
+            "repro.live.index",
+            "repro.live.segments",
+            "repro.live.compaction",
+            "repro.live.wal",
             "repro.persistence",
             "repro.cli",
         ],

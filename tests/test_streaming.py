@@ -117,3 +117,47 @@ class TestQueriesTrackTheStream:
             if node.is_leaf:
                 positions.extend(node.positions)
         assert sorted(positions) == list(range(stream.window_count))
+
+
+class TestLiveShim:
+    def test_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="LiveTwinIndex"):
+            StreamingTwinIndex(np.zeros(32), length=16)
+
+    def test_backed_by_never_sealing_live_plane(self, stream):
+        from repro.live import LiveTwinIndex
+
+        assert isinstance(stream.live, LiveTwinIndex)
+        stream.append(synthetic.random_walk(600, seed=8))
+        # seal_threshold=None: everything stays in one delta tree, so
+        # the historical `.index` surface remains a single TSIndex.
+        assert stream.live.segment_count == 0
+        assert isinstance(stream.index, TSIndex)
+        assert stream.index.size == stream.window_count
+
+    def test_per_window_regime_now_supported(self):
+        # The znorm-per-window restriction is lifted: per-window
+        # scaling depends only on each window's own values, so it is
+        # append-safe; answers must match a from-scratch index.
+        rng = np.random.default_rng(21)
+        initial, extra = rng.normal(size=120), rng.normal(size=90)
+        stream = StreamingTwinIndex(
+            initial, length=20, normalization="per_window"
+        )
+        stream.append(extra)
+        full = np.concatenate([initial, extra])
+        reference = TSIndex.build(full, 20, normalization="per_window")
+        query = np.array(reference.source.window_block(150, 151)[0])
+        for epsilon in (0.0, 0.4):
+            expected = reference.search(query, epsilon)
+            actual = stream.search(query, epsilon)
+            assert np.array_equal(actual.positions, expected.positions)
+            assert np.array_equal(actual.distances, expected.distances)
+
+    def test_global_regime_still_rejected(self):
+        from repro.exceptions import UnsupportedNormalizationError
+
+        with pytest.raises(UnsupportedNormalizationError):
+            StreamingTwinIndex(
+                np.arange(64.0), length=16, normalization="global"
+            )
