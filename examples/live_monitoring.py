@@ -77,6 +77,25 @@ def main() -> None:
     for position, distance in nearest:
         print(f"  position {position:6d}  distance {distance:6.2f}")
 
+    # --- the same plane behind the unified serving front door ------------
+    # A live plane registers in a QueryEngine like any other plane; the
+    # unified pipeline keys the cache by the plane's mutation generation,
+    # so appends can never serve stale results.
+    from repro import QueryEngine
+
+    with QueryEngine() as serving:
+        serving.add_live("traffic", live)
+        served = serving.query("traffic", latest, epsilon=12.0)
+        direct = live.search(latest, epsilon=12.0)
+        assert np.array_equal(served.positions, direct.positions)
+        print(
+            f"served through QueryEngine: {len(served)} twins "
+            f"(== direct call), "
+            f"count={serving.count('traffic', latest, 12.0)}, "
+            f"exists={serving.exists('traffic', latest, 12.0)}"
+        )
+        serving.append("traffic", series[:batch])  # ingest via the engine
+
     # --- crash and recover ----------------------------------------------
     # Drop the object without a clean close: everything journaled or
     # sealed must come back.

@@ -111,8 +111,10 @@ from .indices import (
     SweeplineSearch,
     available_methods,
     create_method,
+    extended_methods,
 )
 from .live import LiveTwinIndex, WriteAheadLog
+from .query import QuerySpec
 
 __version__ = "1.0.0"
 
@@ -137,6 +139,7 @@ __all__ = [
     "Normalization",
     "QueryCache",
     "QueryEngine",
+    "QuerySpec",
     "QueryStats",
     "ReproError",
     "SearchResult",
@@ -156,6 +159,7 @@ __all__ = [
     "chebyshev_distance",
     "create_method",
     "euclidean_distance",
+    "extended_methods",
     "load_dataset",
     "load_series",
     "search_batch",

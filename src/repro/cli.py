@@ -61,12 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
     :func:`build_engine_parser`) before this one runs; it is listed in
     the choices so help and error messages stay complete.
     """
+    from .indices.base import available_methods, extended_methods
+
     parser = argparse.ArgumentParser(
         prog="repro-twin",
         description="Regenerate the paper's tables and figures, or "
         "drive the sharded query engine.",
         epilog="engine subcommands: `engine build|query|stats` "
-        "(see `repro-twin engine --help`).",
+        "(see `repro-twin engine --help`). "
+        f"query planes: paper methods {', '.join(available_methods())}; "
+        f"extended planes {', '.join(extended_methods())}.",
     )
     parser.add_argument(
         "command",
@@ -304,32 +308,56 @@ def _engine_load(path):
     return engine
 
 
-def _engine_query_values(args, engine):
+def _run_plane_query(index, args) -> int:
+    """Run one search/k-NN query against any plane and print the result.
+
+    The shared query path of the ``engine query`` and ``live query``
+    subcommands: the query comes from ``--position`` (already in the
+    index's value domain) or ``--query-file`` (raw values — the
+    :class:`~repro.query.QuerySpec` ``domain="raw"`` mapping handles
+    the global-normalization case that used to be open-coded here),
+    and execution routes through the unified pipeline.
+    """
+    import numpy as np
+
+    from .query import QuerySpec, execute
+
+    if (args.epsilon is None) == (args.knn is None):
+        raise SystemExit("pass exactly one of --epsilon or --knn")
     if args.position is not None:
-        block = engine.source.window_block(args.position, args.position + 1)
-        import numpy as np
+        block = index.source.window_block(args.position, args.position + 1)
+        query, domain = np.array(block[0]), "index"
+    else:
+        from .data import load_series
 
-        return np.array(block[0])
-    from .data import load_series
-
-    values = load_series(args.query_file).values
-    source = engine.source
-    if source.normalization.value == "global":
-        # File queries arrive in the raw value domain, but under GLOBAL
-        # the index holds windows of the z-normalized series and
-        # ``prepare_query`` expects normalized-domain input. Map the
-        # query with the *series'* moments — elementwise, so a raw
-        # slice of the original series matches its window exactly.
-        import numpy as np
-
-        from .core.normalization import STD_FLOOR
-
-        raw = np.asarray(source.series.values)
-        std = float(raw.std())
-        if std < STD_FLOOR:
-            return np.zeros_like(values)
-        return (values - raw.mean()) / std
-    return values
+        query, domain = load_series(args.query_file).values, "raw"
+    if args.knn is not None:
+        spec = QuerySpec(query=query, mode="knn", k=args.knn, domain=domain)
+    else:
+        spec = QuerySpec(
+            query=query, mode="search", epsilon=args.epsilon, domain=domain
+        )
+    result = execute(index, spec)
+    if args.knn is not None:
+        print(f"{len(result)} nearest windows:")
+    else:
+        print(f"{len(result)} twins within epsilon={args.epsilon:g}:")
+    rows = [
+        {"position": position, "distance": round(distance, 6)}
+        for position, distance in list(result)[: max(0, args.limit)]
+    ]
+    if rows:
+        print(format_table(rows))
+    if len(result) > len(rows):
+        print(f"... and {len(result) - len(rows)} more")
+    stats = result.stats
+    print(
+        f"stats: candidates={stats.candidates} "
+        f"nodes_visited={stats.nodes_visited} "
+        f"nodes_pruned={stats.nodes_pruned} "
+        f"leaves_accessed={stats.leaves_accessed}"
+    )
+    return 0
 
 
 def build_live_parser() -> argparse.ArgumentParser:
@@ -459,8 +487,6 @@ def run_live(argv) -> int:
 
 
 def _run_live(argv) -> int:
-    import numpy as np
-
     from .live import LiveTwinIndex
 
     args = build_live_parser().parse_args(argv)
@@ -502,40 +528,8 @@ def _run_live(argv) -> int:
         return 0
 
     if args.live_command == "query":
-        if (args.epsilon is None) == (args.knn is None):
-            raise SystemExit("pass exactly one of --epsilon or --knn")
         with LiveTwinIndex.recover(args.path) as live:
-            if args.position is not None:
-                block = live.source.window_block(
-                    args.position, args.position + 1
-                )
-                query = np.array(block[0])
-            else:
-                from .data import load_series
-
-                query = load_series(args.query_file).values
-            if args.knn is not None:
-                result = live.knn(query, args.knn)
-                print(f"{len(result)} nearest windows:")
-            else:
-                result = live.search(query, args.epsilon)
-                print(f"{len(result)} twins within epsilon={args.epsilon:g}:")
-            rows = [
-                {"position": position, "distance": round(distance, 6)}
-                for position, distance in list(result)[: max(0, args.limit)]
-            ]
-            if rows:
-                print(format_table(rows))
-            if len(result) > len(rows):
-                print(f"... and {len(result) - len(rows)} more")
-            stats = result.stats
-            print(
-                f"stats: candidates={stats.candidates} "
-                f"nodes_visited={stats.nodes_visited} "
-                f"nodes_pruned={stats.nodes_pruned} "
-                f"leaves_accessed={stats.leaves_accessed}"
-            )
-        return 0
+            return _run_plane_query(live, args)
 
     with LiveTwinIndex.recover(args.path) as live:
         snapshot = live.stats()
@@ -587,32 +581,7 @@ def _run_engine(argv) -> int:
         return 0
 
     if args.engine_command == "query":
-        if (args.epsilon is None) == (args.knn is None):
-            raise SystemExit("pass exactly one of --epsilon or --knn")
-        engine = _engine_load(args.index)
-        query = _engine_query_values(args, engine)
-        if args.knn is not None:
-            result = engine.knn(query, args.knn)
-            print(f"{len(result)} nearest windows:")
-        else:
-            result = engine.search(query, args.epsilon)
-            print(f"{len(result)} twins within epsilon={args.epsilon:g}:")
-        rows = [
-            {"position": position, "distance": round(distance, 6)}
-            for position, distance in list(result)[: max(0, args.limit)]
-        ]
-        if rows:
-            print(format_table(rows))
-        if len(result) > len(rows):
-            print(f"... and {len(result) - len(rows)} more")
-        stats = result.stats
-        print(
-            f"stats: candidates={stats.candidates} "
-            f"nodes_visited={stats.nodes_visited} "
-            f"nodes_pruned={stats.nodes_pruned} "
-            f"leaves_accessed={stats.leaves_accessed}"
-        )
-        return 0
+        return _run_plane_query(_engine_load(args.index), args)
 
     engine = _engine_load(args.index)
     print(f"{engine!r} normalization={engine.source.normalization.value}")

@@ -58,11 +58,12 @@ def search_batch(method, queries, epsilon: float, **search_options) -> BatchResu
     ``search_options`` are forwarded to each call (e.g.
     ``verification="per_candidate"``).
     """
+    # Local import: repro.query.merge imports BatchResult from here.
+    from ..query.merge import batch_result
+
     epsilon = check_non_negative(epsilon, name="epsilon")
-    results: list[SearchResult] = []
-    aggregate = QueryStats()
-    for query in queries:
-        result = method.search(query, epsilon, **search_options)
-        results.append(result)
-        aggregate = aggregate.merge(result.stats)
-    return BatchResult(results=results, stats=aggregate, epsilon=float(epsilon))
+    results = [
+        method.search(query, epsilon, **search_options)
+        for query in queries
+    ]
+    return batch_result(results, epsilon)

@@ -133,16 +133,14 @@ class CollectionIndex:
     def knn(self, query, k: int) -> list[CollectionMatch]:
         """The ``k`` nearest windows across the whole collection.
 
-        Requires members that support ``knn`` (TS-Index); per-series
-        top-k lists are merged and re-ranked globally.
+        Every member answers — natively (TS-Index) or through the
+        query planner's exact-scan synthesis (sweepline, KV-Index,
+        iSAX); per-series top-k lists are merged and re-ranked
+        globally.
         """
         k = check_positive_int(k, name="k")
         candidates: list[CollectionMatch] = []
         for series_id, index in enumerate(self._indices):
-            if not hasattr(index, "knn"):
-                raise InvalidParameterError(
-                    f"member method {type(index).__name__} has no knn"
-                )
             local_k = min(k, index.source.count)
             result = index.knn(query, local_k)
             for position, distance in result:

@@ -50,7 +50,17 @@ from .._util import (
     check_positive_int,
     iter_chunks,
 )
-from ..exceptions import IncompatibleQueryError, InvalidParameterError
+from ..exceptions import InvalidParameterError
+from ..query.capabilities import (
+    CAP_COUNT,
+    CAP_EXISTS,
+    CAP_KNN,
+    CAP_SEARCH,
+    CAP_SEARCH_BATCH,
+    CAP_VERIFICATION,
+)
+from ..query.registration import register_plane
+from ..query.spec import prepare_values
 from .batch import BatchResult
 from .normalization import Normalization
 from .stats import BuildStats, QueryStats, SearchResult
@@ -134,6 +144,21 @@ class FrozenTSIndex:
     >>> 100 in result.positions
     True
     """
+
+    method_name = "frozen"
+
+    #: Native kernels the query planner may call directly (the whole
+    #: read-only surface, including the batched traversal).
+    capabilities = frozenset(
+        {
+            CAP_SEARCH,
+            CAP_KNN,
+            CAP_EXISTS,
+            CAP_COUNT,
+            CAP_SEARCH_BATCH,
+            CAP_VERIFICATION,
+        }
+    )
 
     __slots__ = (
         "_source",
@@ -850,12 +875,9 @@ class FrozenTSIndex:
                 )
                 for qi in range(nq)
             ]
-        aggregate = QueryStats()
-        for result in results:
-            aggregate = aggregate.merge(result.stats)
-        return BatchResult(
-            results=results, stats=aggregate, epsilon=float(epsilon)
-        )
+        from ..query.merge import batch_result
+
+        return batch_result(results, epsilon)
 
     def _verify_batch(
         self,
@@ -1067,9 +1089,21 @@ class FrozenTSIndex:
 
     # ------------------------------------------------------------------
     def _prepare_query(self, query) -> np.ndarray:
-        try:
-            return self._source.prepare_query(query)
-        except InvalidParameterError as exc:
-            raise IncompatibleQueryError(
-                str(exc), expected=self._source.length
-            ) from exc
+        return prepare_values(
+            self._source, query, expected=self._source.length
+        )
+
+
+@register_plane(
+    "frozen",
+    aliases=("frozentsindex",),
+    summary="read-optimized flat TS-Index snapshot (vectorized frontier)",
+)
+def _frozen_plane(source: WindowSource, **kwargs) -> FrozenTSIndex:
+    """Registry builder: a TS-Index built then frozen in place."""
+    from .tsindex import TSIndex, TSIndexParams
+
+    params = kwargs.pop("params", None)
+    if kwargs:
+        params = TSIndexParams(**kwargs)
+    return TSIndex.from_source(source, params=params).freeze()

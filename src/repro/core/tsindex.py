@@ -29,7 +29,16 @@ from .._util import (
     check_non_negative,
     check_positive_int,
 )
-from ..exceptions import IncompatibleQueryError, InvalidParameterError
+from ..exceptions import InvalidParameterError
+from ..query.capabilities import (
+    CAP_COUNT,
+    CAP_EXISTS,
+    CAP_KNN,
+    CAP_SEARCH,
+    CAP_VERIFICATION,
+)
+from ..query.registration import register_plane
+from ..query.spec import prepare_values
 from .mbts import MBTS
 from .normalization import Normalization
 from .stats import BuildStats, QueryStats, SearchResult
@@ -160,6 +169,13 @@ class TSIndex:
     >>> 100 in result.positions
     True
     """
+
+    method_name = "tsindex"
+
+    #: Native kernels the query planner may call directly.
+    capabilities = frozenset(
+        {CAP_SEARCH, CAP_KNN, CAP_EXISTS, CAP_COUNT, CAP_VERIFICATION}
+    )
 
     def __init__(self, source: WindowSource, params: TSIndexParams | None = None):
         self._source = source
@@ -522,6 +538,26 @@ class TSIndex:
         """Number of twins (convenience wrapper over :meth:`search`)."""
         return len(self.search(query, epsilon))
 
+    def search_batch(self, queries, epsilon: float, **search_options):
+        """Run a whole workload; per-query results plus aggregates.
+
+        The pipeline-backed default every plane shares (a planner loop
+        over :meth:`search` with the shared merge/stats kernel); the
+        frozen form (:meth:`freeze`) has a batched shared-traversal
+        kernel instead.
+        """
+        from ..query import QuerySpec, execute
+
+        return execute(
+            self,
+            QuerySpec(
+                query=list(queries),
+                mode="batch",
+                epsilon=epsilon,
+                options=dict(search_options),
+            ),
+        )
+
     def search_approximate(
         self, query, epsilon: float, *, max_leaves: int = 8
     ) -> SearchResult:
@@ -772,12 +808,23 @@ class TSIndex:
 
     # ------------------------------------------------------------------
     def _prepare_query(self, query) -> np.ndarray:
-        try:
-            return self._source.prepare_query(query)
-        except InvalidParameterError as exc:
-            raise IncompatibleQueryError(
-                str(exc), expected=self._source.length
-            ) from exc
+        return prepare_values(
+            self._source, query, expected=self._source.length
+        )
+
+
+@register_plane(
+    "tsindex",
+    aliases=("ts",),
+    paper=True,
+    summary="MBTS tree, the paper's contribution (Section 5)",
+)
+def _tsindex_plane(source: WindowSource, **kwargs) -> TSIndex:
+    """Registry builder: loose kwargs become :class:`TSIndexParams`."""
+    params = kwargs.pop("params", None)
+    if kwargs:
+        params = TSIndexParams(**kwargs)
+    return TSIndex.from_source(source, params=params)
 
 
 def _union_of(nodes: list[_Node]) -> MBTS:

@@ -3,16 +3,25 @@
 :class:`QueryEngine` is what a server embeds. It composes
 
 * an :class:`~repro.engine.registry.IndexRegistry` owning the built
-  sharded indexes,
+  query planes,
 * one :class:`~repro.engine.cache.QueryCache` turning repeated queries
   into O(1) hits, and
 * a shared :class:`~concurrent.futures.ThreadPoolExecutor` that fans
   shard work (single queries) or query work (batches) out across cores,
 
-behind a small surface — ``build`` / ``query`` / ``knn`` / ``batch`` /
-``stats`` — that is safe to call from many threads at once. Per-query
-structural counters stay exact and deterministic; the engine aggregates
-them across calls into :class:`EngineStats`.
+behind a small surface — ``build`` / ``query`` / ``knn`` / ``exists`` /
+``count`` / ``batch`` / ``stats`` — that is safe to call from many
+threads at once. Per-query structural counters stay exact and
+deterministic; the engine aggregates them across calls into
+:class:`EngineStats`.
+
+Every call routes through the unified query pipeline
+(:mod:`repro.query`): a :class:`~repro.query.QuerySpec` describes the
+query, the planner negotiates the target plane's capabilities, and the
+plane's native kernels (or centrally synthesized fallbacks) execute it.
+That makes **every** registered plane — the paper's sweepline /
+KV-Index / iSAX baselines included — fully servable, with results
+byte-identical to the plane's direct call.
 
 Growing series serve through the same front door: register a
 :class:`~repro.live.LiveTwinIndex` with :meth:`QueryEngine.add_live`
@@ -31,6 +40,8 @@ import threading
 from ..core.batch import BatchResult
 from ..core.stats import QueryStats, SearchResult
 from ..exceptions import InvalidParameterError
+from ..indices.base import SubsequenceIndex
+from ..query import QuerySpec, batch_result, plan
 from .cache import CacheStats, QueryCache, query_key
 from .registry import IndexRegistry
 from .sharding import ShardedTSIndex
@@ -121,10 +132,14 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Index management (delegates to the registry)
     # ------------------------------------------------------------------
-    def build(self, name: str, series, length: int, **build_options) -> ShardedTSIndex:
-        """Build and register a sharded index (see
-        :meth:`IndexRegistry.build`; shards are frozen into flat
-        read-optimized arrays unless ``frozen=False`` is passed).
+    def build(self, name: str, series, length: int, **build_options) -> SubsequenceIndex:
+        """Build and register a query plane (see
+        :meth:`IndexRegistry.build`; the default ``method="sharded"``
+        builds a fan-out sharded index with shards frozen into flat
+        read-optimized arrays unless ``frozen=False`` is passed, and
+        any registered plane name — ``"sweepline"``, ``"kvindex"``,
+        ``"isax"``, ``"tsindex"``, ``"frozen"``, ``"live"`` — builds
+        through the same factory).
 
         Rebuilding an existing name (``overwrite=True``) also drops the
         cache, so the new index can never serve the old one's results.
@@ -136,6 +151,15 @@ class QueryEngine:
             # Correctness comes from generation-stamped cache keys (a
             # replaced index's entries become unreachable); the clear
             # just releases their memory promptly.
+            self._cache.clear()
+        return index
+
+    def add(self, name: str, index, *, overwrite: bool = False):
+        """Register a plane built elsewhere (any
+        :class:`~repro.indices.base.SubsequenceIndex`), invalidating
+        the cache when it may replace an existing name."""
+        self._registry.add(name, index, overwrite=overwrite)
+        if overwrite:
             self._cache.clear()
         return index
 
@@ -201,46 +225,73 @@ class QueryEngine:
         epsilon: float,
         *,
         verification: str = "bulk",
+        domain: str = "index",
         use_cache: bool = True,
     ) -> SearchResult:
-        """One twin query against the named index.
+        """One twin query against the named plane.
 
-        Cache hits return the previously computed
+        The query routes through the unified pipeline: a
+        :class:`~repro.query.QuerySpec` is planned against the plane's
+        capabilities (options the plane does not understand are
+        dropped, so the same call serves a sweepline and a sharded
+        engine alike). Cache hits return the previously computed
         :class:`~repro.core.stats.SearchResult` object itself; misses
         execute shard-parallel on the engine pool and populate the
         cache. Treat results as immutable (the library never mutates
-        them). Keys carry the index's registration *generation*, so a
-        miss computed against an index that is rebuilt mid-flight lands
+        them). Keys derive from the spec's *effective* parameters plus
+        the plane's registration/mutation *generation*, so a miss
+        computed against an index that is rebuilt mid-flight lands
         under a key the rebuilt index never reads — the new index can
         never serve the old one's results.
         """
         index, generation = self._registry.get_with_generation(name)
+        spec = QuerySpec(
+            query=query,
+            mode="search",
+            epsilon=epsilon,
+            domain=domain,
+            options={"verification": verification},
+        )
+        executed = plan(index, spec)
 
         def execute() -> SearchResult:
-            result = index.search(
-                query, epsilon, verification=verification, executor=self._pool
-            )
+            result = executed.execute(executor=self._pool)
             self._record(result.stats)
             return result
 
         self._count_query()
         if not use_cache:
             return execute()
-        key = query_key(
-            query, epsilon,
-            index=name, generation=generation, verification=verification,
-        )
+        key = self._spec_key(spec, executed, name, generation)
         return self._cache.get_or_compute(key, execute)
 
     def knn(self, name: str, query, k: int, *, exclude=None) -> SearchResult:
-        """k-NN twin query against the named index (never cached: the
+        """k-NN twin query against the named plane (never cached: the
         result depends on ``k`` and ``exclude``, and k-NN traffic rarely
-        repeats exactly)."""
+        repeats exactly). Planes without a native k-NN kernel are
+        served by the planner's exact scan."""
         index = self._registry.get(name)
+        spec = QuerySpec(query=query, mode="knn", k=k, exclude=exclude)
         self._count_query()
-        result = index.knn(query, k, exclude=exclude, executor=self._pool)
+        result = plan(index, spec).execute(executor=self._pool)
         self._record(result.stats)
         return result
+
+    def exists(self, name: str, query, epsilon: float) -> bool:
+        """Whether the named plane holds any twin of ``query`` within
+        ``epsilon`` (early-exit on planes with a native ``exists``)."""
+        index = self._registry.get(name)
+        spec = QuerySpec(query=query, mode="exists", epsilon=epsilon)
+        self._count_query()
+        return plan(index, spec).execute(executor=self._pool)
+
+    def count(self, name: str, query, epsilon: float) -> int:
+        """Number of twins in the named plane (non-materializing where
+        the plane or the planner supports it)."""
+        index = self._registry.get(name)
+        spec = QuerySpec(query=query, mode="count", epsilon=epsilon)
+        self._count_query()
+        return plan(index, spec).execute(executor=self._pool)
 
     def batch(
         self,
@@ -251,7 +302,7 @@ class QueryEngine:
         use_cache: bool = True,
         **search_options,
     ) -> BatchResult:
-        """A whole workload against the named index.
+        """A whole workload against the named plane.
 
         Queries fan out across the engine pool (each walking its shards
         serially — the right split for many small queries); each query
@@ -266,31 +317,44 @@ class QueryEngine:
 
         def one(query) -> SearchResult:
             self._count_query()
-            if not use_cache:
-                result = index.search(query, epsilon, **search_options)
-                self._record(result.stats)
-                return result
-            key = query_key(
-                query, epsilon, index=name, generation=generation,
-                **{str(k): v for k, v in search_options.items()},
+            spec = QuerySpec(
+                query=query,
+                mode="search",
+                epsilon=epsilon,
+                options=dict(search_options),
             )
+            executed = plan(index, spec)
 
             def execute() -> SearchResult:
-                result = index.search(query, epsilon, **search_options)
+                result = executed.execute()
                 self._record(result.stats)
                 return result
 
+            if not use_cache:
+                return execute()
+            key = self._spec_key(spec, executed, name, generation)
             return self._cache.get_or_compute(key, execute)
 
         if len(queries) > 1:
             results = list(self._pool.map(one, queries))
         else:
             results = [one(query) for query in queries]
-        aggregate = QueryStats()
-        for result in results:
-            aggregate = aggregate.merge(result.stats)
-        return BatchResult(
-            results=results, stats=aggregate, epsilon=float(epsilon)
+        return batch_result(results, epsilon)
+
+    @staticmethod
+    def _spec_key(spec: QuerySpec, executed, name: str, generation) -> tuple:
+        """The cache key for one planned spec: query digest + effective
+        (capability-filtered) options + plane name and generation. The
+        arrival domain is part of the key — the same raw values mean a
+        different query after raw→index mapping."""
+        return query_key(
+            spec.query,
+            spec.epsilon,
+            index=name,
+            generation=generation,
+            mode=spec.mode,
+            domain=spec.domain,
+            **{str(k): v for k, v in executed.options.items()},
         )
 
     # ------------------------------------------------------------------

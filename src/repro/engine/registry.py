@@ -1,13 +1,19 @@
-"""Named-index registry: owns built engines for multi-tenant serving.
+"""Named-index registry: owns built query planes for multi-tenant serving.
 
 A server process typically holds several built indexes at once (one per
 archive / window length / regime). :class:`IndexRegistry` is the owner:
-it builds :class:`~repro.engine.sharding.ShardedTSIndex` engines under
-caller-chosen names, hands out live references, evicts them, persists
-them through :mod:`repro.persistence`, and reports per-index stats.
-All operations are thread-safe; builds for distinct names can proceed
-concurrently (the registry lock is only held around map mutation, never
-around a build).
+it builds planes under caller-chosen names, hands out live references,
+evicts them, persists them through :mod:`repro.persistence`, and
+reports per-index stats. All operations are thread-safe; builds for
+distinct names can proceed concurrently (the registry lock is only held
+around map mutation, never around a build).
+
+Any :class:`~repro.indices.base.SubsequenceIndex` registers — the
+default :meth:`IndexRegistry.build` produces a sharded
+:class:`~repro.engine.sharding.ShardedTSIndex`, but every registered
+plane name (``method="sweepline"``, ``"kvindex"``, ``"isax"``,
+``"tsindex"``, ``"frozen"``, ``"live"``) builds and serves through the
+same front door, the planner synthesizing whatever the plane lacks.
 
 Mutable :class:`~repro.live.LiveTwinIndex` planes register through
 :meth:`IndexRegistry.add_live`. For those, the generation reported by
@@ -25,6 +31,7 @@ import time
 from ..core.normalization import Normalization
 from ..core.tsindex import TSIndexParams
 from ..exceptions import IndexNotBuiltError, InvalidParameterError
+from ..indices.base import SubsequenceIndex, create_method
 from .sharding import ShardedTSIndex
 
 
@@ -67,46 +74,85 @@ class IndexRegistry:
         series,
         length: int,
         *,
+        method: str = "sharded",
         normalization=Normalization.GLOBAL,
         shards: int | None = None,
         params: TSIndexParams | None = None,
         max_workers: int | None = None,
         frozen: bool = True,
         overwrite: bool = False,
-    ) -> ShardedTSIndex:
-        """Build a sharded engine and register it under ``name``.
+        **method_options,
+    ) -> SubsequenceIndex:
+        """Build a query plane and register it under ``name``.
 
-        Shards are frozen into flat read-optimized arrays by default
-        (``frozen=False`` keeps dynamic trees). Refuses to clobber an
-        existing name unless ``overwrite=True`` (rebuilding a live index
-        should be a deliberate act).
+        The default ``method="sharded"`` builds a fan-out
+        :class:`ShardedTSIndex` (shards frozen into flat read-optimized
+        arrays unless ``frozen=False``); any other registered plane
+        name — paper method or extended plane — builds through
+        :func:`~repro.indices.base.create_method` with
+        ``method_options`` forwarded. The sharded-only parameters
+        (``shards``/``max_workers``/``frozen``) are rejected for other
+        methods rather than silently ignored. Refuses to clobber an
+        existing name unless ``overwrite=True`` (rebuilding a live
+        index should be a deliberate act).
         """
         name = self._check_name(name)
         if not overwrite and name in self._engines:
             raise InvalidParameterError(
                 f"index {name!r} already exists; pass overwrite=True to rebuild"
             )
-        engine = ShardedTSIndex.build(
-            series,
-            length,
-            normalization=normalization,
-            shards=shards,
-            params=params,
-            max_workers=max_workers,
-            frozen=frozen,
-        )
+        if method == "sharded":
+            engine = ShardedTSIndex.build(
+                series,
+                length,
+                normalization=normalization,
+                shards=shards,
+                params=params,
+                max_workers=max_workers,
+                frozen=frozen,
+                **method_options,
+            )
+        else:
+            sharded_only = {
+                "shards": (shards, None),
+                "max_workers": (max_workers, None),
+                "frozen": (frozen, True),
+            }
+            misapplied = [
+                key
+                for key, (value, default) in sharded_only.items()
+                if value != default
+            ]
+            if misapplied:
+                raise InvalidParameterError(
+                    f"{', '.join(misapplied)} only apply to "
+                    f"method='sharded', not method={method!r}"
+                )
+            if params is not None:
+                method_options["params"] = params
+            engine = create_method(
+                method,
+                series,
+                length,
+                normalization=normalization,
+                **method_options,
+            )
         self.add(name, engine, overwrite=overwrite)
         return engine
 
     def add(
-        self, name: str, engine: ShardedTSIndex, *, overwrite: bool = False
+        self, name: str, engine: SubsequenceIndex, *, overwrite: bool = False
     ) -> None:
-        """Register an engine built elsewhere (e.g. loaded from disk)."""
-        if not isinstance(engine, ShardedTSIndex):
+        """Register a plane built elsewhere (e.g. loaded from disk).
+
+        Accepts any :class:`~repro.indices.base.SubsequenceIndex` —
+        sharded engines, live planes, frozen snapshots or the paper
+        methods all serve through the same registry.
+        """
+        if not isinstance(engine, SubsequenceIndex):
             raise InvalidParameterError(
-                "registry entries must be ShardedTSIndex instances, got "
-                f"{type(engine).__name__} (register live planes with "
-                "add_live)"
+                "registry entries must implement the SubsequenceIndex "
+                f"query surface, got {type(engine).__name__}"
             )
         self._register(name, engine, overwrite=overwrite)
 
@@ -194,9 +240,9 @@ class IndexRegistry:
     # Persistence (via repro.persistence)
     # ------------------------------------------------------------------
     def save(self, name: str, path) -> None:
-        """Persist the engine under ``name`` to a ``.npz`` archive."""
+        """Persist the plane under ``name`` to a ``.npz`` archive."""
         engine = self.get(name)
-        if not isinstance(engine, ShardedTSIndex):
+        if getattr(engine, "method_name", "") == "live":
             raise InvalidParameterError(
                 f"index {name!r} is a live plane; it persists through its "
                 "write-ahead-log directory (LiveTwinIndex.create/recover), "
@@ -225,14 +271,30 @@ class IndexRegistry:
     def stats(self, name: str) -> dict:
         """Structural stats for one index (shape, shards/segments,
         build cost). Live planes report their LSM shape (segments,
-        delta, seals, compactions) instead of shard rows."""
+        delta, seals, compactions) instead of shard rows; other
+        non-sharded planes report a generic structural row keyed by
+        their plane kind."""
         engine = self.get(name)
         with self._lock:
             built_at = self._built_at.get(name, 0.0)
-        if not isinstance(engine, ShardedTSIndex):
+        if getattr(engine, "method_name", "") == "live":
             # A live plane: its own stats snapshot carries the shape.
             return {"name": name, "kind": "live", "built_at": built_at,
                     **engine.stats()}
+        if not isinstance(engine, ShardedTSIndex):
+            # A generic plane (paper method or frozen snapshot).
+            build = engine.build_stats
+            return {
+                "name": name,
+                "kind": engine.method_name or type(engine).__name__,
+                "windows": engine.source.count,
+                "length": engine.source.length,
+                "normalization": engine.source.normalization.value,
+                "nodes": build.nodes,
+                "splits": build.splits,
+                "build_seconds": round(build.seconds, 4),
+                "built_at": built_at,
+            }
         build = engine.build_stats
         return {
             "name": name,

@@ -28,14 +28,9 @@ shards must keep accepting inserts).
 from __future__ import annotations
 
 import concurrent.futures
-import heapq
 import os
 
-import numpy as np
-
 from .._util import (
-    FLOAT_DTYPE,
-    POSITION_DTYPE,
     check_non_negative,
     check_positive_int,
     map_with_executor,
@@ -43,10 +38,24 @@ from .._util import (
 from ..core.batch import BatchResult
 from ..core.frozen import FrozenTSIndex
 from ..core.normalization import Normalization
-from ..core.stats import BuildStats, QueryStats, SearchResult
+from ..core.stats import BuildStats, SearchResult
 from ..core.tsindex import TSIndex, TSIndexParams
 from ..core.windows import WindowSource
 from ..exceptions import InvalidParameterError
+from ..indices.base import SubsequenceIndex
+from ..query.capabilities import (
+    CAP_BATCHED_KERNEL,
+    CAP_COUNT,
+    CAP_EXECUTOR,
+    CAP_EXISTS,
+    CAP_KNN,
+    CAP_SEARCH,
+    CAP_SEARCH_BATCH,
+    CAP_VERIFICATION,
+)
+from ..query.merge import batch_result, merge_knn, merge_offset_search
+from ..query.registration import register_plane
+from ..query.spec import normalize_exclude, prepare_values
 
 #: A shard smaller than this many windows is pointless overhead; the
 #: automatic shard count keeps every shard at least this large.
@@ -94,7 +103,12 @@ def shard_spans(window_count: int, shards: int) -> list[tuple[int, int]]:
     return spans
 
 
-class ShardedTSIndex:
+@register_plane(
+    "sharded",
+    aliases=("shardedtsindex", "engine"),
+    summary="partitioned TS-Index with fan-out serving (repro.engine)",
+)
+class ShardedTSIndex(SubsequenceIndex):
     """A TS-Index partitioned into per-span shard trees.
 
     Answers the same query surface as :class:`~repro.core.tsindex.TSIndex`
@@ -114,6 +128,23 @@ class ShardedTSIndex:
     >>> 300 in result.positions
     True
     """
+
+    method_name = "sharded"
+
+    #: Native kernels the query planner may call directly (including
+    #: ``executor=`` fan-out and the ``batched=`` shared traversal).
+    capabilities = frozenset(
+        {
+            CAP_SEARCH,
+            CAP_KNN,
+            CAP_EXISTS,
+            CAP_COUNT,
+            CAP_SEARCH_BATCH,
+            CAP_BATCHED_KERNEL,
+            CAP_EXECUTOR,
+            CAP_VERIFICATION,
+        }
+    )
 
     def __init__(
         self,
@@ -323,19 +354,42 @@ class ShardedTSIndex:
         either way, so stats are deterministic.
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
-        query = self._source.prepare_query(query)
+        query = prepare_values(self._source, query)
 
         def one(tree: TSIndex) -> SearchResult:
             return tree.search(query, epsilon, verification=verification)
 
-        # Position re-offsetting happens in _merge_search, which pairs
-        # each result back with its span start.
+        # Position re-offsetting happens in the shared merge kernel,
+        # which pairs each result back with its span start.
         results = self._map(executor, one, self._shards)
-        return self._merge_search(results)
+        return merge_offset_search(zip(self._starts, results))
 
-    def count(self, query, epsilon: float) -> int:
-        """Number of twins (convenience wrapper over :meth:`search`)."""
-        return len(self.search(query, epsilon))
+    def count(
+        self,
+        query,
+        epsilon: float,
+        *,
+        executor: concurrent.futures.Executor | None = None,
+    ) -> int:
+        """Number of twins — summed per shard, so the global result
+        arrays are never materialized or merged."""
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        query = prepare_values(self._source, query)
+
+        def one(tree: TSIndex) -> int:
+            return tree.count(query, epsilon)
+
+        return sum(self._map(executor, one, self._shards))
+
+    def exists(self, query, epsilon: float) -> bool:
+        """Whether any twin exists — probes shards in span order and
+        stops at the first hit (each shard's own ``exists`` early-exits
+        internally too)."""
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        query = prepare_values(self._source, query)
+        return any(
+            tree.exists(query, epsilon) for tree in self._shards
+        )
 
     def knn(
         self,
@@ -352,43 +406,21 @@ class ShardedTSIndex:
         ``(distance, position)`` and truncated to ``k``.
         """
         k = check_positive_int(k, name="k")
-        query = self._source.prepare_query(query)
-        if exclude is not None:
-            exclude_start, exclude_stop = int(exclude[0]), int(exclude[1])
-            if exclude_start > exclude_stop:
-                raise InvalidParameterError(
-                    f"exclude range must satisfy start <= stop, got {exclude}"
-                )
+        query = prepare_values(self._source, query)
+        exclude = normalize_exclude(exclude)
 
         def one(args) -> SearchResult:
             start, tree = args
             local_exclude = None
             if exclude is not None:
-                lo = max(0, exclude_start - start)
-                hi = min(tree.size, exclude_stop - start)
+                lo = max(0, exclude[0] - start)
+                hi = min(tree.size, exclude[1] - start)
                 if lo < hi:
                     local_exclude = (lo, hi)
             return tree.knn(query, min(k, tree.size), exclude=local_exclude)
 
         results = self._map(executor, one, list(zip(self._starts, self._shards)))
-
-        merged_stats = QueryStats()
-        entries: list[tuple[float, int]] = []
-        for start, result in zip(self._starts, results):
-            merged_stats = merged_stats.merge(result.stats)
-            entries.extend(
-                (float(distance), int(position) + start)
-                for position, distance in zip(
-                    result.positions.tolist(), result.distances.tolist()
-                )
-            )
-        top = heapq.nsmallest(k, entries)
-        merged_stats.matches = len(top)
-        return SearchResult(
-            positions=np.asarray([p for _, p in top], dtype=POSITION_DTYPE),
-            distances=np.asarray([d for d, _ in top], dtype=FLOAT_DTYPE),
-            stats=merged_stats,
-        )
+        return merge_knn(zip(self._starts, results), k)
 
     def search_batch(
         self,
@@ -443,7 +475,9 @@ class ShardedTSIndex:
                 for tree in self._shards
             ]
             results = [
-                self._merge_search([batch.results[i] for batch in per_shard])
+                merge_offset_search(
+                    zip(self._starts, (batch.results[i] for batch in per_shard))
+                )
                 for i in range(len(queries))
             ]
         else:
@@ -451,31 +485,9 @@ class ShardedTSIndex:
                 return self.search(query, epsilon, **search_options)
 
             results = self._map(executor, one, queries)
-        aggregate = QueryStats()
-        for result in results:
-            aggregate = aggregate.merge(result.stats)
-        return BatchResult(
-            results=results, stats=aggregate, epsilon=float(epsilon)
-        )
+        return batch_result(results, epsilon)
 
     # ------------------------------------------------------------------
-    def _merge_search(self, results: list[SearchResult]) -> SearchResult:
-        merged_stats = QueryStats()
-        positions: list[np.ndarray] = []
-        distances: list[np.ndarray] = []
-        for start, result in zip(self._starts, results):
-            merged_stats = merged_stats.merge(result.stats)
-            if result.positions.size:
-                positions.append(result.positions + start)
-                distances.append(result.distances)
-        if not positions:
-            return SearchResult.empty(merged_stats)
-        return SearchResult(
-            positions=np.concatenate(positions),
-            distances=np.concatenate(distances),
-            stats=merged_stats,
-        )
-
     @staticmethod
     def _map(executor, fn, items: list) -> list:
         return map_with_executor(executor, fn, items)

@@ -30,6 +30,7 @@ from ..core.normalization import (
 )
 from ..core.windows import WindowSource
 from ..exceptions import InvalidParameterError
+from ..query.spec import prepare_values
 
 
 def _sliding_dot(values: np.ndarray, query: np.ndarray) -> np.ndarray:
@@ -46,7 +47,7 @@ def euclidean_distance_profile(source: WindowSource, query) -> np.ndarray:
     statistics. Small negative squared distances from floating-point
     cancellation are clamped to zero.
     """
-    query = source.prepare_query(query)
+    query = prepare_values(source, query)
     values = source.values
     length = source.length
 
@@ -80,16 +81,13 @@ def euclidean_distance_profile(source: WindowSource, query) -> np.ndarray:
 
 def chebyshev_distance_profile(source: WindowSource, query) -> np.ndarray:
     """Exact Chebyshev distance to every window (O(n·l), vectorized in
-    chunks). The ground-truth counterpart of the Euclidean profile."""
-    from ..core.verification import DEFAULT_CHUNK
+    chunks). The ground-truth counterpart of the Euclidean profile —
+    the same blockwise kernel the query planner's exact-scan synthesis
+    uses (:func:`repro.query.planner.scan_distances`)."""
+    from ..query.planner import scan_distances
 
-    query = source.prepare_query(query)
-    profile = np.empty(source.count, dtype=FLOAT_DTYPE)
-    for start in range(0, source.count, DEFAULT_CHUNK):
-        stop = min(start + DEFAULT_CHUNK, source.count)
-        block = source.window_block(start, stop)
-        profile[start:stop] = np.max(np.abs(block - query), axis=1)
-    return profile
+    query = prepare_values(source, query)
+    return scan_distances(source, query)
 
 
 def euclidean_threshold_search(
@@ -131,7 +129,7 @@ def twin_vs_euclidean_comparison(
     """
     epsilon = check_non_negative(epsilon, name="epsilon")
     radius = euclidean_threshold_for(epsilon, source.length)
-    query_prepared = source.prepare_query(query)
+    query_prepared = prepare_values(source, query)
 
     chebyshev = chebyshev_distance_profile(source, query_prepared)
     euclidean = euclidean_distance_profile(source, query_prepared)

@@ -18,6 +18,7 @@ from .base import (
     SubsequenceIndex,
     available_methods,
     create_method,
+    extended_methods,
 )
 from .isax import ISAXIndex, ISAXParams
 from .kvindex import KVIndex, KVIndexParams
@@ -45,6 +46,7 @@ __all__ = [
     "SweeplineSearch",
     "available_methods",
     "create_method",
+    "extended_methods",
     "paa_matrix",
     "paa_transform",
     "sax_word",

@@ -5,6 +5,18 @@ surface — build over a :class:`~repro.core.windows.WindowSource`, answer
 ``search(query, epsilon)`` with a :class:`~repro.core.stats.SearchResult`
 — so the benchmark harness, the equivalence tests and the CLI can treat
 them uniformly by name.
+
+Beyond the paper surface, :class:`SubsequenceIndex` now carries
+**default implementations of every other query mode** — ``knn``,
+``exists``, ``search_batch`` and ``count`` — routed
+through the plane-agnostic pipeline in :mod:`repro.query`: planes
+declare what they support natively (``capabilities``) and the planner
+synthesizes the rest, so even a search-only method is fully servable by
+:class:`~repro.engine.executor.QueryEngine`.
+
+Planes self-register with the :func:`repro.query.register_plane`
+decorator; :func:`create_method` resolves names through that registry
+instead of a hard-coded ``if/elif`` chain.
 """
 
 from __future__ import annotations
@@ -14,17 +26,31 @@ import abc
 from ..core.normalization import Normalization
 from ..core.stats import BuildStats, SearchResult
 from ..core.windows import WindowSource
-from ..exceptions import InvalidParameterError
+from ..query.capabilities import BASE_CAPABILITIES
 
-#: Canonical method names, in the order the paper's figures list them.
+#: Canonical paper-method names, in the order the paper's figures list
+#: them. Extended planes (frozen, sharded, live) are listed by
+#: :func:`extended_methods`.
 METHOD_NAMES = ("sweepline", "kvindex", "isax", "tsindex")
 
 
 class SubsequenceIndex(abc.ABC):
-    """Abstract twin-search method over the windows of one series."""
+    """Abstract twin-search method over the windows of one series.
+
+    Subclasses must bring ``search``; every other query mode has a
+    pipeline-backed default here. A subclass with a faster native
+    kernel overrides the method *and* adds the matching capability
+    name to :attr:`capabilities` so the planner (and the engine) call
+    it directly.
+    """
 
     #: Registry name; subclasses override.
     method_name: str = ""
+
+    #: Natively implemented kernels (see :mod:`repro.query.capabilities`).
+    #: The default — search only — means every other mode is synthesized
+    #: by the planner.
+    capabilities: frozenset = BASE_CAPABILITIES
 
     @classmethod
     @abc.abstractmethod
@@ -45,14 +71,76 @@ class SubsequenceIndex(abc.ABC):
     def build_stats(self) -> BuildStats:
         """Counters recorded while building."""
 
+    # ------------------------------------------------------------------
+    # Pipeline-backed defaults (planes with native kernels override and
+    # declare the capability; see repro.query.planner)
+    # ------------------------------------------------------------------
+    def knn(self, query, k: int, *, exclude=None) -> SearchResult:
+        """The ``k`` nearest windows by Chebyshev distance, ranked by
+        the library-wide ``(distance, position)`` tie-break (default:
+        exact blockwise scan via the planner)."""
+        from ..query import QuerySpec, execute
+
+        return execute(
+            self, QuerySpec(query=query, mode="knn", k=k, exclude=exclude)
+        )
+
+    def exists(self, query, epsilon: float) -> bool:
+        """Whether any twin exists (default: search-backed)."""
+        from ..query import QuerySpec, execute
+
+        return execute(
+            self, QuerySpec(query=query, mode="exists", epsilon=epsilon)
+        )
+
+    def search_batch(self, queries, epsilon: float, **search_options):
+        """Run a whole workload; per-query results plus aggregates
+        (default: a planner loop sharing one merge/stats kernel)."""
+        from ..query import QuerySpec, execute
+
+        return execute(
+            self,
+            QuerySpec(
+                query=list(queries),
+                mode="batch",
+                epsilon=epsilon,
+                options=dict(search_options),
+            ),
+        )
+
     def count(self, query, epsilon: float) -> int:
-        """Number of twins (default: materialize and count)."""
-        return len(self.search(query, epsilon))
+        """Number of twins (default: via the planner — the plane's
+        native non-materializing count where declared, its own pruned
+        search otherwise)."""
+        from ..query import QuerySpec, execute
+
+        return execute(
+            self, QuerySpec(query=query, mode="count", epsilon=epsilon)
+        )
 
 
-def available_methods() -> tuple[str, ...]:
-    """Names accepted by :func:`create_method`."""
-    return METHOD_NAMES
+def available_methods(*, extended: bool = False) -> tuple[str, ...]:
+    """Names accepted by :func:`create_method`.
+
+    By default the paper's four methods (the tuple the figures sweep);
+    with ``extended=True`` the extended serving planes (frozen, sharded,
+    live) are appended. Both listings are driven by the registration
+    decorator, so they always name exactly what works.
+    """
+    from ..query.registration import plane_names
+
+    paper = plane_names(paper=True)
+    if not extended:
+        return paper
+    return paper + plane_names(paper=False)
+
+
+def extended_methods() -> tuple[str, ...]:
+    """The extended (beyond-paper) plane names: read-optimized frozen
+    snapshots, the sharded serving engine, the live ingestion plane."""
+    from ..query.registration import plane_names
+
+    return plane_names(paper=False)
 
 
 def create_method(
@@ -74,48 +162,13 @@ def create_method(
 
 
 def create_method_from_source(name: str, source: WindowSource, **kwargs):
-    """Like :func:`create_method` but reusing a prepared source."""
-    # Local imports: the concrete classes import this module's ABC.
-    from ..core.tsindex import TSIndex, TSIndexParams
-    from .isax import ISAXIndex
-    from .kvindex import KVIndex
-    from .sweepline import SweeplineSearch
+    """Like :func:`create_method` but reusing a prepared source.
 
-    normalized = str(name).lower().replace("-", "").replace("_", "")
-    if normalized == "sweepline":
-        return SweeplineSearch.from_source(source, **kwargs)
-    if normalized in ("kvindex", "kvmatch", "kv"):
-        return KVIndex.from_source(source, **kwargs)
-    if normalized == "isax":
-        return ISAXIndex.from_source(source, **kwargs)
-    if normalized in ("tsindex", "ts"):
-        params = kwargs.pop("params", None)
-        if kwargs:
-            params = TSIndexParams(**kwargs)
-        return TSIndex.from_source(source, params=params)
-    if normalized in ("frozen", "frozentsindex"):
-        # Read-optimized flat form of TS-Index (repro.core.frozen):
-        # same answers, vectorized frontier traversal. Not in
-        # METHOD_NAMES for the same reason as "sharded".
-        params = kwargs.pop("params", None)
-        if kwargs:
-            params = TSIndexParams(**kwargs)
-        return TSIndex.from_source(source, params=params).freeze()
-    if normalized in ("live", "livetwinindex"):
-        # The LSM-style ingestion plane (repro.live): answers the same
-        # ``search`` surface over an appendable series. Not listed in
-        # METHOD_NAMES for the same reason as "sharded"/"frozen".
-        from ..live import LiveTwinIndex
+    Resolution goes through the plane registry
+    (:mod:`repro.query.registration`): planes self-register with the
+    ``@register_plane`` decorator, and unknown names raise an error
+    listing every registered name.
+    """
+    from ..query.registration import resolve_plane
 
-        return LiveTwinIndex.from_source(source, **kwargs)
-    if normalized in ("sharded", "shardedtsindex", "engine"):
-        # The serving-layer index (repro.engine); answers the same
-        # ``search`` surface, so the harness can drive it by name. Not
-        # listed in METHOD_NAMES: the paper's figures compare only the
-        # four paper methods.
-        from ..engine.sharding import ShardedTSIndex
-
-        return ShardedTSIndex.from_source(source, **kwargs)
-    raise InvalidParameterError(
-        f"unknown method {name!r}; expected one of {METHOD_NAMES}"
-    )
+    return resolve_plane(name).build(source, **kwargs)

@@ -30,6 +30,8 @@ from ..core.stats import BuildStats, QueryStats, SearchResult
 from ..core.verification import verify
 from ..core.windows import WindowSource
 from ..exceptions import InvalidParameterError
+from ..query.registration import register_plane
+from ..query.spec import prepare_values
 from .base import SubsequenceIndex
 from .paa import paa_matrix, paa_transform
 from .sax import SAXAlphabet
@@ -80,6 +82,11 @@ class _ISAXNode:
         return self.positions is not None
 
 
+@register_plane(
+    "isax",
+    paper=True,
+    summary="SAX-word tree with PAA pruning (Section 4.2)",
+)
 class ISAXIndex(SubsequenceIndex):
     """Tree over SAX words of all windows, adapted for twin search.
 
@@ -344,7 +351,7 @@ class ISAXIndex(SubsequenceIndex):
         :data:`~repro.core.verification.VERIFICATION_MODES`).
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
-        query = self._source.prepare_query(query)
+        query = prepare_values(self._source, query)
         query_paa = paa_transform(query, self._params.segments)
         stats = QueryStats()
 
@@ -389,7 +396,7 @@ class ISAXIndex(SubsequenceIndex):
         plus one leaf verification.
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
-        query = self._source.prepare_query(query)
+        query = prepare_values(self._source, query)
         query_paa = paa_transform(query, self._params.segments)
         symbols = self._alphabet.symbols(query_paa)
         stats = QueryStats()

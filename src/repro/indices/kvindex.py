@@ -33,6 +33,8 @@ from ..core.stats import BuildStats, QueryStats, SearchResult
 from ..core.verification import verify, verify_intervals
 from ..core.windows import WindowSource
 from ..exceptions import UnsupportedNormalizationError
+from ..query.registration import register_plane
+from ..query.spec import prepare_values
 from .base import SubsequenceIndex
 
 
@@ -50,6 +52,12 @@ class KVIndexParams:
         check_positive_int(self.num_bins, name="num_bins")
 
 
+@register_plane(
+    "kvindex",
+    aliases=("kvmatch", "kv"),
+    paper=True,
+    summary="mean-value inverted index (Section 4.1)",
+)
 class KVIndex(SubsequenceIndex):
     """Inverted index over window means for twin search.
 
@@ -203,7 +211,7 @@ class KVIndex(SubsequenceIndex):
         :data:`~repro.core.verification.VERIFICATION_MODES`).
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
-        query = self._source.prepare_query(query)
+        query = prepare_values(self._source, query)
         query_mean = float(query.mean())
         stats = QueryStats()
 
@@ -232,7 +240,7 @@ class KVIndex(SubsequenceIndex):
         Exposed for the filter-quality diagnostics in the benchmarks.
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
-        query = self._source.prepare_query(query)
+        query = prepare_values(self._source, query)
         first, last = self._overlapping_bins(
             float(query.mean()), epsilon + self._mean_slack
         )

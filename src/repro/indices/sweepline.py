@@ -20,9 +20,16 @@ from ..core.stats import BuildStats, QueryStats, SearchResult
 from ..core.verification import verify, verify_intervals
 from ..core.windows import WindowSource
 from .._util import POSITION_DTYPE, check_non_negative
+from ..query.registration import register_plane
+from ..query.spec import prepare_values
 from .base import SubsequenceIndex
 
 
+@register_plane(
+    "sweepline",
+    paper=True,
+    summary="index-free exhaustive scan (Section 3.2)",
+)
 class SweeplineSearch(SubsequenceIndex):
     """Index-free exhaustive twin search over one series.
 
@@ -86,7 +93,7 @@ class SweeplineSearch(SubsequenceIndex):
         uses zero-copy interval verification over the whole range.
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
-        query = self._source.prepare_query(query)
+        query = prepare_values(self._source, query)
         if verification == "bulk":
             return verify_intervals(
                 self._source, query, [(0, self._source.count)], epsilon
@@ -101,7 +108,7 @@ class SweeplineSearch(SubsequenceIndex):
         reordering early abandoning (Section 3.2), kept as an executable
         specification of the vectorized paths."""
         epsilon = check_non_negative(epsilon, name="epsilon")
-        query = self._source.prepare_query(query)
+        query = prepare_values(self._source, query)
         order = reorder_by_magnitude(query)
         stats = QueryStats()
         positions: list[int] = []

@@ -38,7 +38,6 @@ moments under every already-indexed window.
 from __future__ import annotations
 
 import dataclasses
-import heapq
 import os
 import threading
 
@@ -54,17 +53,28 @@ from ..core.batch import BatchResult
 from ..core.frozen import FrozenTSIndex
 from ..core.normalization import Normalization, rolling_std, std_block_size
 from ..core.series import TimeSeries
-from ..core.stats import BuildStats, QueryStats, SearchResult
+from ..core.stats import BuildStats, SearchResult
 from ..core.tsindex import TSIndex, TSIndexParams
 from ..core.windows import WindowSource, assemble_source
 from ..exceptions import (
-    IncompatibleQueryError,
     IndexNotBuiltError,
     InvalidParameterError,
     SerializationError,
     UnsupportedNormalizationError,
 )
 from ..indices.base import SubsequenceIndex
+from ..query.capabilities import (
+    CAP_COUNT,
+    CAP_EXECUTOR,
+    CAP_EXISTS,
+    CAP_KNN,
+    CAP_SEARCH,
+    CAP_SEARCH_BATCH,
+    CAP_VERIFICATION,
+)
+from ..query.merge import batch_result, merge_knn, merge_offset_search
+from ..query.registration import register_plane
+from ..query.spec import normalize_exclude, prepare_values
 from .compaction import Compactor, select_adjacent_pair
 from .segments import Segment, merge_segments
 from .wal import MANIFEST_FORMAT, WriteAheadLog, load_manifest, manifest_path, save_manifest
@@ -81,6 +91,11 @@ DEFAULT_MAX_SEGMENTS = 8
 WAL_NAME = "wal.log"
 
 
+@register_plane(
+    "live",
+    aliases=("livetwinindex",),
+    summary="LSM-style durable ingestion plane (repro.live)",
+)
 class LiveTwinIndex(SubsequenceIndex):
     """An appendable twin-search index with an LSM segment lifecycle.
 
@@ -106,6 +121,19 @@ class LiveTwinIndex(SubsequenceIndex):
     """
 
     method_name = "live"
+
+    #: Native kernels the query planner may call directly.
+    capabilities = frozenset(
+        {
+            CAP_SEARCH,
+            CAP_KNN,
+            CAP_EXISTS,
+            CAP_COUNT,
+            CAP_SEARCH_BATCH,
+            CAP_EXECUTOR,
+            CAP_VERIFICATION,
+        }
+    )
 
     def __init__(
         self,
@@ -976,33 +1004,36 @@ class LiveTwinIndex(SubsequenceIndex):
             )
 
         results = map_with_executor(executor, one, segments)
-        merged_stats = QueryStats()
-        positions: list[np.ndarray] = []
-        distances: list[np.ndarray] = []
-        for segment, result in zip(segments, results):
-            merged_stats = merged_stats.merge(result.stats)
-            if result.positions.size:
-                positions.append(result.positions + segment.start)
-                distances.append(result.distances)
+        parts = [
+            (segment.start, result)
+            for segment, result in zip(segments, results)
+        ]
         if delta_result is not None:
-            merged_stats = merged_stats.merge(delta_result.stats)
-            if delta_result.positions.size:
-                positions.append(delta_result.positions + delta_start)
-                distances.append(delta_result.distances)
-        if not positions:
-            return SearchResult.empty(merged_stats)
+            parts.append((delta_start, delta_result))
         # Segments ascend by span and the delta covers the tail, so the
-        # concatenation is globally sorted by position — exactly the
-        # monolithic result.
-        return SearchResult(
-            positions=np.concatenate(positions),
-            distances=np.concatenate(distances),
-            stats=merged_stats,
-        )
+        # shared offset merge yields a globally position-sorted result —
+        # exactly the monolithic one.
+        return merge_offset_search(parts)
 
-    def count(self, query, epsilon: float) -> int:
-        """Number of twins (convenience wrapper over :meth:`search`)."""
-        return len(self.search(query, epsilon))
+    def count(self, query, epsilon: float, *, executor=None) -> int:
+        """Number of twins — summed per part (delta + segments), so the
+        merged result arrays are never materialized."""
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        with self._lock:
+            if self._source is None:
+                return 0
+            prepared = self._prepare(query)
+            segments = list(self._segments)
+            total = (
+                0
+                if self._delta is None
+                else self._delta.count(prepared, epsilon)
+            )
+
+        def one(segment) -> int:
+            return segment.index.count(prepared, epsilon)
+
+        return total + sum(map_with_executor(executor, one, segments))
 
     def knn(
         self,
@@ -1016,12 +1047,7 @@ class LiveTwinIndex(SubsequenceIndex):
         segments by ``(distance, position)`` — the library-wide k-NN
         tie-break, so the answer equals the monolithic one exactly."""
         k = check_positive_int(k, name="k")
-        if exclude is not None:
-            exclude = (int(exclude[0]), int(exclude[1]))
-            if exclude[0] > exclude[1]:
-                raise InvalidParameterError(
-                    f"exclude range must satisfy start <= stop, got {exclude}"
-                )
+        exclude = normalize_exclude(exclude)
         with self._lock:
             if self._source is None:
                 return SearchResult.empty()
@@ -1046,32 +1072,13 @@ class LiveTwinIndex(SubsequenceIndex):
             )
 
         results = map_with_executor(executor, one, segments)
-        merged_stats = QueryStats()
-        entries: list[tuple[float, int]] = []
-        for segment, result in zip(segments, results):
-            merged_stats = merged_stats.merge(result.stats)
-            entries.extend(
-                (float(distance), int(position) + segment.start)
-                for position, distance in zip(
-                    result.positions.tolist(), result.distances.tolist()
-                )
-            )
+        parts = [
+            (segment.start, result)
+            for segment, result in zip(segments, results)
+        ]
         if delta_result is not None:
-            merged_stats = merged_stats.merge(delta_result.stats)
-            entries.extend(
-                (float(distance), int(position) + delta_start)
-                for position, distance in zip(
-                    delta_result.positions.tolist(),
-                    delta_result.distances.tolist(),
-                )
-            )
-        top = heapq.nsmallest(k, entries)
-        merged_stats.matches = len(top)
-        return SearchResult(
-            positions=np.asarray([p for _, p in top], dtype=np.int64),
-            distances=np.asarray([d for d, _ in top], dtype=FLOAT_DTYPE),
-            stats=merged_stats,
-        )
+            parts.append((delta_start, delta_result))
+        return merge_knn(parts, k)
 
     def exists(self, query, epsilon: float) -> bool:
         """Whether the pattern has occurred anywhere so far (early
@@ -1108,21 +1115,11 @@ class LiveTwinIndex(SubsequenceIndex):
             return self.search(query, epsilon, **search_options)
 
         results = map_with_executor(executor, one, queries)
-        aggregate = QueryStats()
-        for result in results:
-            aggregate = aggregate.merge(result.stats)
-        return BatchResult(
-            results=results, stats=aggregate, epsilon=float(epsilon)
-        )
+        return batch_result(results, epsilon)
 
     # ------------------------------------------------------------------
     def _prepare(self, query) -> np.ndarray:
-        try:
-            return self._source.prepare_query(query)
-        except InvalidParameterError as exc:
-            raise IncompatibleQueryError(
-                str(exc), expected=self._length
-            ) from exc
+        return prepare_values(self._source, query, expected=self._length)
 
 
 # ----------------------------------------------------------------------

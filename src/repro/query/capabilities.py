@@ -1,0 +1,70 @@
+"""Capability names a query plane can declare.
+
+Every plane (paper method, frozen snapshot, sharded engine, live
+ingestion plane) advertises what its kernels implement *natively*
+through a ``capabilities`` frozenset of these strings; the planner
+(:mod:`repro.query.planner`) calls native kernels where they exist and
+synthesizes the rest centrally — so a plane only ever has to implement
+``search`` to be fully servable.
+
+This module is import-leaf (no intra-package imports) so planes in any
+layer — :mod:`repro.core`, :mod:`repro.indices`, :mod:`repro.engine`,
+:mod:`repro.live` — can declare capabilities without import cycles.
+"""
+
+from __future__ import annotations
+
+#: The plane answers ``search(query, epsilon)`` itself. Mandatory — the
+#: one kernel every plane must bring.
+CAP_SEARCH = "search"
+
+#: Native ``knn(query, k, exclude=...)`` with the library-wide
+#: ``(distance, position)`` tie-break.
+CAP_KNN = "knn"
+
+#: Native ``exists(query, epsilon)`` (early-exit membership probe).
+CAP_EXISTS = "exists"
+
+#: Native ``count(query, epsilon)`` that beats re-running ``search``
+#: and measuring the result.
+CAP_COUNT = "count"
+
+#: Native ``search_batch(queries, epsilon)`` whole-workload entry point.
+CAP_SEARCH_BATCH = "search_batch"
+
+#: The plane's batch kernel accepts the ``batched=`` toggle selecting
+#: the shared-traversal path (see
+#: :meth:`repro.engine.sharding.ShardedTSIndex.search_batch`).
+CAP_BATCHED_KERNEL = "batched"
+
+#: Query methods accept an ``executor=`` for internal fan-out (sharded
+#: and live planes fan out over shards/segments).
+CAP_EXECUTOR = "executor"
+
+#: ``search`` accepts the ``verification=`` strategy option.
+CAP_VERIFICATION = "verification"
+
+#: Every capability name, for validation and documentation.
+ALL_CAPABILITIES = frozenset(
+    {
+        CAP_SEARCH,
+        CAP_KNN,
+        CAP_EXISTS,
+        CAP_COUNT,
+        CAP_SEARCH_BATCH,
+        CAP_BATCHED_KERNEL,
+        CAP_EXECUTOR,
+        CAP_VERIFICATION,
+    }
+)
+
+#: What a plane that only implements ``search`` supports (the
+#: :class:`~repro.indices.base.SubsequenceIndex` default): plain search
+#: with a verification strategy; everything else is synthesized.
+BASE_CAPABILITIES = frozenset({CAP_SEARCH, CAP_VERIFICATION})
+
+
+def capabilities_of(index) -> frozenset:
+    """The declared capability set of ``index`` (defaults to
+    :data:`BASE_CAPABILITIES` for planes that declare nothing)."""
+    return frozenset(getattr(index, "capabilities", BASE_CAPABILITIES))

@@ -1,0 +1,101 @@
+"""Shared result-merge kernels: offset concat, k-way k-NN, stats.
+
+Every composite plane (the sharded engine's shard fan-out, the live
+plane's delta + segments) merges partial results the same way:
+
+* ``search`` partials cover disjoint ascending position spans, so the
+  merge is an offset-and-concatenate — the result is globally sorted by
+  position without a final sort, exactly the monolithic answer;
+* ``knn`` partials are re-ranked globally by the library-wide
+  ``(distance, position)`` tie-break and truncated to ``k``;
+* structural :class:`~repro.core.stats.QueryStats` counters are summed
+  element-wise, in part order, so merged stats stay deterministic.
+
+These three kernels used to live in both ``engine/sharding.py`` and
+``live/index.py``; this module is now their single implementation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+import numpy as np
+
+from .._util import FLOAT_DTYPE, POSITION_DTYPE
+from ..core.batch import BatchResult
+from ..core.stats import QueryStats, SearchResult
+
+
+def aggregate_stats(stats: Iterable[QueryStats]) -> QueryStats:
+    """Element-wise sum of structural counters, in iteration order."""
+    merged = QueryStats()
+    for entry in stats:
+        merged = merged.merge(entry)
+    return merged
+
+
+def merge_offset_search(
+    parts: Iterable[tuple[int, SearchResult]]
+) -> SearchResult:
+    """Merge ``search`` partials from disjoint ascending spans.
+
+    ``parts`` yields ``(offset, result)`` pairs ordered by span; each
+    partial's positions are re-offset into the global frame and
+    concatenated. Because spans are disjoint and ascending, the merged
+    positions are globally sorted without a final sort — byte-identical
+    to the monolithic result.
+    """
+    merged_stats = QueryStats()
+    positions: list[np.ndarray] = []
+    distances: list[np.ndarray] = []
+    for offset, result in parts:
+        merged_stats = merged_stats.merge(result.stats)
+        if result.positions.size:
+            positions.append(result.positions + offset)
+            distances.append(result.distances)
+    if not positions:
+        return SearchResult.empty(merged_stats)
+    return SearchResult(
+        positions=np.concatenate(positions),
+        distances=np.concatenate(distances),
+        stats=merged_stats,
+    )
+
+
+def merge_knn(
+    parts: Iterable[tuple[int, SearchResult]], k: int
+) -> SearchResult:
+    """Merge per-part k-NN partials into the global top ``k``.
+
+    The union of all partial answers is re-ranked by the library-wide
+    ``(distance, position)`` tie-break and truncated — so the merged
+    answer equals the monolithic one exactly, not approximately.
+    """
+    merged_stats = QueryStats()
+    entries: list[tuple[float, int]] = []
+    for offset, result in parts:
+        merged_stats = merged_stats.merge(result.stats)
+        entries.extend(
+            (float(distance), int(position) + offset)
+            for position, distance in zip(
+                result.positions.tolist(), result.distances.tolist()
+            )
+        )
+    top = heapq.nsmallest(k, entries)
+    merged_stats.matches = len(top)
+    return SearchResult(
+        positions=np.asarray([p for _, p in top], dtype=POSITION_DTYPE),
+        distances=np.asarray([d for d, _ in top], dtype=FLOAT_DTYPE),
+        stats=merged_stats,
+    )
+
+
+def batch_result(results: list[SearchResult], epsilon: float) -> BatchResult:
+    """Wrap per-query results into a :class:`BatchResult` with the
+    workload-level stats aggregate — the one batch-assembly helper."""
+    return BatchResult(
+        results=results,
+        stats=aggregate_stats(result.stats for result in results),
+        epsilon=float(epsilon),
+    )

@@ -1,0 +1,260 @@
+"""Capability-negotiating planner: QuerySpec → plan → execute.
+
+One pipeline answers every query mode on every plane:
+
+1. a :class:`~repro.query.spec.QuerySpec` describes the query;
+2. :func:`plan` negotiates with the target plane's declared
+   :mod:`capabilities <repro.query.capabilities>` — native kernels are
+   used where the plane has them, per-call options the plane does not
+   understand are dropped, and the rest is **synthesized centrally**
+   (exact scan k-NN, search-backed existence and counting, a fan-out
+   batch loop) — so a plane that only implements
+   ``search`` (sweepline, KV-Index, iSAX) is still fully servable
+   through :class:`~repro.engine.executor.QueryEngine`;
+3. :meth:`QueryPlan.execute` runs it, optionally fanning work out on an
+   executor (natively where the plane supports ``executor=``, at the
+   planner level for synthesized batches).
+
+The synthesized kernels answer from the plane's own
+:class:`~repro.core.windows.WindowSource`, so their results agree
+exactly (positions, distances, ``(distance, position)`` tie-breaks)
+with what a native kernel over the same windows would return.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .._util import (
+    FLOAT_DTYPE,
+    POSITION_DTYPE,
+    iter_chunks,
+    map_with_executor,
+)
+from ..core.stats import QueryStats, SearchResult
+from .capabilities import (
+    CAP_BATCHED_KERNEL,
+    CAP_COUNT,
+    CAP_EXECUTOR,
+    CAP_EXISTS,
+    CAP_KNN,
+    CAP_SEARCH_BATCH,
+    CAP_VERIFICATION,
+    capabilities_of,
+)
+from .merge import batch_result
+from .spec import QuerySpec, prepare_values
+
+#: Windows per block in the synthesized scan kernels (bounds the
+#: temporary ``(block, l)`` matrix regardless of index size).
+SCAN_BLOCK = 4096
+
+
+# ----------------------------------------------------------------------
+# Synthesized kernels (used when a plane lacks the native capability)
+# ----------------------------------------------------------------------
+def scan_distances(source, query: np.ndarray) -> np.ndarray:
+    """Exact Chebyshev distance from ``query`` to every window,
+    computed blockwise so memory stays bounded."""
+    distances = np.empty(source.count, dtype=FLOAT_DTYPE)
+    for start, stop in iter_chunks(source.count, SCAN_BLOCK):
+        block = source.window_block(start, stop)
+        distances[start:stop] = np.max(np.abs(block - query), axis=1)
+    return distances
+
+
+def scan_knn(source, query, k: int, exclude=None) -> SearchResult:
+    """Exact k-NN over every window of ``source`` — the synthesized
+    k-NN any search-only plane serves through the planner.
+
+    Ranks by the library-wide ``(distance, position)`` tie-break, so
+    the answer equals what a native tree k-NN over the same windows
+    returns.
+    """
+    query = prepare_values(source, query)
+    count = source.count
+    stats = QueryStats()
+    distances = scan_distances(source, query)
+    positions = np.arange(count, dtype=POSITION_DTYPE)
+    if exclude is not None:
+        lo, hi = max(0, int(exclude[0])), min(count, int(exclude[1]))
+        if lo < hi:
+            keep = np.ones(count, dtype=bool)
+            keep[lo:hi] = False
+            positions = positions[keep]
+            distances = distances[keep]
+    stats.candidates = int(positions.size)
+    stats.verified = int(positions.size)
+    k_eff = min(int(k), int(positions.size))
+    if k_eff == 0:
+        return SearchResult.empty(stats)
+    # Full lexsort keeps ties exact at the k-th distance (argpartition
+    # alone could pick the wrong tied positions).
+    order = np.lexsort((positions, distances))[:k_eff]
+    stats.matches = k_eff
+    return SearchResult(
+        positions=positions[order],
+        distances=distances[order],
+        stats=stats,
+    )
+
+
+def scan_count(source, query, epsilon: float) -> int:
+    """Count twins without materializing a result: no position/distance
+    arrays are built, just a blockwise running total. The
+    memory-bounded alternative to ``len(search(...))`` for huge result
+    sets (the planner's synthesized count prefers the plane's own
+    pruned search — see :meth:`QueryPlan.execute`)."""
+    query = prepare_values(source, query)
+    total = 0
+    for start, stop in iter_chunks(source.count, SCAN_BLOCK):
+        block = source.window_block(start, stop)
+        twins = np.max(np.abs(block - query), axis=1) <= epsilon
+        total += int(np.count_nonzero(twins))
+    return total
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class QueryPlan:
+    """One negotiated execution plan: spec + plane + chosen kernels."""
+
+    index: object
+    spec: QuerySpec
+    #: The plane's declared capability set.
+    capabilities: frozenset
+    #: Whether the spec's mode runs on a native plane kernel (False →
+    #: the planner synthesizes it).
+    native: bool
+    #: Per-call options surviving capability filtering.
+    options: dict
+    #: Whether the plane itself accepts ``executor=`` fan-out.
+    fan_out: bool
+
+    def describe(self) -> str:
+        """One diagnostic line (for logs and tests)."""
+        return (
+            f"mode={self.spec.mode} plane={type(self.index).__name__} "
+            f"native={self.native} fan_out={self.fan_out} "
+            f"options={sorted(self.options)}"
+        )
+
+    # ------------------------------------------------------------------
+    def _queries(self) -> list:
+        """The spec's queries, domain-mapped when they arrived raw.
+
+        Index-domain queries are forwarded untouched — the plane's own
+        kernel runs the (idempotent) preparation, exactly as a direct
+        call would, so planned results stay byte-identical to direct
+        ones.
+        """
+        if self.spec.domain == "raw":
+            return list(self.spec.prepare(self.index.source).queries)
+        return self.spec.query_list()
+
+    def _call_options(self, executor) -> dict:
+        options = dict(self.options)
+        if executor is not None and self.fan_out:
+            options["executor"] = executor
+        return options
+
+    def execute(self, executor=None):
+        """Run the plan; returns the mode's natural result type
+        (:class:`SearchResult`, :class:`~repro.core.batch.BatchResult`,
+        ``bool`` or ``int``)."""
+        spec = self.spec
+        if spec.mode == "batch":
+            queries = self._queries()
+            if self.native:
+                return self.index.search_batch(
+                    queries, spec.epsilon, **self._call_options(executor)
+                )
+            options = dict(self.options)
+
+            def one(query) -> SearchResult:
+                return self.index.search(query, spec.epsilon, **options)
+
+            # Synthesized batches fan out *at the planner level*, so
+            # even planes with no concurrency support serve parallel
+            # workloads.
+            results = map_with_executor(executor, one, queries)
+            return batch_result(results, spec.epsilon)
+
+        query = self._queries()[0]
+        if spec.mode == "search":
+            return self.index.search(
+                query, spec.epsilon, **self._call_options(executor)
+            )
+        if spec.mode == "knn":
+            if self.native:
+                options = self._call_options(executor)
+                return self.index.knn(
+                    query, spec.k, exclude=spec.exclude, **options
+                )
+            return scan_knn(
+                self.index.source, query, spec.k, exclude=spec.exclude
+            )
+        if spec.mode == "exists":
+            if self.native:
+                return self.index.exists(query, spec.epsilon)
+            return (
+                len(self.index.search(query, spec.epsilon, **self.options))
+                > 0
+            )
+        # mode == "count"
+        if self.native:
+            if executor is not None and self.fan_out:
+                # Composite planes (sharded, live) sum per-part counts;
+                # the parts fan out exactly like a search would.
+                return self.index.count(
+                    query, spec.epsilon, executor=executor
+                )
+            return self.index.count(query, spec.epsilon)
+        # Search-backed synthesis: the plane's own (pruned) traversal
+        # beats an exhaustive scan on every indexed plane; callers who
+        # need bounded memory on huge result sets use scan_count.
+        return len(self.index.search(query, spec.epsilon, **self.options))
+
+
+#: Capability a mode needs to run natively.
+_MODE_CAPABILITY = {
+    "search": None,  # mandatory: every plane brings search
+    "knn": CAP_KNN,
+    "exists": CAP_EXISTS,
+    "count": CAP_COUNT,
+    "batch": CAP_SEARCH_BATCH,
+}
+
+
+def plan(index, spec: QuerySpec) -> QueryPlan:
+    """Negotiate ``spec`` against ``index``'s declared capabilities."""
+    caps = capabilities_of(index)
+    required = _MODE_CAPABILITY[spec.mode]
+    native = required is None or required in caps
+    options = dict(spec.options)
+    if CAP_VERIFICATION not in caps:
+        options.pop("verification", None)
+    if CAP_BATCHED_KERNEL not in caps:
+        options.pop("batched", None)
+    if spec.mode in ("knn", "exists", "count"):
+        # These modes take no kernel options — ``verification``/
+        # ``batched`` parameterize the search kernels only, and no
+        # plane's native knn accepts them either.
+        options = {}
+    return QueryPlan(
+        index=index,
+        spec=spec,
+        capabilities=caps,
+        native=native,
+        options=options,
+        fan_out=CAP_EXECUTOR in caps,
+    )
+
+
+def execute(index, spec: QuerySpec, *, executor=None):
+    """Plan and run ``spec`` against ``index`` in one call."""
+    return plan(index, spec).execute(executor=executor)

@@ -1,0 +1,174 @@
+"""Decorator-based plane registration — the factory behind
+:func:`repro.indices.base.create_method`.
+
+Planes self-register at definition time with :func:`register_plane`
+instead of being hard-coded in an ``if/elif`` chain::
+
+    @register_plane("sweepline", paper=True)
+    class SweeplineSearch(SubsequenceIndex):
+        ...
+
+The decorator works on a class (its ``from_source`` classmethod becomes
+the builder) or on a plain ``(source, **kwargs) -> plane`` builder
+function (for planes whose construction needs kwargs massaging, e.g.
+TS-Index's loose ``TSIndexParams`` fields).
+
+Because registration happens on import, :func:`resolve_plane` lazily
+imports the known plane modules on first use — callers never have to
+pre-import anything, and adding a plane is one decorator plus one
+module-path entry in :data:`PLANE_MODULES`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import inspect
+import threading
+
+from ..exceptions import InvalidParameterError
+
+#: Modules whose import registers the library's planes. Paper methods
+#: first (their registration order defines the paper-method listing),
+#: then the extended serving planes.
+PLANE_MODULES = (
+    "repro.indices.sweepline",
+    "repro.indices.kvindex",
+    "repro.indices.isax",
+    "repro.core.tsindex",
+    "repro.core.frozen",
+    "repro.engine.sharding",
+    "repro.live.index",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PlaneInfo:
+    """One registered plane: canonical name, builder, classification."""
+
+    name: str
+    builder: object
+    #: True for the paper's four methods, False for extended planes
+    #: (frozen / sharded / live).
+    paper: bool
+    aliases: tuple[str, ...]
+    summary: str
+    #: Defining module — orders listings canonically (see
+    #: :data:`PLANE_MODULES`) regardless of import order.
+    module: str = ""
+
+    def build(self, source, **kwargs):
+        """Build the plane over a prepared window source."""
+        return self.builder(source, **kwargs)
+
+
+_PLANES: dict[str, PlaneInfo] = {}
+_ALIASES: dict[str, str] = {}
+_LOAD_LOCK = threading.Lock()
+_LOADED = False
+
+
+def _normalize(name) -> str:
+    return str(name).lower().replace("-", "").replace("_", "")
+
+
+def register_plane(
+    name: str,
+    *,
+    aliases: tuple[str, ...] = (),
+    paper: bool = False,
+    summary: str = "",
+):
+    """Class/function decorator registering a query plane under ``name``.
+
+    On a class, the builder is ``cls.from_source``; on a function, the
+    function itself (called as ``builder(source, **kwargs)``). Aliases
+    resolve to the same plane (name matching is case-insensitive and
+    ignores ``-``/``_``, as the factory always has).
+    """
+
+    def decorate(obj):
+        builder = obj.from_source if inspect.isclass(obj) else obj
+        info = PlaneInfo(
+            name=name,
+            builder=builder,
+            paper=paper,
+            aliases=tuple(aliases),
+            summary=summary,
+            module=getattr(obj, "__module__", ""),
+        )
+        key = _normalize(name)
+        _PLANES[key] = info
+        _ALIASES[key] = key
+        for alias in aliases:
+            _ALIASES[_normalize(alias)] = key
+        return obj
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    """Import every known plane module once (idempotent, thread-safe)."""
+    global _LOADED
+    if _LOADED:
+        return
+    with _LOAD_LOCK:
+        if _LOADED:
+            return
+        for module in PLANE_MODULES:
+            importlib.import_module(module)
+        _LOADED = True
+
+
+def resolve_plane(name) -> PlaneInfo:
+    """The registered plane for ``name`` (or an alias of it).
+
+    Unknown names raise :class:`InvalidParameterError` listing **every**
+    name that actually works — paper methods and extended planes alike.
+    """
+    _ensure_loaded()
+    key = _ALIASES.get(_normalize(name))
+    if key is None:
+        paper = ", ".join(plane_names(paper=True))
+        extended = ", ".join(plane_names(paper=False))
+        raise InvalidParameterError(
+            f"unknown method {name!r}; expected a paper method "
+            f"({paper}) or an extended plane ({extended})"
+        )
+    return _PLANES[key]
+
+
+def _ordered_infos() -> list[PlaneInfo]:
+    """Registered planes in canonical order: :data:`PLANE_MODULES`
+    position first (so listings don't depend on import order), then
+    registration order for planes from other modules."""
+    infos = list(_PLANES.values())
+
+    def key(pair):
+        position, info = pair
+        try:
+            return (0, PLANE_MODULES.index(info.module), position)
+        except ValueError:
+            return (1, 0, position)
+
+    return [info for _, info in sorted(enumerate(infos), key=key)]
+
+
+def plane_names(*, paper: bool | None = None) -> tuple[str, ...]:
+    """Canonical registered names, in canonical order.
+
+    ``paper=True`` → the paper's methods; ``paper=False`` → the
+    extended serving planes; ``None`` → everything.
+    """
+    _ensure_loaded()
+    return tuple(
+        info.name
+        for info in _ordered_infos()
+        if paper is None or info.paper is paper
+    )
+
+
+def plane_infos() -> tuple[PlaneInfo, ...]:
+    """Every registered plane, in canonical order."""
+    _ensure_loaded()
+    return tuple(_ordered_infos())

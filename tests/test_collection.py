@@ -114,9 +114,21 @@ class TestKnn:
         top = small.knn(np.asarray(collection[0][:50]), 1000)
         assert len(top) == small.window_count
 
-    def test_knn_requires_capable_members(self, collection):
+    def test_knn_serves_search_only_members(self, collection):
+        # Sweepline members have no native knn; the planner's exact
+        # scan synthesizes it, and the answers match TS-Index members.
         sweep = CollectionIndex(
             collection, 50, normalization="none", method="sweepline"
         )
-        with pytest.raises(InvalidParameterError, match="knn"):
-            sweep.knn(np.asarray(collection[0][:50]), 3)
+        tree = CollectionIndex(
+            collection, 50, normalization="none", method="tsindex"
+        )
+        query = np.asarray(collection[0][:50])
+        scanned = sweep.knn(query, 3)
+        native = tree.knn(query, 3)
+        assert [(m.series_id, m.position) for m in scanned] == [
+            (m.series_id, m.position) for m in native
+        ]
+        assert np.allclose(
+            [m.distance for m in scanned], [m.distance for m in native]
+        )

@@ -48,10 +48,18 @@ class TestRegistry:
         with pytest.raises(InvalidParameterError, match="LiveTwinIndex"):
             registry.add_live("stream", object())
 
-    def test_add_rejects_live(self):
+    def test_add_accepts_live(self):
+        # The generalized registry takes any SubsequenceIndex; a live
+        # plane registered through plain add() still gets its mutation
+        # counter folded into the cache generation.
         registry = IndexRegistry()
-        with pytest.raises(InvalidParameterError, match="add_live"):
-            registry.add("stream", make_live())
+        live = make_live()
+        registry.add("stream", live)
+        assert registry.get("stream") is live
+        _, before = registry.get_with_generation("stream")
+        live.append(np.ones(4))
+        _, after = registry.get_with_generation("stream")
+        assert before != after
 
     def test_generation_tracks_mutations(self):
         registry = IndexRegistry()

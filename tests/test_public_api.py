@@ -40,6 +40,12 @@ class TestTopLevelExports:
             "repro.engine.cache",
             "repro.engine.registry",
             "repro.engine.executor",
+            "repro.query",
+            "repro.query.spec",
+            "repro.query.planner",
+            "repro.query.merge",
+            "repro.query.capabilities",
+            "repro.query.registration",
             "repro.live",
             "repro.live.index",
             "repro.live.segments",
@@ -54,7 +60,8 @@ class TestTopLevelExports:
 
     def test_subpackage_all_resolve(self):
         for module_name in ("repro.core", "repro.indices", "repro.data",
-                            "repro.bench", "repro.extensions", "repro.engine"):
+                            "repro.bench", "repro.extensions", "repro.engine",
+                            "repro.query"):
             module = importlib.import_module(module_name)
             for name in module.__all__:
                 assert hasattr(module, name), f"{module_name}.{name}"
