@@ -1,0 +1,231 @@
+"""Variable-length query serving: native prefix kernels vs the scan.
+
+Measures, per plane, the three ways a query of length ``m < l`` can be
+answered:
+
+* **native** — the plane's own prefix kernel (``search_varlength``:
+  prefix-envelope traversal + block-bounded verification + tail scan)
+  on the tree, frozen, sharded and live planes;
+* **synthesized** — the planner's brute-force prefix scan
+  (:func:`repro.query.scan_prefix_search`), which is also what the
+  search-only baselines (sweepline) serve — the filtering win of the
+  native kernels is ``synthesized / native``;
+* **full-length** — the plane's fixed-length ``search`` with the
+  ``l``-length query the prefix was cut from, as the latency anchor
+  (what serving the same pattern cost before this capability).
+
+Every configuration is sanity-checked for exact result equality (the
+native answer must equal the prefix scan, positions and distances)
+before timing. Results are written as JSON — ``BENCH_varlength.json``
+by default; CI runs ``--smoke`` and uploads the artifact.
+
+Run::
+
+    python benchmarks/bench_varlength.py              # full: 100k windows
+    python benchmarks/bench_varlength.py --smoke      # CI-sized
+    python benchmarks/bench_varlength.py --windows 50000 --queries 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.tsindex import TSIndex
+from repro.data import synthetic
+from repro.engine import ShardedTSIndex
+from repro.indices import create_method
+from repro.live import LiveTwinIndex
+from repro.query import scan_prefix_search
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Benchmark variable-length twin query serving."
+    )
+    parser.add_argument(
+        "--windows", type=int, default=100_000,
+        help="indexed window count (default: 100000)",
+    )
+    parser.add_argument(
+        "--length", type=int, default=100, help="window length (default: 100)"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=48,
+        help="workload size per query length (default: 48)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for the sharded plane (default: 4)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repetitions; best is kept (default: 3)",
+    )
+    parser.add_argument(
+        "--neighbors", type=int, default=10,
+        help="epsilon = median k-th nearest-neighbour distance of the "
+        "full-length queries (default: 10)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output", default="BENCH_varlength.json",
+        help="JSON results path (default: BENCH_varlength.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI smoke runs (overrides --windows/--queries)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.windows = min(args.windows, 4_000)
+        args.queries = min(args.queries, 8)
+        args.repeats = 1
+    return args
+
+
+def pick_epsilon(values, queries, length, neighbors) -> float:
+    """Median k-th nearest prefix distance — a few twins per query."""
+    windows = np.lib.stride_tricks.sliding_window_view(values, length)
+    kths = []
+    for query in queries:
+        distances = np.max(np.abs(windows - query), axis=1)
+        kths.append(np.partition(distances, neighbors)[neighbors])
+    return float(np.median(kths))
+
+
+def time_best(fn, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    rng = np.random.default_rng(args.seed)
+    series = synthetic.insect_like(
+        args.windows + args.length - 1, seed=args.seed
+    )
+
+    print(f"building planes over {args.windows} windows "
+          f"(l={args.length}) ...", flush=True)
+    tree = TSIndex.build(series, args.length, normalization="none")
+    planes = {
+        "tsindex": tree,
+        "frozen": tree.freeze(),
+        "sharded": ShardedTSIndex.build(
+            series, args.length, normalization="none", shards=args.shards
+        ),
+        "sweepline": create_method(
+            "sweepline", series, args.length, normalization="none"
+        ),
+    }
+    live = LiveTwinIndex(
+        series, args.length, seal_threshold=max(1024, args.windows // 8),
+        background_compaction=False,
+    )
+    planes["live"] = live
+
+    values = tree.source.values
+    starts = rng.integers(0, args.windows, size=args.queries)
+    full_queries = [np.array(values[s : s + args.length]) for s in starts]
+    epsilon = pick_epsilon(
+        values, full_queries, args.length, args.neighbors
+    )
+    print(f"epsilon = {epsilon:.4f} "
+          f"(~{args.neighbors} twins per full-length query)")
+
+    ratios = (0.25, 0.5, 0.75)
+    results = {
+        "config": {
+            "windows": args.windows,
+            "length": args.length,
+            "queries": args.queries,
+            "shards": args.shards,
+            "repeats": args.repeats,
+            "epsilon": epsilon,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+            "cpus": os.cpu_count(),
+        },
+        "planes": {},
+    }
+
+    try:
+        for name, plane in planes.items():
+            rows = {}
+            full_seconds = time_best(
+                lambda: [plane.search(q, epsilon) for q in full_queries],
+                args.repeats,
+            )
+            rows["full_length_ms_per_query"] = round(
+                1e3 * full_seconds / args.queries, 4
+            )
+            for ratio in ratios:
+                m = max(2, int(args.length * ratio))
+                prefixes = [np.array(q[:m]) for q in full_queries]
+                # Exactness gate: native answer == the prefix scan.
+                native = plane.search_varlength(prefixes[0], epsilon)
+                oracle = scan_prefix_search(
+                    plane.source, prefixes[0], epsilon
+                )
+                assert np.array_equal(
+                    native.positions, oracle.positions
+                ), name
+                assert np.array_equal(
+                    native.distances, oracle.distances
+                ), name
+
+                native_seconds = time_best(
+                    lambda: [
+                        plane.search_varlength(q, epsilon)
+                        for q in prefixes
+                    ],
+                    args.repeats,
+                )
+                scan_seconds = time_best(
+                    lambda: [
+                        scan_prefix_search(plane.source, q, epsilon)
+                        for q in prefixes
+                    ],
+                    args.repeats,
+                )
+                rows[f"m={m}"] = {
+                    "native_ms_per_query": round(
+                        1e3 * native_seconds / args.queries, 4
+                    ),
+                    "scan_ms_per_query": round(
+                        1e3 * scan_seconds / args.queries, 4
+                    ),
+                    "scan_over_native": round(
+                        scan_seconds / native_seconds, 2
+                    ),
+                }
+            results["planes"][name] = rows
+            print(f"  {name:10s} "
+                  + "  ".join(
+                      f"m={key.split('=')[1]}: "
+                      f"{row['native_ms_per_query']:.2f}ms "
+                      f"(scan {row['scan_over_native']}x)"
+                      for key, row in rows.items()
+                      if key.startswith("m=")
+                  ))
+    finally:
+        live.close()
+
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

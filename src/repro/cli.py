@@ -272,6 +272,14 @@ def build_engine_parser() -> argparse.ArgumentParser:
         "--knn", type=int, default=None, help="run a k-NN query instead of ε"
     )
     query.add_argument(
+        "--query-length",
+        type=int,
+        default=None,
+        help="use only the first m values of the query (variable-length "
+        "twin search over window prefixes, any m <= l; tail positions "
+        "included)",
+    )
+    query.add_argument(
         "--limit",
         type=int,
         default=10,
@@ -316,7 +324,10 @@ def _run_plane_query(index, args) -> int:
     index's value domain) or ``--query-file`` (raw values — the
     :class:`~repro.query.QuerySpec` ``domain="raw"`` mapping handles
     the global-normalization case that used to be open-coded here),
-    and execution routes through the unified pipeline.
+    and execution routes through the unified pipeline. Queries of any
+    length ``m <= l`` are served (``--query-length`` truncates to a
+    prefix; a short ``--query-file`` works as-is) — the planner
+    dispatches them to the planes' variable-length kernels.
     """
     import numpy as np
 
@@ -331,6 +342,14 @@ def _run_plane_query(index, args) -> int:
         from .data import load_series
 
         query, domain = load_series(args.query_file).values, "raw"
+    prefix = getattr(args, "query_length", None)
+    if prefix is not None:
+        if not 1 <= prefix <= query.size:
+            raise SystemExit(
+                f"--query-length must lie in [1, {query.size}] "
+                f"(the query holds {query.size} values), got {prefix}"
+            )
+        query = np.array(query[:prefix])
     if args.knn is not None:
         spec = QuerySpec(query=query, mode="knn", k=args.knn, domain=domain)
     else:
@@ -445,6 +464,14 @@ def build_live_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--knn", type=int, default=None, help="run a k-NN query instead of ε"
+    )
+    query.add_argument(
+        "--query-length",
+        type=int,
+        default=None,
+        help="use only the first m values of the query (variable-length "
+        "twin search over window prefixes, any m <= l; tail positions "
+        "included)",
     )
     query.add_argument(
         "--limit",

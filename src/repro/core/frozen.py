@@ -57,10 +57,16 @@ from ..query.capabilities import (
     CAP_KNN,
     CAP_SEARCH,
     CAP_SEARCH_BATCH,
+    CAP_VARLENGTH,
     CAP_VERIFICATION,
 )
 from ..query.registration import register_plane
 from ..query.spec import prepare_values
+from ..query.varlength import (
+    is_prefix_query,
+    merge_exists_stats,
+    prefix_search_with_tail,
+)
 from .batch import BatchResult
 from .normalization import Normalization
 from .stats import BuildStats, QueryStats, SearchResult
@@ -156,6 +162,7 @@ class FrozenTSIndex:
             CAP_EXISTS,
             CAP_COUNT,
             CAP_SEARCH_BATCH,
+            CAP_VARLENGTH,
             CAP_VERIFICATION,
         }
     )
@@ -518,13 +525,18 @@ class FrozenTSIndex:
     # Vectorized primitives over the flat arrays
     # ------------------------------------------------------------------
     def _node_bound(self, query: np.ndarray, node: int) -> float:
-        """Exact (clamped) Eq. 2 bound of ``query`` against one node."""
+        """Exact (clamped) Eq. 2 bound of ``query`` against one node.
+
+        Evaluated over the first ``query.size`` timestamps, so a
+        shorter (prefix) query bounds against the envelope prefix — for
+        full-length queries the slice is the whole row.
+        """
         return max(
             float(
                 np.max(
                     np.maximum(
-                        query - self._uppers[node],
-                        self._lowers[node] - query,
+                        query - self._uppers[node, : query.size],
+                        self._lowers[node, : query.size] - query,
                     )
                 )
             ),
@@ -588,20 +600,26 @@ class FrozenTSIndex:
         *views* of the timestamp-major matrices (the handful of gap
         columns are evaluated too, harmlessly); sparse frontiers gather
         only their own columns.
+
+        The bound runs over the first ``query.size`` timestamps — the
+        timestamp-major layout makes the envelope *prefix* a zero-copy
+        leading-row slice, which is what lets a shorter (prefix) query
+        reuse this kernel (and its blocked early abandoning) unchanged.
         """
+        prefix = query.size
         if self._bfs_layout and ids.size > 1:
             lo = int(ids[0])
             hi = int(ids[-1]) + 1
             if 2 * ids.size >= hi - lo:
                 span_keep = self._prune_keep(
                     query,
-                    self._uppers_t[:, lo:hi],
-                    self._lowers_t[:, lo:hi],
+                    self._uppers_t[:prefix, lo:hi],
+                    self._lowers_t[:prefix, lo:hi],
                     epsilon,
                 )
                 return span_keep[ids - lo]
-        upper = self._uppers_t[:, ids]
-        lower = self._lowers_t[:, ids]
+        upper = self._uppers_t[:prefix, ids]
+        lower = self._lowers_t[:prefix, ids]
         if ids.size <= _PRUNE_BLOCK:
             # Tiny sparse frontiers: one unblocked evaluation beats the
             # blocked kernel's per-block dispatch overhead.
@@ -707,6 +725,10 @@ class FrozenTSIndex:
         frontier against the query in one broadcast reduction instead of
         one Python call per node.
         """
+        if is_prefix_query(query, self._source.length):
+            return self.search_varlength(
+                query, epsilon, verification=verification
+            )
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = self._prepare_query(query)
         stats = QueryStats()
@@ -717,8 +739,40 @@ class FrozenTSIndex:
         )
 
     def count(self, query, epsilon: float) -> int:
-        """Number of twins (convenience wrapper over :meth:`search`)."""
+        """Number of twins (convenience wrapper over :meth:`search`;
+        shorter queries count their prefix twins, tail included)."""
         return len(self.search(query, epsilon))
+
+    def search_varlength(
+        self,
+        query,
+        epsilon: float,
+        *,
+        verification: str = "bulk",
+    ) -> SearchResult:
+        """All twins of a query of length ``m <= l``, tail included.
+
+        Same contract as :meth:`TSIndex.search_varlength
+        <repro.core.tsindex.TSIndex.search_varlength>`, executed
+        level-synchronously: the whole frontier bounds against the
+        zero-copy ``(m, k)`` leading-row spans of the timestamp-major
+        envelope matrices, reusing the blocked early-abandoning pruning
+        kernel unchanged. ``m == l`` delegates to :meth:`search`.
+        """
+        return prefix_search_with_tail(
+            self, query, epsilon, verification=verification
+        )
+
+    def collect_varlength_candidates(
+        self, query: np.ndarray, epsilon: float, stats: QueryStats
+    ) -> np.ndarray:
+        """Unverified candidate positions for a (prepared) prefix query
+        — the fan-out hook composite planes call per shard/segment.
+
+        The frontier kernels already evaluate bounds over the query's
+        own length, so this is the fixed-length collection verbatim.
+        """
+        return self._collect_candidates(query, epsilon, stats)
 
     def _collect_candidates(
         self, query: np.ndarray, epsilon: float, stats: QueryStats
@@ -770,9 +824,27 @@ class FrozenTSIndex:
         dispatch cost is shared by the whole workload instead of paid
         per query. Each returned :class:`SearchResult` (positions,
         distances *and* structural counters) is exactly what
-        :meth:`search` returns for that query alone.
+        :meth:`search` returns for that query alone. Workloads holding
+        any query shorter than ``l`` dispatch to the pipeline's
+        per-query loop (the shared pair traversal assumes one length).
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
+        queries = list(queries)
+        if any(
+            is_prefix_query(query, self._source.length)
+            for query in queries
+        ):
+            from ..query import QuerySpec, execute
+
+            return execute(
+                self,
+                QuerySpec(
+                    query=queries,
+                    mode="batch",
+                    epsilon=epsilon,
+                    options={"verification": verification},
+                ),
+            )
         prepared = [self._prepare_query(query) for query in queries]
         nq = len(prepared)
         candidates: list[list[np.ndarray]] = [[] for _ in range(nq)]
@@ -945,8 +1017,16 @@ class FrozenTSIndex:
         Best-first over the flat arrays; one vectorized bound reduction
         per expanded node instead of one call per child. The answer —
         ranked by ``(distance, position)`` — is exactly
-        :meth:`TSIndex.knn <repro.core.tsindex.TSIndex.knn>`'s.
+        :meth:`TSIndex.knn <repro.core.tsindex.TSIndex.knn>`'s. Queries
+        shorter than ``l`` dispatch to the pipeline's exact prefix scan.
         """
+        if is_prefix_query(query, self._source.length):
+            from ..query import QuerySpec, execute
+
+            return execute(
+                self,
+                QuerySpec(query=query, mode="knn", k=k, exclude=exclude),
+            )
         k = check_positive_int(k, name="k")
         query = self._prepare_query(query)
         if exclude is not None:
@@ -1041,7 +1121,13 @@ class FrozenTSIndex:
         Pass a :class:`QueryStats` to receive the traversal counters;
         they match the dynamic tree's :meth:`TSIndex.exists
         <repro.core.tsindex.TSIndex.exists>` exactly (same visit order).
+        Queries shorter than ``l`` derive from :meth:`search_varlength`
+        (its counters land in ``stats`` too).
         """
+        if is_prefix_query(query, self._source.length):
+            result = self.search_varlength(query, epsilon)
+            merge_exists_stats(stats, result)
+            return len(result) > 0
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = self._prepare_query(query)
         stats = stats if stats is not None else QueryStats()

@@ -35,10 +35,16 @@ from ..query.capabilities import (
     CAP_EXISTS,
     CAP_KNN,
     CAP_SEARCH,
+    CAP_VARLENGTH,
     CAP_VERIFICATION,
 )
 from ..query.registration import register_plane
 from ..query.spec import prepare_values
+from ..query.varlength import (
+    is_prefix_query,
+    merge_exists_stats,
+    prefix_search_with_tail,
+)
 from .mbts import MBTS
 from .normalization import Normalization
 from .stats import BuildStats, QueryStats, SearchResult
@@ -174,7 +180,14 @@ class TSIndex:
 
     #: Native kernels the query planner may call directly.
     capabilities = frozenset(
-        {CAP_SEARCH, CAP_KNN, CAP_EXISTS, CAP_COUNT, CAP_VERIFICATION}
+        {
+            CAP_SEARCH,
+            CAP_KNN,
+            CAP_EXISTS,
+            CAP_COUNT,
+            CAP_VARLENGTH,
+            CAP_VERIFICATION,
+        }
     )
 
     def __init__(self, source: WindowSource, params: TSIndexParams | None = None):
@@ -525,6 +538,10 @@ class TSIndex:
         :data:`~repro.core.verification.VERIFICATION_MODES`; all modes
         return identical results).
         """
+        if is_prefix_query(query, self._source.length):
+            return self.search_varlength(
+                query, epsilon, verification=verification
+            )
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = self._prepare_query(query)
         stats = QueryStats()
@@ -535,7 +552,8 @@ class TSIndex:
         )
 
     def count(self, query, epsilon: float) -> int:
-        """Number of twins (convenience wrapper over :meth:`search`)."""
+        """Number of twins (convenience wrapper over :meth:`search`;
+        shorter queries count their prefix twins, tail included)."""
         return len(self.search(query, epsilon))
 
     def search_batch(self, queries, epsilon: float, **search_options):
@@ -557,6 +575,84 @@ class TSIndex:
                 options=dict(search_options),
             ),
         )
+
+    def search_varlength(
+        self,
+        query,
+        epsilon: float,
+        *,
+        verification: str = "bulk",
+    ) -> SearchResult:
+        """All twins of a query of length ``m <= l`` (extension).
+
+        Returns every position ``p`` in ``[0, n - m]`` with
+        ``max_i |T[p + i] - Q_i| <= ε`` — *including* the ``l - m``
+        tail positions the fixed-length index does not store, which a
+        direct scan covers. The traversal applies the Eq. 2 bound
+        restricted to the query's prefix length (a node MBTS prefix is
+        a valid envelope for the window prefixes beneath it, so pruning
+        stays lossless); queries of exactly length ``l`` delegate to
+        :meth:`search` — identical positions, distances and counters.
+
+        Per-window z-normalization rejects shorter queries with a typed
+        error (windows are normalized over ``l`` points, the query over
+        ``m``); the raw and global regimes are exact.
+        """
+        return prefix_search_with_tail(
+            self, query, epsilon, verification=verification
+        )
+
+    def collect_varlength_candidates(
+        self, query: np.ndarray, epsilon: float, stats: QueryStats
+    ) -> np.ndarray:
+        """Algorithm 1's traversal with the Eq. 2 bound restricted to
+        the first ``query.size`` timestamps of every node envelope.
+
+        Returns unverified candidate window positions (tail positions
+        excluded) — the fan-out hook the composite planes (sharded,
+        live) call per shard/segment before one shared verification.
+        ``query`` must already be prepared.
+        """
+        m = query.size
+        root = self._root
+        if root is None:
+            return np.empty(0, dtype=POSITION_DTYPE)
+
+        stats.nodes_visited += 1
+        root_outside = np.maximum(
+            query - root.mbts.upper[:m], root.mbts.lower[:m] - query
+        ).max()
+        if max(float(root_outside), 0.0) > epsilon:
+            stats.nodes_pruned += 1
+            return np.empty(0, dtype=POSITION_DTYPE)
+        if root.is_leaf:
+            stats.leaves_accessed += 1
+            return np.asarray(root.positions, dtype=POSITION_DTYPE)
+
+        collected: list[np.ndarray] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            upper, lower = node.child_envelopes()
+            outside = np.maximum(
+                query - upper[:, :m], lower[:, :m] - query
+            ).max(axis=1)
+            stats.nodes_visited += len(node.children)
+            for child_index, child in enumerate(node.children):
+                if outside[child_index] > epsilon:
+                    stats.nodes_pruned += 1
+                    continue
+                if child.is_leaf:
+                    stats.leaves_accessed += 1
+                    collected.append(
+                        np.asarray(child.positions, dtype=POSITION_DTYPE)
+                    )
+                else:
+                    stack.append(child)
+
+        if not collected:
+            return np.empty(0, dtype=POSITION_DTYPE)
+        return np.concatenate(collected)
 
     def search_approximate(
         self, query, epsilon: float, *, max_leaves: int = 8
@@ -625,8 +721,13 @@ class TSIndex:
         ``matches`` is 1 when a twin was found). The counters match
         :meth:`FrozenTSIndex.exists
         <repro.core.frozen.FrozenTSIndex.exists>` exactly, so the two
-        paths stay comparable.
+        paths stay comparable. Queries shorter than ``l`` derive from
+        :meth:`search_varlength` (its counters land in ``stats`` too).
         """
+        if is_prefix_query(query, self._source.length):
+            result = self.search_varlength(query, epsilon)
+            merge_exists_stats(stats, result)
+            return len(result) > 0
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = self._prepare_query(query)
         stats = stats if stats is not None else QueryStats()
@@ -738,7 +839,17 @@ class TSIndex:
         consideration — the *exclusion zone* used by matrix-profile
         style self joins to skip trivial matches of a query with its own
         overlapping windows.
+
+        Queries shorter than ``l`` dispatch to the pipeline's exact
+        prefix scan (ranked by the same tie-break, tail included).
         """
+        if is_prefix_query(query, self._source.length):
+            from ..query import QuerySpec, execute
+
+            return execute(
+                self,
+                QuerySpec(query=query, mode="knn", k=k, exclude=exclude),
+            )
         k = check_positive_int(k, name="k")
         query = self._prepare_query(query)
         if exclude is not None:

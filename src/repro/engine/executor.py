@@ -234,7 +234,12 @@ class QueryEngine:
         :class:`~repro.query.QuerySpec` is planned against the plane's
         capabilities (options the plane does not understand are
         dropped, so the same call serves a sweepline and a sharded
-        engine alike). Cache hits return the previously computed
+        engine alike). Queries of any length ``m <= l`` are served —
+        shorter ones run on the plane's variable-length prefix kernels
+        (or the planner's prefix scan), and the cache key's query
+        digest covers the value bytes *and shape*, so results for one
+        length are never served to another. Cache hits return the
+        previously computed
         :class:`~repro.core.stats.SearchResult` object itself; misses
         execute shard-parallel on the engine pool and populate the
         cache. Treat results as immutable (the library never mutates

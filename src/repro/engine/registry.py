@@ -273,14 +273,20 @@ class IndexRegistry:
         build cost). Live planes report their LSM shape (segments,
         delta, seals, compactions) instead of shard rows; other
         non-sharded planes report a generic structural row keyed by
-        their plane kind."""
+        their plane kind. Every row carries the plane's declared
+        ``capabilities`` (sorted), so operators can see at a glance
+        which kernels — including variable-length ``search`` — a
+        registered plane serves natively."""
+        from ..query.capabilities import capabilities_of
+
         engine = self.get(name)
         with self._lock:
             built_at = self._built_at.get(name, 0.0)
+        capabilities = sorted(capabilities_of(engine))
         if getattr(engine, "method_name", "") == "live":
             # A live plane: its own stats snapshot carries the shape.
             return {"name": name, "kind": "live", "built_at": built_at,
-                    **engine.stats()}
+                    "capabilities": capabilities, **engine.stats()}
         if not isinstance(engine, ShardedTSIndex):
             # A generic plane (paper method or frozen snapshot).
             build = engine.build_stats
@@ -294,6 +300,7 @@ class IndexRegistry:
                 "splits": build.splits,
                 "build_seconds": round(build.seconds, 4),
                 "built_at": built_at,
+                "capabilities": capabilities,
             }
         build = engine.build_stats
         return {
@@ -308,6 +315,7 @@ class IndexRegistry:
             "splits": build.splits,
             "build_seconds": round(build.seconds, 4),
             "built_at": built_at,
+            "capabilities": capabilities,
             "shard_stats": engine.shard_stats(),
         }
 

@@ -51,11 +51,18 @@ from ..query.capabilities import (
     CAP_KNN,
     CAP_SEARCH,
     CAP_SEARCH_BATCH,
+    CAP_VARLENGTH,
     CAP_VERIFICATION,
 )
 from ..query.merge import batch_result, merge_knn, merge_offset_search
 from ..query.registration import register_plane
 from ..query.spec import normalize_exclude, prepare_values
+from ..query.varlength import (
+    is_prefix_query,
+    prefix_search_part,
+    tail_positions,
+    verify_prefix,
+)
 
 #: A shard smaller than this many windows is pointless overhead; the
 #: automatic shard count keeps every shard at least this large.
@@ -142,6 +149,7 @@ class ShardedTSIndex(SubsequenceIndex):
             CAP_SEARCH_BATCH,
             CAP_BATCHED_KERNEL,
             CAP_EXECUTOR,
+            CAP_VARLENGTH,
             CAP_VERIFICATION,
         }
     )
@@ -351,8 +359,13 @@ class ShardedTSIndex(SubsequenceIndex):
         disjoint and ascending, so the merged result is sorted without a
         final sort). With ``executor`` the per-shard searches run
         concurrently; structural counters are merged in shard order
-        either way, so stats are deterministic.
+        either way, so stats are deterministic. Queries shorter than
+        ``l`` dispatch to :meth:`search_varlength`.
         """
+        if is_prefix_query(query, self._source.length):
+            return self.search_varlength(
+                query, epsilon, verification=verification, executor=executor
+            )
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = prepare_values(self._source, query)
 
@@ -364,6 +377,51 @@ class ShardedTSIndex(SubsequenceIndex):
         results = self._map(executor, one, self._shards)
         return merge_offset_search(zip(self._starts, results))
 
+    def search_varlength(
+        self,
+        query,
+        epsilon: float,
+        *,
+        verification: str = "bulk",
+        executor: concurrent.futures.Executor | None = None,
+    ) -> SearchResult:
+        """All twins of a query of length ``m <= l``, shard-merged.
+
+        Each shard runs the prefix-bounded traversal over its own tree
+        and verifies its candidates against its zero-copy value chunk
+        (chunks overlap by ``l - 1 >= m - 1`` values, so every
+        ``m``-window of a shard's *window span* lies inside its chunk);
+        the series tail — the ``l - m`` starts past the last indexed
+        window — is covered by one direct scan. Shard window spans
+        partition the position range, so the shared offset merge yields
+        exactly the monolithic prefix-scan answer, byte for byte.
+        ``m == l`` delegates to :meth:`search`.
+        """
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        query = prepare_values(self._source, query, varlength=True)
+        if query.size == self.length:
+            return self.search(
+                query, epsilon, verification=verification, executor=executor
+            )
+
+        def one(tree) -> SearchResult:
+            return prefix_search_part(
+                tree, query, epsilon, verification=verification
+            )
+
+        results = self._map(executor, one, self._shards)
+        parts = list(zip(self._starts, results))
+        tail = tail_positions(self._source, query.size)
+        parts.append(
+            (
+                0,
+                verify_prefix(
+                    self._source, query, tail, epsilon, mode=verification
+                ),
+            )
+        )
+        return merge_offset_search(parts)
+
     def count(
         self,
         query,
@@ -372,7 +430,12 @@ class ShardedTSIndex(SubsequenceIndex):
         executor: concurrent.futures.Executor | None = None,
     ) -> int:
         """Number of twins — summed per shard, so the global result
-        arrays are never materialized or merged."""
+        arrays are never materialized or merged (shorter queries derive
+        from :meth:`search_varlength`)."""
+        if is_prefix_query(query, self._source.length):
+            return len(
+                self.search_varlength(query, epsilon, executor=executor)
+            )
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = prepare_values(self._source, query)
 
@@ -384,7 +447,10 @@ class ShardedTSIndex(SubsequenceIndex):
     def exists(self, query, epsilon: float) -> bool:
         """Whether any twin exists — probes shards in span order and
         stops at the first hit (each shard's own ``exists`` early-exits
-        internally too)."""
+        internally too; shorter queries derive from
+        :meth:`search_varlength`)."""
+        if is_prefix_query(query, self._source.length):
+            return len(self.search_varlength(query, epsilon)) > 0
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = prepare_values(self._source, query)
         return any(
@@ -403,8 +469,17 @@ class ShardedTSIndex(SubsequenceIndex):
 
         Each shard answers a local k-NN (with the exclusion zone
         translated into its frame); the union is re-ranked by
-        ``(distance, position)`` and truncated to ``k``.
+        ``(distance, position)`` and truncated to ``k``. Queries
+        shorter than ``l`` dispatch to the pipeline's exact prefix scan.
         """
+        if is_prefix_query(query, self._source.length):
+            from ..query import QuerySpec, execute
+
+            return execute(
+                self,
+                QuerySpec(query=query, mode="knn", k=k, exclude=exclude),
+                executor=executor,
+            )
         k = check_positive_int(k, name="k")
         query = prepare_values(self._source, query)
         exclude = normalize_exclude(exclude)
@@ -446,10 +521,34 @@ class ShardedTSIndex(SubsequenceIndex):
         results, fewer NumPy dispatches. ``batched=False`` forces the
         per-query loop; ``batched=True`` forces the shared traversal and
         raises if it cannot run (dynamic shards, or an executor).
-        Result order always matches the input order.
+        Result order always matches the input order. Workloads holding
+        any query shorter than ``l`` dispatch to the pipeline's
+        per-query loop (mixed lengths supported).
         """
         epsilon = check_non_negative(epsilon, name="epsilon")
         queries = list(queries)
+        if any(
+            is_prefix_query(query, self._source.length)
+            for query in queries
+        ):
+            if batched:
+                raise InvalidParameterError(
+                    "batched=True runs the fixed-length shared traversal "
+                    "and cannot serve variable-length queries; drop "
+                    "batched= or pass full-length queries only"
+                )
+            from ..query import QuerySpec, execute
+
+            return execute(
+                self,
+                QuerySpec(
+                    query=queries,
+                    mode="batch",
+                    epsilon=epsilon,
+                    options=dict(search_options),
+                ),
+                executor=executor,
+            )
 
         if batched is None:
             batched = (

@@ -37,6 +37,17 @@ class IndexNotBuiltError(ReproError, RuntimeError):
     """An operation requiring a built index was invoked before building."""
 
 
+class UnsupportedCapabilityError(ReproError, TypeError):
+    """A query was planned against an object that cannot serve it.
+
+    Raised by the query planner when the target is not a servable plane
+    (no ``search`` kernel / no window source to synthesize from) — the
+    typed replacement for the raw ``AttributeError`` that used to leak
+    out of capability-shaped holes such as variable-length search on a
+    non-tree plane.
+    """
+
+
 class UnsupportedNormalizationError(ReproError, ValueError):
     """The requested normalization regime is unsupported by this method.
 

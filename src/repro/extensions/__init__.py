@@ -3,8 +3,9 @@
 * :mod:`repro.extensions.pairs` — twin *pair* discovery across a
   collection of time-aligned series, the problem of the authors' earlier
   SSTD'19 work the paper builds on (Section 2, reference [5]);
-* :mod:`repro.extensions.varlength` — ULISSE-style variable-length
-  queries over a fixed-length TS-Index (Section 2, reference [11]);
+* :mod:`repro.extensions.varlength` — deprecated shim over the unified
+  query plane's variable-length capability (every plane now serves
+  queries of any length ``m <= l`` through :mod:`repro.query`);
 * :mod:`repro.extensions.profile` — exact Chebyshev matrix profile,
   motifs and discords via exclusion-zone 1-NN self joins;
 * :mod:`repro.extensions.streaming` — deprecated shim over the live

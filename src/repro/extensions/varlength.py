@@ -1,121 +1,56 @@
-"""Variable-length twin queries over a fixed-length TS-Index (extension).
+"""Variable-length twin queries — **deprecated shim** over the unified
+query plane.
 
-The paper's related work cites ULISSE (Linardi & Palpanas, VLDBJ'20)
-for "queries of varying length". This module brings the capability to
-TS-Index for query lengths ``m <= l`` (the indexed window length),
-using a property that is immediate for Chebyshev distance: any
-time-aligned *prefix* of two twins is itself a pair of twins
-(Section 3.1's second observation). Hence:
+This module predates variable length being a first-class capability: it
+walked the dynamic TS-Index's private pointer tree (``index._root``), so
+the frozen, sharded and live planes — and the planner, engine cache and
+CLI — could not serve a query of length ``m < l`` at all (a
+``FrozenTSIndex`` died with a raw ``AttributeError``). The capability
+now lives in :mod:`repro.query`: ``QuerySpec.prepare`` accepts any
+``m <= l``, the planner dispatches to native prefix kernels
+(``search_varlength`` on the tree, frozen, sharded and live planes) or
+synthesizes a prefix scan for search-only baselines, and verification
+routes through the library's block-bounded machinery instead of a
+one-shot candidate matrix.
 
-* a node's MBTS restricted to its first ``m`` timestamps is a valid
-  envelope for the ``m``-prefixes of every window under the node, so
-  the Eq. 2 bound over the prefix prunes losslessly;
-* verification compares the query against the ``m``-prefix of each
-  candidate window.
-
-Positions in the series tail (the last ``l - m`` window starts that
-have no full ``l``-window and therefore are absent from the index) are
-covered by a direct scan — at most ``l - m`` extra verifications.
-
-Per-window z-normalization is rejected: the index normalizes each
-window over ``l`` points, which is not comparable with a query
-normalized over ``m`` points. Raw and globally-normalized regimes are
-exact.
+:func:`search_variable_length` is kept as a thin compatibility wrapper
+(à la :mod:`repro.extensions.streaming`): it emits a
+:class:`DeprecationWarning` and dispatches through the pipeline, so it
+now works on *every* plane and raises the library's typed errors
+(:class:`~repro.exceptions.IncompatibleQueryError` for ``m > l``,
+:class:`~repro.exceptions.UnsupportedNormalizationError` for shorter
+queries under the per-window regime, and
+:class:`~repro.exceptions.UnsupportedCapabilityError` for targets that
+are not query planes) instead of poking ``_root``.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import warnings
 
-from .._util import POSITION_DTYPE, as_float_array, check_non_negative
-from ..core.normalization import Normalization
-from ..core.stats import QueryStats, SearchResult
-from ..core.tsindex import TSIndex
-from ..exceptions import (
-    InvalidParameterError,
-    UnsupportedNormalizationError,
-)
+from ..core.stats import SearchResult
 
 
-def search_variable_length(
-    index: TSIndex, query, epsilon: float
-) -> SearchResult:
-    """All twins of a query of length ``m <= l`` over a TS-Index.
+def search_variable_length(index, query, epsilon: float) -> SearchResult:
+    """All twins of a query of length ``m <= l`` over any query plane.
 
-    Returns every position ``p`` in ``[0, n - m]`` such that
-    ``max_i |T[p + i] - Q_i| <= ε`` for ``i < m`` — including tail
-    positions the fixed-length index does not store. The query must be
-    expressed in the index's value domain (for the GLOBAL regime, in
-    globally z-normalized units — e.g. a slice of ``index.source.values``).
+    .. deprecated::
+        Use the unified query plane: ``index.search_varlength(query,
+        epsilon)``, a :class:`~repro.query.QuerySpec` through
+        :func:`repro.query.execute`, or
+        :meth:`QueryEngine.query <repro.engine.executor.QueryEngine.query>`
+        (every plane accepts any ``m <= l`` there). This shim dispatches
+        through that pipeline.
     """
-    query = as_float_array(query, name="query")
-    epsilon = check_non_negative(epsilon, name="epsilon")
-    source = index.source
-    if source.normalization is Normalization.PER_WINDOW:
-        raise UnsupportedNormalizationError(
-            "variable-length queries are undefined under per-window "
-            "z-normalization: indexed windows are normalized over l "
-            "points, a shorter query over m points"
-        )
-    m = query.size
-    length = source.length
-    if m > length:
-        raise InvalidParameterError(
-            f"query length {m} exceeds the indexed window length {length}"
-        )
-
-    stats = QueryStats()
-    candidates = _collect_prefix_candidates(index, query, epsilon, stats)
-    values = source.values
-
-    # Tail positions (window starts beyond the last indexed l-window)
-    # are appended as additional candidates: at most l - m of them.
-    tail = np.arange(source.count, values.size - m + 1, dtype=POSITION_DTYPE)
-    positions = np.concatenate(
-        (np.asarray(sorted(candidates), dtype=POSITION_DTYPE), tail)
+    warnings.warn(
+        "search_variable_length is deprecated; variable-length queries "
+        "are served by the unified query plane (index.search_varlength, "
+        "QuerySpec/execute, or QueryEngine.query)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    stats.candidates += int(positions.size)
-    stats.verified += int(positions.size)
-    if positions.size == 0:
-        return SearchResult.empty(stats)
+    from ..query import QuerySpec, execute
 
-    view = np.lib.stride_tricks.sliding_window_view(values, m)
-    profile = np.max(np.abs(view[positions] - query), axis=1)
-    keep = profile <= epsilon
-    stats.matches = int(np.count_nonzero(keep))
-    return SearchResult(
-        positions=positions[keep], distances=profile[keep], stats=stats
+    return execute(
+        index, QuerySpec(query=query, mode="search", epsilon=epsilon)
     )
-
-
-def _collect_prefix_candidates(
-    index: TSIndex, query: np.ndarray, epsilon: float, stats: QueryStats
-) -> list[int]:
-    """Algorithm 1's traversal with the Eq. 2 bound restricted to the
-    query's prefix length."""
-    root = index._root
-    if root is None:
-        return []
-    m = query.size
-
-    def prefix_distance(node) -> float:
-        upper = node.mbts.upper[:m]
-        lower = node.mbts.lower[:m]
-        above = query - upper
-        below = lower - query
-        return float(max(above.max(), below.max(), 0.0))
-
-    collected: list[int] = []
-    stack = [root]
-    while stack:
-        node = stack.pop()
-        stats.nodes_visited += 1
-        if prefix_distance(node) > epsilon:
-            stats.nodes_pruned += 1
-            continue
-        if node.is_leaf:
-            stats.leaves_accessed += 1
-            collected.extend(node.positions)
-        else:
-            stack.extend(node.children)
-    return collected

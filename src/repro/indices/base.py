@@ -118,6 +118,26 @@ class SubsequenceIndex(abc.ABC):
             self, QuerySpec(query=query, mode="count", epsilon=epsilon)
         )
 
+    def search_varlength(
+        self, query, epsilon: float, **search_options
+    ) -> SearchResult:
+        """All twins of a query of length ``m <= l``, tail positions
+        included (default: the planner's synthesized prefix scan;
+        planes declaring ``CAP_VARLENGTH`` override with native
+        prefix-pruned kernels). ``m == l`` behaves exactly like
+        :meth:`search`."""
+        from ..query import QuerySpec, execute
+
+        return execute(
+            self,
+            QuerySpec(
+                query=query,
+                mode="search",
+                epsilon=epsilon,
+                options=dict(search_options),
+            ),
+        )
+
 
 def available_methods(*, extended: bool = False) -> tuple[str, ...]:
     """Names accepted by :func:`create_method`.

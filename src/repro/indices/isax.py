@@ -32,6 +32,7 @@ from ..core.windows import WindowSource
 from ..exceptions import InvalidParameterError
 from ..query.registration import register_plane
 from ..query.spec import prepare_values
+from ..query.varlength import is_prefix_query
 from .base import SubsequenceIndex
 from .paa import paa_matrix, paa_transform
 from .sax import SAXAlphabet
@@ -348,8 +349,14 @@ class ISAXIndex(SubsequenceIndex):
         than ``ε`` from the query's PAA mean in any segment.
 
         ``verification`` picks the strategy (see
-        :data:`~repro.core.verification.VERIFICATION_MODES`).
+        :data:`~repro.core.verification.VERIFICATION_MODES`). Queries
+        shorter than ``l`` dispatch to the pipeline's prefix scan (the
+        SAX summaries are length-specific, so no filtering applies).
         """
+        if is_prefix_query(query, self._source.length):
+            return self.search_varlength(
+                query, epsilon, verification=verification
+            )
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = prepare_values(self._source, query)
         query_paa = paa_transform(query, self._params.segments)

@@ -35,6 +35,7 @@ from ..core.windows import WindowSource
 from ..exceptions import UnsupportedNormalizationError
 from ..query.registration import register_plane
 from ..query.spec import prepare_values
+from ..query.varlength import is_prefix_query
 from .base import SubsequenceIndex
 
 
@@ -208,8 +209,14 @@ class KVIndex(SubsequenceIndex):
         """Mean-range filter, then exact verification (Section 4.1).
 
         ``verification`` picks the strategy (see
-        :data:`~repro.core.verification.VERIFICATION_MODES`).
+        :data:`~repro.core.verification.VERIFICATION_MODES`). Queries
+        shorter than ``l`` dispatch to the pipeline's prefix scan (the
+        mean filter is length-specific, so no filtering applies).
         """
+        if is_prefix_query(query, self._source.length):
+            return self.search_varlength(
+                query, epsilon, verification=verification
+            )
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = prepare_values(self._source, query)
         query_mean = float(query.mean())

@@ -22,6 +22,7 @@ from ..core.windows import WindowSource
 from .._util import POSITION_DTYPE, check_non_negative
 from ..query.registration import register_plane
 from ..query.spec import prepare_values
+from ..query.varlength import is_prefix_query
 from .base import SubsequenceIndex
 
 
@@ -91,7 +92,13 @@ class SweeplineSearch(SubsequenceIndex):
         ``verification`` picks the strategy (see
         :data:`~repro.core.verification.VERIFICATION_MODES`); ``bulk``
         uses zero-copy interval verification over the whole range.
+        Queries shorter than ``l`` dispatch to the pipeline's prefix
+        scan (:meth:`~repro.indices.base.SubsequenceIndex.search_varlength`).
         """
+        if is_prefix_query(query, self._source.length):
+            return self.search_varlength(
+                query, epsilon, verification=verification
+            )
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = prepare_values(self._source, query)
         if verification == "bulk":

@@ -45,6 +45,7 @@ import numpy as np
 
 from .._util import (
     FLOAT_DTYPE,
+    POSITION_DTYPE,
     check_non_negative,
     check_positive_int,
     map_with_executor,
@@ -55,6 +56,7 @@ from ..core.normalization import Normalization, rolling_std, std_block_size
 from ..core.series import TimeSeries
 from ..core.stats import BuildStats, SearchResult
 from ..core.tsindex import TSIndex, TSIndexParams
+from ..core.verification import verify
 from ..core.windows import WindowSource, assemble_source
 from ..exceptions import (
     IndexNotBuiltError,
@@ -70,11 +72,21 @@ from ..query.capabilities import (
     CAP_KNN,
     CAP_SEARCH,
     CAP_SEARCH_BATCH,
+    CAP_VARLENGTH,
     CAP_VERIFICATION,
 )
 from ..query.merge import batch_result, merge_knn, merge_offset_search
 from ..query.registration import register_plane
-from ..query.spec import normalize_exclude, prepare_values
+from ..query.spec import (
+    check_varlength_query,
+    normalize_exclude,
+    prepare_values,
+)
+from ..query.varlength import (
+    is_prefix_query,
+    prefix_search_part,
+    scan_prefix_knn,
+)
 from .compaction import Compactor, select_adjacent_pair
 from .segments import Segment, merge_segments
 from .wal import MANIFEST_FORMAT, WriteAheadLog, load_manifest, manifest_path, save_manifest
@@ -131,6 +143,7 @@ class LiveTwinIndex(SubsequenceIndex):
             CAP_COUNT,
             CAP_SEARCH_BATCH,
             CAP_EXECUTOR,
+            CAP_VARLENGTH,
             CAP_VERIFICATION,
         }
     )
@@ -982,7 +995,12 @@ class LiveTwinIndex(SubsequenceIndex):
         Segments answer in parallel on ``executor`` when one is given;
         the delta is searched under the plane's lock (it is the only
         mutable part), segments from an immutable snapshot outside it.
+        Queries shorter than ``l`` dispatch to :meth:`search_varlength`.
         """
+        if is_prefix_query(query, self._length):
+            return self.search_varlength(
+                query, epsilon, verification=verification, executor=executor
+            )
         epsilon = check_non_negative(epsilon, name="epsilon")
         with self._lock:
             if self._source is None:
@@ -1015,9 +1033,90 @@ class LiveTwinIndex(SubsequenceIndex):
         # exactly the monolithic one.
         return merge_offset_search(parts)
 
+    def search_varlength(
+        self,
+        query,
+        epsilon: float,
+        *,
+        verification: str = "bulk",
+        executor=None,
+    ) -> SearchResult:
+        """All twins of a query of length ``m <= l`` over everything
+        appended so far — including positions in the un-indexed series
+        tail (and, before ``length`` readings have even arrived, over
+        the raw readings themselves).
+
+        Delta and segments each run the prefix-bounded traversal over
+        their own span (their value chunks overlap by ``l - 1 >= m - 1``
+        readings, so every ``m``-window of a part's window span lies
+        inside its chunk); the tail — the last ``l - m`` starts — is a
+        direct scan over a snapshot of the append buffer. Parts merge
+        through the shared offset kernel, byte-identical to a prefix
+        scan over the full series. ``m == l`` delegates to
+        :meth:`search`; the per-window regime rejects shorter queries
+        with a typed error.
+        """
+        epsilon = check_non_negative(epsilon, name="epsilon")
+        query = check_varlength_query(
+            query, self._length, self._normalization
+        )
+        m = query.size
+        if m == self._length:
+            return self.search(
+                query, epsilon, verification=verification, executor=executor
+            )
+        with self._lock:
+            size = self._size
+            if size < m:
+                return SearchResult.empty()
+            segments = list(self._segments)
+            delta_start = self._delta_start
+            delta_result = None
+            if self._delta is not None:
+                delta_result = prefix_search_part(
+                    self._delta, query, epsilon, verification=verification
+                )
+            tail_lo = max(0, size - self._length + 1)
+            # Snapshot: the buffer may be swapped by a concurrent append.
+            tail_chunk = np.array(self._buffer[tail_lo:size])
+
+        def one(segment: Segment) -> SearchResult:
+            return prefix_search_part(
+                segment.index, query, epsilon, verification=verification
+            )
+
+        results = map_with_executor(executor, one, segments)
+        parts = [
+            (segment.start, result)
+            for segment, result in zip(segments, results)
+        ]
+        if delta_result is not None:
+            parts.append((delta_start, delta_result))
+        tail_source = assemble_source(
+            tail_chunk, m, Normalization.NONE, name="live-tail"
+        )
+        parts.append(
+            (
+                tail_lo,
+                verify(
+                    tail_source,
+                    query,
+                    np.arange(tail_source.count, dtype=POSITION_DTYPE),
+                    epsilon,
+                    mode=verification,
+                ),
+            )
+        )
+        return merge_offset_search(parts)
+
     def count(self, query, epsilon: float, *, executor=None) -> int:
         """Number of twins — summed per part (delta + segments), so the
-        merged result arrays are never materialized."""
+        merged result arrays are never materialized (shorter queries
+        derive from :meth:`search_varlength`)."""
+        if is_prefix_query(query, self._length):
+            return len(
+                self.search_varlength(query, epsilon, executor=executor)
+            )
         epsilon = check_non_negative(epsilon, name="epsilon")
         with self._lock:
             if self._source is None:
@@ -1045,7 +1144,12 @@ class LiveTwinIndex(SubsequenceIndex):
     ) -> SearchResult:
         """The ``k`` globally nearest windows, merged across delta and
         segments by ``(distance, position)`` — the library-wide k-NN
-        tie-break, so the answer equals the monolithic one exactly."""
+        tie-break, so the answer equals the monolithic one exactly.
+        Queries shorter than ``l`` run the exact prefix scan — served
+        even before ``length`` readings have arrived (over the raw
+        readings themselves)."""
+        if is_prefix_query(query, self._length):
+            return self._prefix_knn(query, k, exclude)
         k = check_positive_int(k, name="k")
         exclude = normalize_exclude(exclude)
         with self._lock:
@@ -1080,9 +1184,33 @@ class LiveTwinIndex(SubsequenceIndex):
             parts.append((delta_start, delta_result))
         return merge_knn(parts, k)
 
+    def _prefix_knn(self, query, k: int, exclude) -> SearchResult:
+        """Exact prefix-scan k-NN for a query shorter than ``l`` —
+        self-contained (no window source needed), so it serves even a
+        plane holding fewer than ``length`` readings."""
+        k = check_positive_int(k, name="k")
+        exclude = normalize_exclude(exclude)
+        query = check_varlength_query(
+            query, self._length, self._normalization
+        )
+        with self._lock:
+            values = np.array(self._buffer[: self._size])
+        if values.size < query.size:
+            return SearchResult.empty()
+        snapshot = assemble_source(
+            values, self._length if values.size >= self._length
+            else values.size,
+            Normalization.NONE,
+            name="live",
+        )
+        return scan_prefix_knn(snapshot, query, k, exclude=exclude)
+
     def exists(self, query, epsilon: float) -> bool:
         """Whether the pattern has occurred anywhere so far (early
-        exit; the delta — the freshest data — is probed first)."""
+        exit; the delta — the freshest data — is probed first; shorter
+        queries derive from :meth:`search_varlength`)."""
+        if is_prefix_query(query, self._length):
+            return len(self.search_varlength(query, epsilon)) > 0
         epsilon = check_non_negative(epsilon, name="epsilon")
         with self._lock:
             if self._source is None:

@@ -29,6 +29,7 @@ from .capabilities import (
     CAP_KNN,
     CAP_SEARCH,
     CAP_SEARCH_BATCH,
+    CAP_VARLENGTH,
     CAP_VERIFICATION,
     capabilities_of,
 )
@@ -55,9 +56,17 @@ from .registration import (
 from .spec import (
     PreparedQuery,
     QuerySpec,
+    check_varlength_query,
     map_raw_to_index_domain,
     normalize_exclude,
     prepare_values,
+    query_extent,
+)
+from .varlength import (
+    prefix_source,
+    scan_prefix_search,
+    tail_positions,
+    verify_prefix,
 )
 
 __all__ = [
@@ -70,6 +79,7 @@ __all__ = [
     "CAP_KNN",
     "CAP_SEARCH",
     "CAP_SEARCH_BATCH",
+    "CAP_VARLENGTH",
     "CAP_VERIFICATION",
     "PlaneInfo",
     "PreparedQuery",
@@ -78,6 +88,7 @@ __all__ = [
     "aggregate_stats",
     "batch_result",
     "capabilities_of",
+    "check_varlength_query",
     "execute",
     "map_raw_to_index_domain",
     "map_with_executor",
@@ -87,9 +98,14 @@ __all__ = [
     "plan",
     "plane_infos",
     "plane_names",
+    "prefix_source",
     "prepare_values",
+    "query_extent",
     "register_plane",
     "resolve_plane",
     "scan_count",
     "scan_knn",
+    "scan_prefix_search",
+    "tail_positions",
+    "verify_prefix",
 ]

@@ -44,6 +44,12 @@ CAP_EXECUTOR = "executor"
 #: ``search`` accepts the ``verification=`` strategy option.
 CAP_VERIFICATION = "verification"
 
+#: Native ``search_varlength(query, epsilon)`` serving queries of any
+#: length ``m <= l`` (prefix-envelope pruning + tail coverage). Planes
+#: without it are still servable: the planner synthesizes variable
+#: length with a prefix scan kernel.
+CAP_VARLENGTH = "varlength"
+
 #: Every capability name, for validation and documentation.
 ALL_CAPABILITIES = frozenset(
     {
@@ -55,6 +61,7 @@ ALL_CAPABILITIES = frozenset(
         CAP_BATCHED_KERNEL,
         CAP_EXECUTOR,
         CAP_VERIFICATION,
+        CAP_VARLENGTH,
     }
 )
 

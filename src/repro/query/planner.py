@@ -34,6 +34,7 @@ from .._util import (
     map_with_executor,
 )
 from ..core.stats import QueryStats, SearchResult
+from ..exceptions import IndexNotBuiltError, UnsupportedCapabilityError
 from .capabilities import (
     CAP_BATCHED_KERNEL,
     CAP_COUNT,
@@ -41,11 +42,13 @@ from .capabilities import (
     CAP_EXISTS,
     CAP_KNN,
     CAP_SEARCH_BATCH,
+    CAP_VARLENGTH,
     CAP_VERIFICATION,
     capabilities_of,
 )
 from .merge import batch_result
 from .spec import QuerySpec, prepare_values
+from .varlength import is_prefix_query, scan_prefix_knn, scan_prefix_search
 
 #: Windows per block in the synthesized scan kernels (bounds the
 #: temporary ``(block, l)`` matrix regardless of index size).
@@ -119,6 +122,22 @@ def scan_count(source, query, epsilon: float) -> int:
 # ----------------------------------------------------------------------
 # Planning
 # ----------------------------------------------------------------------
+def _plane_length(index) -> int | None:
+    """The plane's indexed window length ``l`` (``None`` when it cannot
+    be determined without touching the plane's source — e.g. a foreign
+    plane exposing neither a ``length`` nor a ``source``)."""
+    length = getattr(index, "length", None)
+    if length is not None:
+        try:
+            return int(length)
+        except (TypeError, ValueError):
+            return None
+    source = getattr(index, "source", None)
+    if source is None:
+        return None
+    return int(source.length)
+
+
 @dataclasses.dataclass
 class QueryPlan:
     """One negotiated execution plan: spec + plane + chosen kernels."""
@@ -134,13 +153,16 @@ class QueryPlan:
     options: dict
     #: Whether the plane itself accepts ``executor=`` fan-out.
     fan_out: bool
+    #: Whether (any of) the spec's queries are shorter than the plane's
+    #: window length — executed through the prefix kernels.
+    varlength: bool = False
 
     def describe(self) -> str:
         """One diagnostic line (for logs and tests)."""
         return (
             f"mode={self.spec.mode} plane={type(self.index).__name__} "
             f"native={self.native} fan_out={self.fan_out} "
-            f"options={sorted(self.options)}"
+            f"varlength={self.varlength} options={sorted(self.options)}"
         )
 
     # ------------------------------------------------------------------
@@ -153,7 +175,15 @@ class QueryPlan:
         ones.
         """
         if self.spec.domain == "raw":
-            return list(self.spec.prepare(self.index.source).queries)
+            try:
+                source = self.index.source
+            except IndexNotBuiltError:
+                # A mutable plane before its first full window (live):
+                # nothing is indexed yet, and such planes reject the
+                # GLOBAL regime, so the raw→index mapping is the
+                # identity — the kernels validate the values themselves.
+                return self.spec.query_list()
+            return list(self.spec.prepare(source).queries)
         return self.spec.query_list()
 
     def _call_options(self, executor) -> dict:
@@ -162,11 +192,82 @@ class QueryPlan:
             options["executor"] = executor
         return options
 
+    def _source_or_raise(self):
+        """The plane's window source (needed to synthesize a kernel);
+        typed failure for planes that truly cannot serve the mode."""
+        source = getattr(self.index, "source", None)
+        if source is None:
+            raise UnsupportedCapabilityError(
+                f"{type(self.index).__name__} cannot serve "
+                f"variable-length queries: it declares no native prefix "
+                "kernel and exposes no window source to synthesize one "
+                "from"
+            )
+        return source
+
+    def _varlength_search(self, query, executor=None) -> SearchResult:
+        """One variable-length search: the plane's native prefix kernel
+        where declared, the synthesized prefix scan otherwise."""
+        if CAP_VARLENGTH in self.capabilities:
+            options = dict(self.options)
+            if executor is not None and self.fan_out:
+                options["executor"] = executor
+            return self.index.search_varlength(
+                query, self.spec.epsilon, **options
+            )
+        return scan_prefix_search(
+            self._source_or_raise(), query, self.spec.epsilon, **self.options
+        )
+
+    def _execute_varlength(self, executor):
+        """Run a plan whose quer(ies) are shorter than the plane's
+        window length. ``search`` uses the native prefix kernel (or the
+        synthesized scan); ``exists``/``count`` derive from that same
+        search, so they reuse the plane's own pruned traversal; ``knn``
+        is an exact prefix scan ranked by the library-wide
+        ``(distance, position)`` tie-break; batches dispatch per query,
+        so mixed-length workloads serve full-length members natively.
+        """
+        spec = self.spec
+        length = _plane_length(self.index)
+        if spec.mode == "batch":
+            queries = self._queries()
+            options = dict(self.options)
+
+            def one(query) -> SearchResult:
+                if is_prefix_query(query, length):
+                    return self._varlength_search(query)
+                return self.index.search(query, spec.epsilon, **options)
+
+            results = map_with_executor(executor, one, queries)
+            return batch_result(results, spec.epsilon)
+
+        query = self._queries()[0]
+        if spec.mode == "search":
+            return self._varlength_search(query, executor=executor)
+        if spec.mode == "knn":
+            try:
+                source = self._source_or_raise()
+            except IndexNotBuiltError:
+                # A mutable plane before its first full window (live):
+                # its own knn serves the prefix scan from the raw
+                # readings without touching the unavailable source.
+                return self.index.knn(query, spec.k, exclude=spec.exclude)
+            return scan_prefix_knn(
+                source, query, spec.k, exclude=spec.exclude
+            )
+        result = self._varlength_search(query, executor=executor)
+        if spec.mode == "exists":
+            return len(result) > 0
+        return len(result)  # mode == "count"
+
     def execute(self, executor=None):
         """Run the plan; returns the mode's natural result type
         (:class:`SearchResult`, :class:`~repro.core.batch.BatchResult`,
         ``bool`` or ``int``)."""
         spec = self.spec
+        if self.varlength:
+            return self._execute_varlength(executor)
         if spec.mode == "batch":
             queries = self._queries()
             if self.native:
@@ -231,7 +332,23 @@ _MODE_CAPABILITY = {
 
 
 def plan(index, spec: QuerySpec) -> QueryPlan:
-    """Negotiate ``spec`` against ``index``'s declared capabilities."""
+    """Negotiate ``spec`` against ``index``'s declared capabilities.
+
+    Queries shorter than the plane's window length plan onto the
+    variable-length path: ``search`` (and the search-derived
+    ``exists``/``count``) runs on the plane's native prefix kernel when
+    it declares :data:`~repro.query.capabilities.CAP_VARLENGTH`, the
+    synthesized prefix scan otherwise; ``knn`` is always the exact
+    prefix scan; batches dispatch per query. Targets that are not query
+    planes at all (no ``search`` kernel) fail with the typed
+    :class:`~repro.exceptions.UnsupportedCapabilityError` instead of an
+    ``AttributeError`` deep inside a kernel.
+    """
+    if not callable(getattr(index, "search", None)):
+        raise UnsupportedCapabilityError(
+            f"{type(index).__name__} is not a query plane: it has no "
+            "search kernel"
+        )
     caps = capabilities_of(index)
     required = _MODE_CAPABILITY[spec.mode]
     native = required is None or required in caps
@@ -240,7 +357,19 @@ def plan(index, spec: QuerySpec) -> QueryPlan:
         options.pop("verification", None)
     if CAP_BATCHED_KERNEL not in caps:
         options.pop("batched", None)
-    if spec.mode in ("knn", "exists", "count"):
+    varlength = False
+    length = _plane_length(index)
+    if length is not None:
+        varlength = any(
+            is_prefix_query(query, length) for query in spec.query_list()
+        )
+    if varlength:
+        # The prefix kernels serve search (and the search-derived
+        # modes); nothing batched-kernel-shaped applies, and ``native``
+        # now reports whether the *prefix* kernel is the plane's own.
+        options.pop("batched", None)
+        native = CAP_VARLENGTH in caps and spec.mode != "knn"
+    if spec.mode in ("knn", "exists", "count") and not varlength:
         # These modes take no kernel options — ``verification``/
         # ``batched`` parameterize the search kernels only, and no
         # plane's native knn accepts them either.
@@ -252,6 +381,7 @@ def plan(index, spec: QuerySpec) -> QueryPlan:
         native=native,
         options=options,
         fan_out=CAP_EXECUTOR in caps,
+        varlength=varlength,
     )
 
 

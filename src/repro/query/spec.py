@@ -35,7 +35,11 @@ from .._util import (
     check_positive_int,
 )
 from ..core.normalization import STD_FLOOR, Normalization
-from ..exceptions import IncompatibleQueryError, InvalidParameterError
+from ..exceptions import (
+    IncompatibleQueryError,
+    InvalidParameterError,
+    UnsupportedNormalizationError,
+)
 
 #: Query modes the pipeline understands.
 MODES = ("search", "knn", "exists", "count", "batch")
@@ -85,8 +89,57 @@ def map_raw_to_index_domain(source, values) -> np.ndarray:
     return (values - float(raw.mean())) / std
 
 
+def check_varlength_query(query, length, normalization) -> np.ndarray:
+    """Validate a variable-length query from the plane's shape alone.
+
+    The one implementation of the ``m <= l`` acceptance rule —
+    coercion, the typed ``m > l`` rejection (``received`` populated),
+    and the typed per-window rejection for ``m < l`` — shared by
+    :func:`prepare_values` and by planes whose window source may not
+    exist yet (a live plane before its first full window). Returns the
+    coerced query values.
+    """
+    values = as_float_array(query, name="query")
+    length = int(length)
+    if values.size > length:
+        raise IncompatibleQueryError(
+            f"query length {values.size} exceeds the indexed window "
+            f"length {length}",
+            expected=length,
+            received=values.size,
+        )
+    if (
+        values.size < length
+        and Normalization.coerce(normalization) is Normalization.PER_WINDOW
+    ):
+        raise UnsupportedNormalizationError(
+            "variable-length queries are undefined under per-window "
+            "z-normalization: indexed windows are normalized over l "
+            "points, a shorter query over m points"
+        )
+    return values
+
+
+def query_extent(query):
+    """Best-effort length of ``query`` for error reporting: its element
+    count for a 1-D query, its shape for anything higher-dimensional,
+    ``None`` when the value cannot even be coerced to an array."""
+    try:
+        array = np.asarray(query)
+    except Exception:
+        return None
+    if array.ndim <= 1:
+        return int(array.size)
+    return tuple(int(side) for side in array.shape)
+
+
 def prepare_values(
-    source, query, *, domain: str = "index", expected=None
+    source,
+    query,
+    *,
+    domain: str = "index",
+    expected=None,
+    varlength: bool = False,
 ) -> np.ndarray:
     """Validate + normalize one query against ``source``.
 
@@ -96,6 +149,14 @@ def prepare_values(
     (the plane's window length), a malformed query raises
     :class:`~repro.exceptions.IncompatibleQueryError` instead of the
     plain parameter error — the convention of the TS-Index planes.
+
+    With ``varlength=True`` any query of length ``m <= l`` is accepted:
+    shorter queries are validated and domain-mapped here but skip the
+    source's fixed-length handshake (a prefix query is compared against
+    window *prefixes*, so no per-query normalization applies — and the
+    per-window regime is rejected with a typed error, because windows
+    normalized over ``l`` points are not comparable with a query over
+    ``m`` points). ``m == l`` behaves exactly like the fixed path.
     """
     if domain not in DOMAINS:
         raise InvalidParameterError(
@@ -103,12 +164,21 @@ def prepare_values(
         )
     if domain == "raw":
         query = map_raw_to_index_domain(source, query)
+    if varlength:
+        values = check_varlength_query(
+            query, source.length, source.normalization
+        )
+        if values.size < int(source.length):
+            return values
+        query = values
     try:
         return source.prepare_query(query)
     except InvalidParameterError as exc:
         if expected is None:
             raise
-        raise IncompatibleQueryError(str(exc), expected=expected) from exc
+        raise IncompatibleQueryError(
+            str(exc), expected=expected, received=query_extent(query)
+        ) from exc
 
 
 @dataclasses.dataclass(frozen=True)
@@ -214,10 +284,16 @@ class QuerySpec:
 
         The one ``prepare()`` of the pipeline: after this, the values
         are exactly what any plane's kernel expects, regardless of the
-        arrival domain or the normalization regime.
+        arrival domain or the normalization regime. Any query length
+        ``m <= l`` is accepted — shorter queries are the
+        variable-length workload the planner serves through prefix
+        kernels (``m > l``, and ``m < l`` under the per-window regime,
+        raise the library's typed errors here).
         """
         queries = tuple(
-            prepare_values(source, query, domain=self.domain)
+            prepare_values(
+                source, query, domain=self.domain, varlength=True
+            )
             for query in self.query_list()
         )
         return PreparedQuery(

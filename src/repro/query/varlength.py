@@ -1,0 +1,202 @@
+"""Variable-length (prefix) query kernels shared by every plane.
+
+The paper's related work cites ULISSE (Linardi & Palpanas, VLDBJ'20)
+for "queries of varying length"; this module is the library's serving
+machinery for query lengths ``m <= l`` (the indexed window length),
+built on a property that is immediate for Chebyshev distance: any
+time-aligned *prefix* of two twins is itself a pair of twins
+(Section 3.1's second observation). Hence:
+
+* a node's MBTS restricted to its first ``m`` timestamps is a valid
+  envelope for the ``m``-prefixes of every window under the node, so
+  the Eq. 2 bound over the prefix prunes losslessly — the native
+  kernels on the tree and frozen planes exploit exactly this;
+* verification compares the query against the ``m``-window at each
+  candidate position, which is what :func:`prefix_source` exposes: a
+  zero-copy window source of every ``m``-window of the prepared value
+  buffer — **including the tail positions** (the last ``l - m`` window
+  starts that have no full ``l``-window and are absent from the index).
+
+Everything here answers from the plane's prepared value buffer, so the
+results of a native prefix traversal, the synthesized
+:func:`scan_prefix_search`, and a composite plane's per-part fan-out
+agree bitwise (positions and distances) — the conformance suite in
+``tests/test_varlength_planes.py`` enforces it across all seven planes.
+
+Per-window z-normalization is rejected for ``m < l`` (windows
+normalized over ``l`` points are not comparable with a query over
+``m`` points — see :func:`repro.query.spec.prepare_values`); the raw
+and globally-normalized regimes are exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._util import POSITION_DTYPE, check_non_negative
+from ..core.normalization import Normalization
+from ..core.stats import QueryStats, SearchResult
+from ..core.verification import verify
+from ..core.windows import WindowSource, assemble_source
+from .spec import prepare_values
+
+#: Kernel name reported by :func:`scan_prefix_search` plans/benchmarks.
+PREFIX_SCAN = "prefix_scan"
+
+
+def is_prefix_query(query, length) -> bool:
+    """Whether ``query`` is a well-formed 1-D query *shorter* than the
+    indexed window length — the planes' dispatch predicate: their
+    fixed-length kernels hand such queries to the pipeline's prefix
+    path. Malformed queries return ``False`` and fall through to the
+    caller's own validation, so error behaviour is unchanged."""
+    try:
+        array = np.asarray(query)
+    except Exception:
+        return False
+    return (
+        array.ndim == 1
+        and array.dtype != object
+        and 0 < array.size < int(length)
+    )
+
+
+def prefix_source(source: WindowSource, m: int) -> WindowSource:
+    """A window source over every ``m``-window of ``source``'s prepared
+    value buffer — zero-copy, and covering ``|T| - m + 1`` positions
+    (``>= source.count``), i.e. the series tail included.
+
+    The result carries the ``NONE`` regime because the buffer is
+    already expressed in the index's value domain (raw, or globally
+    z-normalized by the source's own preparation); the per-window
+    regime never reaches here (rejected at query preparation).
+    """
+    return assemble_source(
+        source.values, int(m), Normalization.NONE, name=source.series.name
+    )
+
+
+def tail_positions(source: WindowSource, m: int) -> np.ndarray:
+    """Start positions in the series tail: the ``l - m`` window starts
+    past the last indexed ``l``-window (empty when ``m == l``)."""
+    return np.arange(
+        source.count, source.values.size - int(m) + 1, dtype=POSITION_DTYPE
+    )
+
+
+def verify_prefix(
+    source: WindowSource,
+    query: np.ndarray,
+    positions,
+    epsilon: float,
+    *,
+    mode: str = "bulk",
+    stats: QueryStats | None = None,
+) -> SearchResult:
+    """Exactly verify candidate positions against their ``m``-windows.
+
+    Routes through the library's chunked verification strategies
+    (:mod:`repro.core.verification`), so peak memory is block-bounded
+    regardless of the candidate count — the fix for the old extension's
+    one-shot ``sliding_window_view(values, m)[positions]`` candidate
+    matrix. ``query`` must already be prepared (index value domain);
+    positions may include tail positions up to ``|T| - m``.
+    """
+    return verify(
+        prefix_source(source, query.size), query, positions, epsilon,
+        mode=mode, stats=stats,
+    )
+
+
+def prefix_search_with_tail(
+    plane, query, epsilon: float, *, verification: str = "bulk"
+) -> SearchResult:
+    """The monolithic-plane prefix search driver (TSIndex, frozen).
+
+    Validates and prepares the query (``m == l`` delegates to the
+    plane's fixed-length ``search`` — identical positions, distances
+    and counters), collects unverified candidates through the plane's
+    ``collect_varlength_candidates`` hook, appends the ``l - m`` tail
+    positions the index does not store, and verifies everything
+    block-bounded. One implementation, so the tree and frozen planes
+    cannot drift.
+    """
+    epsilon = check_non_negative(epsilon, name="epsilon")
+    source = plane.source
+    query = prepare_values(source, query, varlength=True)
+    if query.size == source.length:
+        return plane.search(query, epsilon, verification=verification)
+    stats = QueryStats()
+    candidates = plane.collect_varlength_candidates(query, epsilon, stats)
+    positions = np.concatenate(
+        (candidates, tail_positions(source, query.size))
+    )
+    return verify_prefix(
+        source, query, positions, epsilon, mode=verification, stats=stats
+    )
+
+
+def prefix_search_part(
+    tree, query: np.ndarray, epsilon: float, *, verification: str = "bulk"
+) -> SearchResult:
+    """One composite-plane part (a shard, a segment, the delta): prefix
+    candidates over the part's *indexed* windows, verified against its
+    own value chunk — no tail, the composite plane covers that once.
+    ``query`` must already be prepared."""
+    stats = QueryStats()
+    candidates = tree.collect_varlength_candidates(query, epsilon, stats)
+    return verify_prefix(
+        tree.source, query, candidates, epsilon,
+        mode=verification, stats=stats,
+    )
+
+
+def merge_exists_stats(stats: QueryStats | None, result: SearchResult) -> None:
+    """Accumulate a search's counters into a caller-provided ``stats``
+    (the ``exists(..., stats=)`` affordance on the prefix path)."""
+    if stats is None:
+        return
+    merged = stats.merge(result.stats)
+    for name, value in vars(merged).items():
+        setattr(stats, name, value)
+
+
+def scan_prefix_search(
+    source: WindowSource,
+    query,
+    epsilon: float,
+    *,
+    verification: str = "bulk",
+    stats: QueryStats | None = None,
+) -> SearchResult:
+    """Brute-force prefix scan: every ``m``-window (tail included)
+    exactly verified against the query.
+
+    This is the planner's synthesized variable-length ``search`` for
+    planes without a native prefix kernel (sweepline, KV-Index, iSAX),
+    and the oracle the cross-plane conformance suite compares every
+    plane against. ``query`` arrives in the index value domain; the
+    preparation applies the same validation (``m <= l``, typed
+    per-window rejection) as the native kernels.
+    """
+    epsilon = check_non_negative(epsilon, name="epsilon")
+    query = prepare_values(source, query, varlength=True)
+    stats = stats if stats is not None else QueryStats()
+    psource = prefix_source(source, query.size)
+    positions = np.arange(psource.count, dtype=POSITION_DTYPE)
+    return verify(
+        psource, query, positions, epsilon, mode=verification, stats=stats
+    )
+
+
+def scan_prefix_knn(source: WindowSource, query, k: int, exclude=None):
+    """Exact k-NN over every ``m``-window (tail included), ranked by the
+    library-wide ``(distance, position)`` tie-break — the one
+    variable-length k-NN kernel (every plane serves it; prefix pruning
+    buys nothing without a best-first bound over unindexed tails)."""
+    from .planner import scan_knn  # lazy: planner imports this module
+
+    query = prepare_values(source, query, varlength=True)
+    return scan_knn(
+        prefix_source(source, query.size), query, k, exclude=exclude
+    )

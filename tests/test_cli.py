@@ -183,6 +183,39 @@ class TestEngineCLI:
         assert "0 twins" not in output
         assert "100" in output
 
+    def test_engine_query_variable_length(self, built_archive, capsys):
+        """Any m <= l serves: --query-length truncates the query to a
+        prefix and the pipeline dispatches it to the varlength kernels."""
+        code = cli.main(
+            [
+                "engine", "query", "--index", str(built_archive),
+                "--position", "250", "--epsilon", "0.0",
+                "--query-length", "20",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "twins within epsilon" in output
+        assert "250" in output
+
+    def test_engine_query_length_bounds_checked(self, built_archive):
+        with pytest.raises(SystemExit, match="query-length"):
+            cli.main(
+                [
+                    "engine", "query", "--index", str(built_archive),
+                    "--position", "250", "--epsilon", "0.5",
+                    "--query-length", "0",
+                ]
+            )
+        with pytest.raises(SystemExit, match="query-length"):
+            cli.main(
+                [
+                    "engine", "query", "--index", str(built_archive),
+                    "--position", "250", "--epsilon", "0.5",
+                    "--query-length", "51",
+                ]
+            )
+
     def test_engine_stats(self, built_archive, capsys):
         code = cli.main(["engine", "stats", "--index", str(built_archive)])
         assert code == 0

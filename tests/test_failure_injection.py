@@ -70,10 +70,19 @@ class TestMalformedQueries:
             with pytest.raises(ReproError):
                 engine.search(query, 0.5)
 
-    def test_wrong_length_rejected(self, engines):
+    def test_too_long_query_rejected(self, engines):
+        # Shorter queries are the served variable-length workload now;
+        # only queries *longer* than the indexed windows are malformed.
         for engine in engines:
             with pytest.raises(ReproError):
-                engine.search(np.zeros(LENGTH - 1), 0.5)
+                engine.search(np.zeros(LENGTH + 1), 0.5)
+
+    def test_shorter_query_served_not_rejected(self, engines):
+        for engine in engines:
+            result = engine.search(
+                np.array(engine.source.values[: LENGTH - 10]), 0.0
+            )
+            assert 0 in result.positions
 
     def test_negative_epsilon_rejected(self, engines):
         query = np.zeros(LENGTH)

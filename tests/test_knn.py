@@ -57,10 +57,18 @@ class TestKnnValidation:
         with pytest.raises(InvalidParameterError):
             index.knn(query, 0)
 
-    def test_rejects_wrong_length(self, index_and_profile):
+    def test_rejects_too_long_query(self, index_and_profile):
+        # Shorter queries are served (variable-length prefix scan);
+        # only queries longer than the indexed windows are malformed.
         index, _, _ = index_and_profile
         with pytest.raises(Exception):
-            index.knn(np.zeros(3), 2)
+            index.knn(np.zeros(index.length + 1), 2)
+
+    def test_shorter_query_served(self, index_and_profile):
+        index, query, _ = index_and_profile
+        result = index.knn(np.array(query[:10]), 1)
+        assert result.distances[0] == 0.0
+        assert result.positions[0] == 321
 
 
 class TestKnnEfficiency:

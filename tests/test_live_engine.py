@@ -249,6 +249,12 @@ class TestCLI:
         assert "twins within epsilon" in out
         assert main(["live", "query", "--path", path, "--position", "3",
                      "--knn", "2"]) == 0
+        assert main(
+            ["live", "query", "--path", path, "--position", "3",
+             "--epsilon", "0.0", "--query-length", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "twins within epsilon" in out
         assert main(["live", "stats", "--path", path]) == 0
         out = capsys.readouterr().out
         assert "LiveTwinIndex" in out

@@ -94,8 +94,14 @@ class TestConstruction:
 
     def test_query_length_mismatch(self):
         live = LiveTwinIndex(np.arange(64.0), length=16, **SMALL)
-        with pytest.raises(IncompatibleQueryError):
-            live.search(np.zeros(8), 1.0)
+        with pytest.raises(IncompatibleQueryError) as info:
+            live.search(np.zeros(24), 1.0)
+        assert info.value.expected == 16
+        assert info.value.received == 24
+        # Shorter queries are the variable-length workload, not an
+        # error: an 8-prefix of a window matches at its own position.
+        result = live.search(np.arange(8.0), 0.0)
+        assert 0 in result.positions
 
     def test_repr_and_values(self):
         live = LiveTwinIndex(np.arange(40.0), length=16, **SMALL)

@@ -46,6 +46,7 @@ class TestTopLevelExports:
             "repro.query.merge",
             "repro.query.capabilities",
             "repro.query.registration",
+            "repro.query.varlength",
             "repro.live",
             "repro.live.index",
             "repro.live.segments",

@@ -1,15 +1,35 @@
-"""Tests for variable-length twin queries over a TS-Index."""
+"""Variable-length twin queries: native tree kernel, typed errors,
+block-bounded verification, and the deprecated extension shim.
+
+Cross-plane equivalence (all seven planes vs the brute-force prefix
+scan, engine serving, cache isolation) lives in
+``tests/test_varlength_planes.py``; this module covers the TS-Index
+kernel itself plus the bugfix satellites:
+
+* :class:`~repro.exceptions.IncompatibleQueryError` carries the
+  offending query length in ``received`` (it used to always be
+  ``None``);
+* verification is block-bounded and identical across every strategy
+  (the old extension materialized the full candidate matrix in one
+  shot);
+* ``repro.extensions.search_variable_length`` survives as a
+  ``DeprecationWarning``-emitting shim that now serves *every* plane
+  through the pipeline instead of poking ``index._root``.
+"""
 
 import numpy as np
 import pytest
 
+from repro.core.frozen import FrozenTSIndex
 from repro.core.tsindex import TSIndex, TSIndexParams
 from repro.core.windows import WindowSource
-from repro.extensions.varlength import search_variable_length
 from repro.exceptions import (
+    IncompatibleQueryError,
     InvalidParameterError,
+    UnsupportedCapabilityError,
     UnsupportedNormalizationError,
 )
+from repro.query import QuerySpec, execute
 
 from conftest import LENGTH
 
@@ -32,17 +52,21 @@ class TestCorrectness:
         )
         query = np.asarray(series_values[200 : 200 + m])
         for epsilon in (0.0, 0.2, 0.8):
-            result = search_variable_length(index, query, epsilon)
+            result = index.search_varlength(query, epsilon)
             assert result.positions.tolist() == _naive(
                 source.values, query, epsilon
             )
 
-    def test_full_length_agrees_with_search(self, tsindex_global, source_global, query_of):
+    def test_full_length_agrees_with_search(
+        self, tsindex_global, query_of
+    ):
         query = query_of(123)
         for epsilon in (0.0, 0.4):
             expected = tsindex_global.search(query, epsilon)
-            actual = search_variable_length(tsindex_global, query, epsilon)
+            actual = tsindex_global.search_varlength(query, epsilon)
             assert np.array_equal(actual.positions, expected.positions)
+            assert np.array_equal(actual.distances, expected.distances)
+            assert actual.stats == expected.stats
 
     def test_tail_positions_found(self, series_values):
         # A short query matching at a position with no full l-window.
@@ -52,54 +76,155 @@ class TestCorrectness:
         m = 20
         tail_position = values.size - m  # inside the unindexed tail
         query = values[tail_position : tail_position + m]
-        result = search_variable_length(index, query, 0.0)
+        result = index.search_varlength(query, 0.0)
         assert tail_position in result.positions
 
     def test_global_regime_in_normalized_domain(self, tsindex_global, source_global):
         m = 25
         query = np.array(source_global.values[500 : 500 + m])
-        result = search_variable_length(tsindex_global, query, 0.0)
+        result = tsindex_global.search_varlength(query, 0.0)
         assert 500 in result.positions
 
     def test_distances_reported(self, tsindex_global, source_global):
         m = 30
         query = np.array(source_global.values[100 : 100 + m])
-        result = search_variable_length(tsindex_global, query, 0.3)
+        result = tsindex_global.search_varlength(query, 0.3)
         for position, distance in result:
             window = source_global.values[int(position) : int(position) + m]
             assert np.isclose(distance, np.max(np.abs(window - query)))
 
     def test_positions_sorted(self, tsindex_global, source_global):
         query = np.array(source_global.values[40:70])
-        result = search_variable_length(tsindex_global, query, 0.5)
+        result = tsindex_global.search_varlength(query, 0.5)
         assert np.all(np.diff(result.positions) > 0)
 
 
 class TestPruning:
     def test_prunes_nodes(self, tsindex_global, source_global):
         query = np.array(source_global.values[900:940])
-        result = search_variable_length(tsindex_global, query, 0.1)
+        result = tsindex_global.search_varlength(query, 0.1)
         assert result.stats.nodes_pruned > 0
 
     def test_shorter_query_weaker_pruning(self, tsindex_global, source_global):
         # Fewer constrained timestamps -> no more pruning than full length.
         short = np.array(source_global.values[900:910])
         full = np.array(source_global.values[900 : 900 + LENGTH])
-        short_stats = search_variable_length(tsindex_global, short, 0.2).stats
-        full_stats = search_variable_length(tsindex_global, full, 0.2).stats
+        short_stats = tsindex_global.search_varlength(short, 0.2).stats
+        full_stats = tsindex_global.search_varlength(full, 0.2).stats
         assert short_stats.candidates >= full_stats.candidates - LENGTH
 
 
-class TestValidation:
+class TestBlockBoundedVerification:
+    """The memory satellite: verification routes through the chunked
+    strategies (no one-shot ``view[positions]`` candidate matrix), and
+    every strategy returns identical results."""
+
+    @pytest.mark.parametrize("m", [10, 33, LENGTH - 1])
+    def test_strategies_identical(self, tsindex_global, source_global, m):
+        query = np.array(source_global.values[700 : 700 + m])
+        bulk = tsindex_global.search_varlength(
+            query, 0.6, verification="bulk"
+        )
+        blocked = tsindex_global.search_varlength(
+            query, 0.6, verification="blocked"
+        )
+        per_candidate = tsindex_global.search_varlength(
+            query, 0.6, verification="per_candidate"
+        )
+        for other in (blocked, per_candidate):
+            assert np.array_equal(bulk.positions, other.positions)
+            assert np.array_equal(bulk.distances, other.distances)
+
+    def test_routes_through_chunked_verifier(self, monkeypatch, series_values):
+        """Even with every window a candidate, verification goes through
+        the chunked kernel (peak memory one ``chunk × m`` block), not a
+        one-shot ``sliding_window_view(values, m)[positions]`` gather —
+        and a tiny chunk size changes nothing about the answer."""
+        import repro.core.verification as verification
+
+        source = WindowSource(series_values[:1200], LENGTH, "none")
+        index = TSIndex.from_source(source)
+        m = 16
+        calls = []
+        original = verification.verify_positions
+
+        def tiny_chunks(source, query, positions, epsilon, **kwargs):
+            kwargs["chunk_size"] = 64
+            calls.append(int(np.asarray(positions).size))
+            return original(source, query, positions, epsilon, **kwargs)
+
+        monkeypatch.setattr(verification, "verify_positions", tiny_chunks)
+        query = np.array(series_values[:m])
+        result = index.search_varlength(query, 1e9)  # everything matches
+        assert calls == [source.values.size - m + 1]
+        assert result.positions.size == source.values.size - m + 1
+        assert result.stats.matches == result.positions.size
+
+
+class TestTypedErrors:
     def test_rejects_per_window(self, source_per_window):
         index = TSIndex.from_source(source_per_window)
         with pytest.raises(UnsupportedNormalizationError):
-            search_variable_length(index, np.zeros(10), 0.1)
+            index.search_varlength(np.zeros(10), 0.1)
+
+    def test_rejects_per_window_on_frozen(self, source_per_window):
+        frozen = TSIndex.from_source(source_per_window).freeze()
+        with pytest.raises(UnsupportedNormalizationError):
+            frozen.search_varlength(np.zeros(10), 0.1)
 
     def test_rejects_too_long_query(self, tsindex_global):
-        with pytest.raises(InvalidParameterError, match="exceeds"):
-            search_variable_length(tsindex_global, np.zeros(LENGTH + 1), 0.1)
+        with pytest.raises(IncompatibleQueryError, match="exceeds") as info:
+            tsindex_global.search_varlength(np.zeros(LENGTH + 1), 0.1)
+        assert info.value.expected == LENGTH
+        assert info.value.received == LENGTH + 1
 
     def test_rejects_negative_epsilon(self, tsindex_global):
         with pytest.raises(InvalidParameterError):
-            search_variable_length(tsindex_global, np.zeros(10), -1.0)
+            tsindex_global.search_varlength(np.zeros(10), -1.0)
+
+    def test_incompatible_error_carries_received_length(self, tsindex_global):
+        """Satellite regression: the query-mismatch error used to read
+        ``received=None``; it must name the offending query length."""
+        with pytest.raises(IncompatibleQueryError) as info:
+            tsindex_global.search(np.zeros(LENGTH + 7), 0.1)
+        assert info.value.expected == LENGTH
+        assert info.value.received == LENGTH + 7
+        assert "expected=50" in str(info.value)
+        assert "received=57" in str(info.value)
+        # Higher-dimensional garbage reports its shape instead.
+        with pytest.raises(IncompatibleQueryError) as info:
+            tsindex_global.knn(np.zeros((2, LENGTH)), 3)
+        assert info.value.expected == LENGTH
+        assert info.value.received == (2, LENGTH)
+
+    def test_non_plane_target_raises_typed_error(self):
+        with pytest.raises(UnsupportedCapabilityError, match="no.*search"):
+            execute(
+                object(),
+                QuerySpec(query=np.zeros(8), mode="search", epsilon=0.1),
+            )
+
+
+class TestDeprecatedShim:
+    def test_warns_and_matches_native_kernel(self, tsindex_global, source_global):
+        from repro.extensions import search_variable_length
+
+        query = np.array(source_global.values[300:330])
+        with pytest.warns(DeprecationWarning, match="search_varlength"):
+            shimmed = search_variable_length(tsindex_global, query, 0.4)
+        native = tsindex_global.search_varlength(query, 0.4)
+        assert np.array_equal(shimmed.positions, native.positions)
+        assert np.array_equal(shimmed.distances, native.distances)
+
+    def test_serves_frozen_plane(self, series_values):
+        """The headline bugfix: the shim used to die on FrozenTSIndex
+        with ``AttributeError: '_root'``; it now serves every plane."""
+        from repro.extensions import search_variable_length
+
+        frozen = FrozenTSIndex.build(
+            series_values[:800], LENGTH, normalization="none"
+        )
+        query = np.array(frozen.source.values[100:120])
+        with pytest.warns(DeprecationWarning):
+            result = search_variable_length(frozen, query, 0.0)
+        assert 100 in result.positions
