@@ -114,7 +114,21 @@ from .indices import (
     extended_methods,
 )
 from .live import LiveTwinIndex, WriteAheadLog
+from .obs import (
+    MetricsRegistry,
+    QueryTrace,
+    Tracer,
+    configure_logging,
+    install_null_handler,
+    json_snapshot,
+    to_json,
+    to_prometheus,
+)
 from .query import QuerySpec
+
+# Library logging convention: silent unless the application configures
+# handlers (repro.obs.configure_logging is the documented shortcut).
+install_null_handler()
 
 __version__ = "1.0.0"
 
@@ -136,11 +150,13 @@ __all__ = [
     "KVIndex",
     "KVIndexParams",
     "LiveTwinIndex",
+    "MetricsRegistry",
     "Normalization",
     "QueryCache",
     "QueryEngine",
     "QuerySpec",
     "QueryStats",
+    "QueryTrace",
     "ReproError",
     "SearchResult",
     "SerializationError",
@@ -150,6 +166,7 @@ __all__ = [
     "TSIndex",
     "TSIndexParams",
     "TimeSeries",
+    "Tracer",
     "UnsupportedNormalizationError",
     "WindowSource",
     "WriteAheadLog",
@@ -157,12 +174,17 @@ __all__ = [
     "bulk_load",
     "bulk_load_source",
     "chebyshev_distance",
+    "configure_logging",
     "create_method",
     "euclidean_distance",
     "extended_methods",
+    "install_null_handler",
+    "json_snapshot",
     "load_dataset",
     "load_series",
     "search_batch",
+    "to_json",
+    "to_prometheus",
     "twin_search",
     "__version__",
 ]

@@ -34,6 +34,14 @@ appendable index with WAL recovery::
     python -m repro.cli live query --path ./traffic --position 250 \
         --epsilon 0.5
     python -m repro.cli live stats --path ./traffic
+
+Inspect the observability plane (:mod:`repro.obs`) — the `stats`
+subcommands also take ``--json`` for machine-readable snapshots::
+
+    python -m repro.cli engine stats --index idx.npz --json
+    python -m repro.cli live stats --path ./traffic --json
+    python -m repro.cli obs export --format prometheus
+    python -m repro.cli obs export --format json
 """
 
 from __future__ import annotations
@@ -50,7 +58,9 @@ DEFAULT_SCALE_EEG = 0.1
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8")
 COMMANDS = (
-    ("table1", "table2", "intro", "all") + FIGURES + ("engine", "live")
+    ("table1", "table2", "intro", "all")
+    + FIGURES
+    + ("engine", "live", "obs")
 )
 
 
@@ -290,6 +300,11 @@ def build_engine_parser() -> argparse.ArgumentParser:
         "stats", help="per-shard structural stats of a saved engine"
     )
     stats.add_argument("--index", required=True, help="archive built by `engine build`")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats as one JSON object instead of tables",
+    )
     return parser
 
 
@@ -484,6 +499,11 @@ def build_live_parser() -> argparse.ArgumentParser:
         "stats", help="segment/delta/WAL stats of a live index"
     )
     stats.add_argument("--path", required=True, help="live index directory")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stats as one JSON object instead of tables",
+    )
     return parser
 
 
@@ -560,11 +580,57 @@ def _run_live(argv) -> int:
 
     with LiveTwinIndex.recover(args.path) as live:
         snapshot = live.stats()
+        if args.json:
+            import json
+
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+            return 0
         segment_rows = snapshot.pop("segment_stats")
         print(f"{live!r} normalization={snapshot['normalization']}")
         print(format_table([snapshot]))
         if segment_rows:
             print(format_table(segment_rows))
+    return 0
+
+
+def build_obs_parser() -> argparse.ArgumentParser:
+    """Parser for the ``obs export`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-twin obs",
+        description="Export the process-default metrics registry "
+        "(Prometheus text exposition or a JSON snapshot).",
+    )
+    commands = parser.add_subparsers(dest="obs_command", required=True)
+
+    export = commands.add_parser(
+        "export", help="dump the default metrics registry"
+    )
+    export.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="exposition format (default: prometheus)",
+    )
+    return parser
+
+
+def run_obs(argv) -> int:
+    """Execute one ``obs`` subcommand; returns an exit code.
+
+    A fresh process has an empty default registry, so this is mostly
+    useful after in-process work (or from tools embedding the CLI); it
+    exists so every surface of :mod:`repro.obs` is scriptable.
+    """
+    from .obs import default_registry, to_json, to_prometheus
+
+    args = build_obs_parser().parse_args(argv)
+    registry = default_registry()
+    if args.format == "json":
+        print(to_json(registry))
+    else:
+        # Prometheus exposition of an empty registry is the empty
+        # string; print() still terminates the output with a newline.
+        sys.stdout.write(to_prometheus(registry))
     return 0
 
 
@@ -611,6 +677,15 @@ def _run_engine(argv) -> int:
         return _run_plane_query(_engine_load(args.index), args)
 
     engine = _engine_load(args.index)
+    if args.json:
+        import json
+
+        snapshot = {
+            "normalization": engine.source.normalization.value,
+            "shards": engine.shard_stats(),
+        }
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
     print(f"{engine!r} normalization={engine.source.normalization.value}")
     print(format_table(engine.shard_stats()))
     return 0
@@ -625,8 +700,10 @@ def main(argv=None) -> int:
         return run_engine(argv[1:])
     if argv and argv[0] == "live":
         return run_live(argv[1:])
+    if argv and argv[0] == "obs":
+        return run_obs(argv[1:])
     args = build_parser().parse_args(argv)
-    if args.command in ("engine", "live"):
+    if args.command in ("engine", "live", "obs"):
         # Reached only when the subsystem word was not the first
         # argument (main dispatches argv[0] before this parser runs).
         raise SystemExit(

@@ -36,15 +36,27 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import threading
+import time
 
 from ..core.batch import BatchResult
 from ..core.stats import QueryStats, SearchResult
 from ..exceptions import InvalidParameterError
 from ..indices.base import SubsequenceIndex
+from ..obs.logsetup import get_logger
+from ..obs.metrics import resolve_registry
+from ..obs.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    Tracer,
+    activate_trace,
+    deactivate_trace,
+)
 from ..query import QuerySpec, batch_result, plan
+from ..query.spec import MODES
 from .cache import CacheStats, QueryCache, query_key
 from .registry import IndexRegistry
 from .sharding import ShardedTSIndex
+
+_log = get_logger("repro.engine")
 
 
 @dataclasses.dataclass
@@ -61,11 +73,15 @@ class EngineStats:
     #: per-index structural stats rows (``kind`` distinguishes
     #: ``"sharded"`` engines from ``"live"`` ingestion planes).
     indexes: list[dict]
+    #: queries answered broken down by mode (``search`` / ``knn`` /
+    #: ``exists`` / ``count``; batch members count as ``search``).
+    queries_by_mode: dict = dataclasses.field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """Plain-dict form for report tables and the CLI."""
         return {
             "queries": self.queries,
+            "queries_by_mode": dict(self.queries_by_mode),
             "query_stats": self.query_stats.as_dict(),
             "cache": self.cache.as_dict(),
             "indexes": self.indexes,
@@ -95,6 +111,9 @@ class QueryEngine:
         *,
         cache_capacity: int = 256,
         max_workers: int | None = None,
+        metrics=None,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+        trace_sample: float = 1.0,
     ):
         self._registry = registry if registry is not None else IndexRegistry()
         self._cache = QueryCache(cache_capacity)
@@ -103,7 +122,61 @@ class QueryEngine:
         )
         self._lock = threading.Lock()
         self._queries = 0
+        self._queries_by_mode = {mode: 0 for mode in MODES}
         self._query_stats = QueryStats()
+        self._started = time.time()
+        # ``metrics``: None/True -> the process default registry, False
+        # -> the shared no-op registry (instrumentation off), or an
+        # explicit MetricsRegistry. Metric handles are resolved once
+        # here so the hot path pays no registry lookups.
+        self._metrics = resolve_registry(metrics)
+        self._tracer = Tracer(capacity=trace_capacity, sample=trace_sample)
+        self._instrument()
+
+    def _instrument(self) -> None:
+        registry = self._metrics
+        queries = registry.counter(
+            "repro_engine_queries_total",
+            "Queries answered by the engine, cache hits included.",
+            labels=("mode",),
+        )
+        latency = registry.histogram(
+            "repro_engine_query_seconds",
+            "End-to-end engine query latency in seconds.",
+            labels=("mode",),
+        )
+        self._mode_metrics = {
+            mode: (queries.labels(mode=mode), latency.labels(mode=mode))
+            for mode in MODES
+        }
+        self._index_queries = registry.counter(
+            "repro_engine_index_queries_total",
+            "Queries answered per registered index.",
+            labels=("index",),
+        )
+        # Scrape-time gauges. NOTE: in a shared (default) registry the
+        # callbacks bind to *this* engine — processes serving several
+        # engines should give each its own MetricsRegistry.
+        registry.gauge(
+            "repro_engine_qps",
+            "Mean queries per second since the engine started.",
+        ).set_function(self._qps)
+        for stat in ("hits", "misses", "evictions", "size"):
+            registry.gauge(
+                f"repro_engine_cache_{stat}",
+                f"Result cache {stat} at scrape time.",
+            ).set_function(
+                lambda stat=stat: getattr(self._cache.stats(), stat)
+            )
+        registry.gauge(
+            "repro_engine_cache_hit_rate",
+            "Result cache hit rate at scrape time (hits / lookups).",
+        ).set_function(lambda: self._cache.stats().hit_rate)
+
+    def _qps(self) -> float:
+        with self._lock:
+            queries = self._queries
+        return queries / max(1e-9, time.time() - self._started)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -151,7 +224,7 @@ class QueryEngine:
             # Correctness comes from generation-stamped cache keys (a
             # replaced index's entries become unreachable); the clear
             # just releases their memory promptly.
-            self._cache.clear()
+            self._clear_cache(f"rebuild of {name!r}")
         return index
 
     def add(self, name: str, index, *, overwrite: bool = False):
@@ -160,7 +233,7 @@ class QueryEngine:
         the cache when it may replace an existing name."""
         self._registry.add(name, index, overwrite=overwrite)
         if overwrite:
-            self._cache.clear()
+            self._clear_cache(f"re-registration of {name!r}")
         return index
 
     def add_live(self, name: str, index, *, overwrite: bool = False):
@@ -176,7 +249,7 @@ class QueryEngine:
         if overwrite:
             # As in build(): correctness comes from generation-stamped
             # keys; the clear just releases unreachable entries early.
-            self._cache.clear()
+            self._clear_cache(f"live re-registration of {name!r}")
         return index
 
     def append(self, name: str, readings) -> int:
@@ -203,7 +276,7 @@ class QueryEngine:
         may replace an existing name."""
         index = self._registry.load(name, path, overwrite=overwrite)
         if overwrite:
-            self._cache.clear()
+            self._clear_cache(f"reload of {name!r}")
         return index
 
     def evict(self, name: str) -> ShardedTSIndex:
@@ -212,8 +285,12 @@ class QueryEngine:
         # Cached entries key on the index name; a blanket clear keeps
         # eviction O(1) and correctness obvious (a rebuilt index under
         # the same name must never serve the old index's results).
-        self._cache.clear()
+        self._clear_cache(f"eviction of {name!r}")
         return engine
+
+    def _clear_cache(self, reason: str) -> None:
+        self._cache.clear()
+        _log.debug("query cache invalidated: %s", reason)
 
     # ------------------------------------------------------------------
     # Serving
@@ -249,54 +326,74 @@ class QueryEngine:
         under a key the rebuilt index never reads — the new index can
         never serve the old one's results.
         """
-        index, generation = self._registry.get_with_generation(name)
-        spec = QuerySpec(
-            query=query,
-            mode="search",
-            epsilon=epsilon,
-            domain=domain,
-            options={"verification": verification},
-        )
-        executed = plan(index, spec)
+        counter, latency = self._mode_metrics["search"]
+        trace = self._tracer.start("search", index=name)
+        token = activate_trace(trace) if trace else None
+        started = time.perf_counter()
+        try:
+            index, generation = self._registry.get_with_generation(name)
+            spec = QuerySpec(
+                query=query,
+                mode="search",
+                epsilon=epsilon,
+                domain=domain,
+                options={"verification": verification},
+            )
+            with trace.span("plan"):
+                executed = plan(index, spec)
 
-        def execute() -> SearchResult:
-            result = executed.execute(executor=self._pool)
-            self._record(result.stats)
-            return result
+            def execute() -> SearchResult:
+                with trace.span("execute"):
+                    result = executed.execute(executor=self._pool)
+                self._record(result.stats)
+                return result
 
-        self._count_query()
-        if not use_cache:
-            return execute()
-        key = self._spec_key(spec, executed, name, generation)
-        return self._cache.get_or_compute(key, execute)
+            self._count_query("search")
+            if not use_cache:
+                return execute()
+            key = self._spec_key(spec, executed, name, generation)
+            return self._cache.get_or_compute(key, execute)
+        finally:
+            latency.observe(time.perf_counter() - started)
+            counter.inc()
+            self._index_queries.labels(index=name).inc()
+            if token is not None:
+                deactivate_trace(token)
+            self._tracer.finish(trace)
 
     def knn(self, name: str, query, k: int, *, exclude=None) -> SearchResult:
         """k-NN twin query against the named plane (never cached: the
         result depends on ``k`` and ``exclude``, and k-NN traffic rarely
         repeats exactly). Planes without a native k-NN kernel are
         served by the planner's exact scan."""
-        index = self._registry.get(name)
-        spec = QuerySpec(query=query, mode="knn", k=k, exclude=exclude)
-        self._count_query()
-        result = plan(index, spec).execute(executor=self._pool)
-        self._record(result.stats)
-        return result
+        def run() -> SearchResult:
+            index = self._registry.get(name)
+            spec = QuerySpec(query=query, mode="knn", k=k, exclude=exclude)
+            result = plan(index, spec).execute(executor=self._pool)
+            self._record(result.stats)
+            return result
+
+        return self._serve("knn", name, run)
 
     def exists(self, name: str, query, epsilon: float) -> bool:
         """Whether the named plane holds any twin of ``query`` within
         ``epsilon`` (early-exit on planes with a native ``exists``)."""
-        index = self._registry.get(name)
-        spec = QuerySpec(query=query, mode="exists", epsilon=epsilon)
-        self._count_query()
-        return plan(index, spec).execute(executor=self._pool)
+        def run() -> bool:
+            index = self._registry.get(name)
+            spec = QuerySpec(query=query, mode="exists", epsilon=epsilon)
+            return plan(index, spec).execute(executor=self._pool)
+
+        return self._serve("exists", name, run)
 
     def count(self, name: str, query, epsilon: float) -> int:
         """Number of twins in the named plane (non-materializing where
         the plane or the planner supports it)."""
-        index = self._registry.get(name)
-        spec = QuerySpec(query=query, mode="count", epsilon=epsilon)
-        self._count_query()
-        return plan(index, spec).execute(executor=self._pool)
+        def run() -> int:
+            index = self._registry.get(name)
+            spec = QuerySpec(query=query, mode="count", epsilon=epsilon)
+            return plan(index, spec).execute(executor=self._pool)
+
+        return self._serve("count", name, run)
 
     def batch(
         self,
@@ -319,6 +416,13 @@ class QueryEngine:
         # Key on the *effective* verification mode so batch() and
         # query() share cache entries for the same logical query.
         search_options.setdefault("verification", "bulk")
+        counter, latency = self._mode_metrics["batch"]
+        # Member queries run on pool threads, which do not inherit the
+        # trace context variable — the batch gets one envelope trace.
+        trace = self._tracer.start("batch", index=name,
+                                   queries=len(queries))
+        token = activate_trace(trace) if trace else None
+        started = time.perf_counter()
 
         def one(query) -> SearchResult:
             self._count_query()
@@ -340,11 +444,21 @@ class QueryEngine:
             key = self._spec_key(spec, executed, name, generation)
             return self._cache.get_or_compute(key, execute)
 
-        if len(queries) > 1:
-            results = list(self._pool.map(one, queries))
-        else:
-            results = [one(query) for query in queries]
-        return batch_result(results, epsilon)
+        try:
+            with trace.span("execute"):
+                if len(queries) > 1:
+                    results = list(self._pool.map(one, queries))
+                else:
+                    results = [one(query) for query in queries]
+            with trace.span("merge"):
+                return batch_result(results, epsilon)
+        finally:
+            latency.observe(time.perf_counter() - started)
+            counter.inc()
+            self._index_queries.labels(index=name).inc()
+            if token is not None:
+                deactivate_trace(token)
+            self._tracer.finish(trace)
 
     @staticmethod
     def _spec_key(spec: QuerySpec, executed, name: str, generation) -> tuple:
@@ -362,24 +476,65 @@ class QueryEngine:
             **{str(k): v for k, v in executed.options.items()},
         )
 
+    def _serve(self, mode: str, name: str, run):
+        """Wrap one serving call in the per-mode instrumentation: a
+        (possibly sampled-out) trace, the latency histogram, and the
+        mode / index counters."""
+        counter, latency = self._mode_metrics[mode]
+        trace = self._tracer.start(mode, index=name)
+        token = activate_trace(trace) if trace else None
+        started = time.perf_counter()
+        try:
+            self._count_query(mode)
+            return run()
+        finally:
+            latency.observe(time.perf_counter() - started)
+            counter.inc()
+            self._index_queries.labels(index=name).inc()
+            if token is not None:
+                deactivate_trace(token)
+            self._tracer.finish(trace)
+
     # ------------------------------------------------------------------
-    # Stats
+    # Stats and observability
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
         """A consistent snapshot of serving, cache and index stats."""
         with self._lock:
             queries = self._queries
+            queries_by_mode = dict(self._queries_by_mode)
             query_stats = dataclasses.replace(self._query_stats)
         return EngineStats(
             queries=queries,
             query_stats=query_stats,
             cache=self._cache.stats(),
             indexes=self._registry.stats_all(),
+            queries_by_mode=queries_by_mode,
         )
 
-    def _count_query(self) -> None:
+    def metrics(self):
+        """The :class:`~repro.obs.MetricsRegistry` this engine records
+        into (export it with :func:`repro.obs.to_prometheus` or
+        :func:`repro.obs.to_json`)."""
+        return self._metrics
+
+    @property
+    def tracer(self):
+        """The engine's :class:`~repro.obs.Tracer` (sampling policy +
+        ring buffer of recent traces)."""
+        return self._tracer
+
+    def traces(self) -> list:
+        """Recently completed :class:`~repro.obs.QueryTrace` objects,
+        oldest first (bounded by the constructor's ``trace_capacity``)."""
+        return self._tracer.traces()
+
+    def _count_query(self, mode: str = "search") -> None:
         with self._lock:
             self._queries += 1
+            self._queries_by_mode[mode] = (
+                self._queries_by_mode.get(mode, 0) + 1
+            )
 
     def _record(self, stats: QueryStats) -> None:
         with self._lock:

@@ -43,6 +43,8 @@ from ..core.tsindex import TSIndex, TSIndexParams
 from ..core.windows import WindowSource
 from ..exceptions import InvalidParameterError
 from ..indices.base import SubsequenceIndex
+from ..obs.metrics import HandleCache
+from ..obs.trace import current_trace
 from ..query.capabilities import (
     CAP_BATCHED_KERNEL,
     CAP_COUNT,
@@ -67,6 +69,21 @@ from ..query.varlength import (
 #: A shard smaller than this many windows is pointless overhead; the
 #: automatic shard count keeps every shard at least this large.
 MIN_SHARD_WINDOWS = 256
+
+#: Fan-out instrumentation (process default registry): per-shard
+#: search latency and the cost of the final offset merge.
+_metrics = HandleCache(
+    lambda registry: (
+        registry.histogram(
+            "repro_shard_search_seconds",
+            "Per-shard search latency during fan-out, in seconds.",
+        ),
+        registry.histogram(
+            "repro_shard_merge_seconds",
+            "Cross-shard result merge latency, in seconds.",
+        ),
+    )
+)
 
 #: Below this many total windows, frozen per-shard *batched* traversal
 #: is slower than the plain per-query loop (its fixed per-level setup
@@ -368,14 +385,25 @@ class ShardedTSIndex(SubsequenceIndex):
             )
         epsilon = check_non_negative(epsilon, name="epsilon")
         query = prepare_values(self._source, query)
+        shard_seconds, merge_seconds = _metrics()
+        # Captured here because executor worker threads do not inherit
+        # the trace context variable — the closure carries it across.
+        trace = current_trace()
 
-        def one(tree: TSIndex) -> SearchResult:
-            return tree.search(query, epsilon, verification=verification)
+        def one(indexed) -> SearchResult:
+            shard, tree = indexed
+            with trace.span("execute", shard=shard):
+                with shard_seconds.time():
+                    return tree.search(
+                        query, epsilon, verification=verification
+                    )
 
         # Position re-offsetting happens in the shared merge kernel,
         # which pairs each result back with its span start.
-        results = self._map(executor, one, self._shards)
-        return merge_offset_search(zip(self._starts, results))
+        results = self._map(executor, one, list(enumerate(self._shards)))
+        with trace.span("merge"):
+            with merge_seconds.time():
+                return merge_offset_search(zip(self._starts, results))
 
     def search_varlength(
         self,
@@ -404,23 +432,29 @@ class ShardedTSIndex(SubsequenceIndex):
                 query, epsilon, verification=verification, executor=executor
             )
 
-        def one(tree) -> SearchResult:
-            return prefix_search_part(
-                tree, query, epsilon, verification=verification
-            )
+        trace = current_trace()
 
-        results = self._map(executor, one, self._shards)
+        def one(indexed) -> SearchResult:
+            shard, tree = indexed
+            with trace.span("execute", shard=shard):
+                return prefix_search_part(
+                    tree, query, epsilon, verification=verification
+                )
+
+        results = self._map(executor, one, list(enumerate(self._shards)))
         parts = list(zip(self._starts, results))
         tail = tail_positions(self._source, query.size)
-        parts.append(
-            (
-                0,
-                verify_prefix(
-                    self._source, query, tail, epsilon, mode=verification
-                ),
+        with trace.span("verify", tail=len(tail)):
+            parts.append(
+                (
+                    0,
+                    verify_prefix(
+                        self._source, query, tail, epsilon, mode=verification
+                    ),
+                )
             )
-        )
-        return merge_offset_search(parts)
+        with trace.span("merge"):
+            return merge_offset_search(parts)
 
     def count(
         self,

@@ -65,6 +65,9 @@ from ..exceptions import (
     UnsupportedNormalizationError,
 )
 from ..indices.base import SubsequenceIndex
+from ..obs.logsetup import get_logger
+from ..obs.metrics import HandleCache
+from ..obs.trace import current_trace
 from ..query.capabilities import (
     CAP_COUNT,
     CAP_EXECUTOR,
@@ -101,6 +104,48 @@ DEFAULT_MAX_SEGMENTS = 8
 
 #: Journal file name inside a live directory.
 WAL_NAME = "wal.log"
+
+_log = get_logger("repro.live")
+
+#: Lifecycle instrumentation (process default registry). The ingest-lag
+#: gauge and the lifecycle counters are process-wide: a process serving
+#: several live planes should give each its own registry via
+#: :func:`repro.obs.set_default_registry`, or read per-plane numbers
+#: from :meth:`LiveTwinIndex.stats`.
+_metrics = HandleCache(
+    lambda registry: {
+        "readings": registry.counter(
+            "repro_live_readings_total",
+            "Readings accepted by live-plane appends.",
+        ),
+        "lag": registry.gauge(
+            "repro_live_ingest_lag_readings",
+            "Ingest lag: readings buffered past the sealed frontier "
+            "(indexed in the delta or still completing windows, not "
+            "yet sealed into a segment).",
+        ),
+        "seal_seconds": registry.histogram(
+            "repro_live_seal_seconds",
+            "Delta seal duration (freeze + archive + manifest commit "
+            "+ WAL truncation), in seconds.",
+        ),
+        "seals": registry.counter(
+            "repro_live_seals_total", "Delta seals performed."
+        ),
+        "compaction_seconds": registry.histogram(
+            "repro_live_compaction_seconds",
+            "Adjacent-segment merge duration, in seconds.",
+        ),
+        "compactions": registry.counter(
+            "repro_live_compactions_total",
+            "Segment compactions committed.",
+        ),
+        "recoveries": registry.counter(
+            "repro_live_recoveries_total",
+            "Live-plane recoveries completed.",
+        ),
+    }
+)
 
 
 @register_plane(
@@ -494,6 +539,13 @@ class LiveTwinIndex(SubsequenceIndex):
                         os.unlink(os.path.join(path, name))
                     except OSError:
                         pass
+        _metrics()["recoveries"].inc()
+        _log.info(
+            "recovered live plane at %r: %d segments, %d journal "
+            "readings replayed%s",
+            path, len(loaded), wal_values.size,
+            "" if _clean else " (torn WAL tail dropped)",
+        )
         return index
 
     # ------------------------------------------------------------------
@@ -666,6 +718,7 @@ class LiveTwinIndex(SubsequenceIndex):
         compaction on the way out.
         """
         readings = _coerce_readings(readings, allow_empty=False)
+        metrics = _metrics()
         with self._lock:
             if self._closed:
                 raise InvalidParameterError(
@@ -685,6 +738,8 @@ class LiveTwinIndex(SubsequenceIndex):
             self._size = needed
             added = self._absorb(previous_windows)
             self._mutations += 1
+            metrics["readings"].inc(readings.size)
+            metrics["lag"].set(self._size - self._delta_start)
             return added
 
     def seal(self) -> bool:
@@ -855,30 +910,43 @@ class LiveTwinIndex(SubsequenceIndex):
         archive, then the manifest, then truncate the journal — each
         step atomic, so a crash between any two recovers cleanly.
         """
+        metrics = _metrics()
+        start = self._delta_start
         stop = self._delta_start + self._delta_count
-        detached = self._source.detach(self._delta_start, stop)
-        frozen = FrozenTSIndex.from_tree(
-            detached,
-            self._delta._root,
-            self._params,
-            dataclasses.replace(self._delta._build_stats),
-        )
-        segment = Segment(start=self._delta_start, index=frozen)
-        if self._directory is not None:
-            segment.file = f"seg-{segment.start:012d}-{stop:012d}.npz"
-            self._save_segment_archive(frozen, segment.file)
-        self._segments.append(segment)
-        self._delta = None
-        self._delta_count = 0
-        self._delta_start = stop
-        self._seals += 1
-        if self._directory is not None:
-            self._write_manifest_locked()
-            self._wal.rewrite(
-                start=stop, values=self._buffer[stop : self._size]
+        with metrics["seal_seconds"].time():
+            detached = self._source.detach(self._delta_start, stop)
+            frozen = FrozenTSIndex.from_tree(
+                detached,
+                self._delta._root,
+                self._params,
+                dataclasses.replace(self._delta._build_stats),
             )
+            segment = Segment(start=self._delta_start, index=frozen)
+            if self._directory is not None:
+                segment.file = f"seg-{segment.start:012d}-{stop:012d}.npz"
+                self._save_segment_archive(frozen, segment.file)
+            self._segments.append(segment)
+            self._delta = None
+            self._delta_count = 0
+            self._delta_start = stop
+            self._seals += 1
+            if self._directory is not None:
+                self._write_manifest_locked()
+                self._wal.rewrite(
+                    start=stop, values=self._buffer[stop : self._size]
+                )
+        metrics["seals"].inc()
+        metrics["lag"].set(self._size - self._delta_start)
+        _log.info(
+            "sealed segment [%d, %d) (%d windows, %d segments total)",
+            start, stop, stop - start, len(self._segments),
+        )
         if len(self._segments) > self._max_segments:
             if self._background:
+                _log.debug(
+                    "scheduling background compaction (%d segments > "
+                    "max %d)", len(self._segments), self._max_segments,
+                )
                 self._compactor.schedule()
             else:
                 self._compact_loop()
@@ -897,7 +965,9 @@ class LiveTwinIndex(SubsequenceIndex):
                     self._segments[pair],
                     self._segments[pair + 1],
                 )
-            merged = merge_segments(first, second, self._params)
+            metrics = _metrics()
+            with metrics["compaction_seconds"].time():
+                merged = merge_segments(first, second, self._params)
             if self._directory is not None:
                 merged.file = (
                     f"seg-{merged.start:012d}-{merged.stop:012d}.npz"
@@ -925,6 +995,13 @@ class LiveTwinIndex(SubsequenceIndex):
                     continue
                 self._segments[position : position + 2] = [merged]
                 self._compactions += 1
+                metrics["compactions"].inc()
+                _log.info(
+                    "compacted segments [%d, %d) + [%d, %d) -> [%d, %d) "
+                    "(%d segments remain)",
+                    first.start, first.stop, second.start, second.stop,
+                    merged.start, merged.stop, len(self._segments),
+                )
                 if self._directory is not None:
                     self._write_manifest_locked()
                     for stale in (first.file, second.file):
@@ -1016,10 +1093,15 @@ class LiveTwinIndex(SubsequenceIndex):
                 )
             )
 
+        # Captured here because executor worker threads do not inherit
+        # the trace context variable — the closure carries it across.
+        trace = current_trace()
+
         def one(segment: Segment) -> SearchResult:
-            return segment.index.search(
-                prepared, epsilon, verification=verification
-            )
+            with trace.span("execute", segment=segment.start):
+                return segment.index.search(
+                    prepared, epsilon, verification=verification
+                )
 
         results = map_with_executor(executor, one, segments)
         parts = [
@@ -1031,7 +1113,8 @@ class LiveTwinIndex(SubsequenceIndex):
         # Segments ascend by span and the delta covers the tail, so the
         # shared offset merge yields a globally position-sorted result —
         # exactly the monolithic one.
-        return merge_offset_search(parts)
+        with trace.span("merge"):
+            return merge_offset_search(parts)
 
     def search_varlength(
         self,

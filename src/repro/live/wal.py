@@ -36,6 +36,28 @@ import numpy as np
 
 from .._util import FLOAT_DTYPE
 from ..exceptions import SerializationError
+from ..obs.logsetup import get_logger
+from ..obs.metrics import HandleCache
+
+_log = get_logger("repro.live.wal")
+
+#: Journal latency instrumentation (process default registry): the
+#: full record append (serialize + write + flush [+ fsync]) and the
+#: fsync syscall alone, which dominates in power-loss mode.
+_metrics = HandleCache(
+    lambda registry: (
+        registry.histogram(
+            "repro_live_wal_append_seconds",
+            "WAL record append latency (write + flush + optional "
+            "fsync), in seconds.",
+        ),
+        registry.histogram(
+            "repro_live_wal_fsync_seconds",
+            "WAL fsync latency, in seconds (power-loss durability "
+            "mode only).",
+        ),
+    )
+)
 
 #: WAL file magic (6 bytes; the trailing digit is the format version).
 WAL_MAGIC = b"RLWAL1"
@@ -108,10 +130,14 @@ class WriteAheadLog:
         """Durably journal one batch of readings (before indexing)."""
         if self._file is None:
             raise SerializationError(f"WAL {self._path!r} is closed")
-        payload = np.ascontiguousarray(values, dtype=FLOAT_DTYPE).tobytes()
-        record = _RECORD.pack(len(payload) // 8, zlib.crc32(payload))
-        self._file.write(record + payload)
-        self._flush()
+        append_seconds, _ = _metrics()
+        with append_seconds.time():
+            payload = np.ascontiguousarray(
+                values, dtype=FLOAT_DTYPE
+            ).tobytes()
+            record = _RECORD.pack(len(payload) // 8, zlib.crc32(payload))
+            self._file.write(record + payload)
+            self._flush()
 
     def rewrite(self, *, start: int, values) -> None:
         """Atomically replace the journal with one holding ``values``
@@ -147,7 +173,9 @@ class WriteAheadLog:
     def _flush(self) -> None:
         self._file.flush()
         if self._fsync:
-            os.fsync(self._file.fileno())
+            _, fsync_seconds = _metrics()
+            with fsync_seconds.time():
+                os.fsync(self._file.fileno())
 
     def __repr__(self) -> str:
         state = "closed" if self._file is None else "open"
@@ -199,6 +227,12 @@ class WriteAheadLog:
             if chunks
             else np.empty(0, dtype=FLOAT_DTYPE)
         )
+        if not clean:
+            _log.warning(
+                "WAL %r ended in a torn or corrupted record; dropping "
+                "the tail (replayed %d durable readings from offset %d)",
+                path, values.size, int(start),
+            )
         return int(start), values, clean
 
 

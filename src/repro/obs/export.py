@@ -1,0 +1,152 @@
+"""Exposition formats for a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Two formats, both computed from the same :meth:`MetricsRegistry.collect
+<repro.obs.metrics.MetricsRegistry.collect>` walk:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``_bucket{le=...}`` / ``_sum`` /
+  ``_count`` series for histograms), ready to serve from a
+  ``/metrics`` endpoint;
+* :func:`to_json` / :func:`json_snapshot` — a stable JSON document
+  with one entry per metric, including derived p50/p90/p99 estimates
+  for histograms so dashboards need no bucket math.
+
+Output is deterministic: metrics sort by name, label children keep
+insertion order, floats render via ``repr`` (shortest round-trip form).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+_INF = float("inf")
+
+
+def _format_value(value: float) -> str:
+    if value == _INF:
+        return "+Inf"
+    if value == -_INF:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r'\"')
+        .replace("\n", r"\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _label_str(names, values, extra: str = "") -> str:
+    parts = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry) -> str:
+    """Render ``registry`` in the Prometheus text exposition format
+    (version 0.0.4). Returns a string ending in a newline; an empty
+    registry renders to an empty string."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        samples = metric.samples()
+        if not samples:
+            continue
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        names = metric.label_names
+        for values, leaf in samples:
+            if metric.kind == "histogram":
+                counts, total_sum, total_count = leaf.snapshot()
+                cumulative = 0
+                for bound, count in zip(
+                    list(leaf.buckets) + [_INF], counts
+                ):
+                    cumulative += count
+                    le = _label_str(
+                        names, values,
+                        f'le="{_format_value(bound)}"',
+                    )
+                    lines.append(
+                        f"{metric.name}_bucket{le} {cumulative}"
+                    )
+                suffix = _label_str(names, values)
+                lines.append(
+                    f"{metric.name}_sum{suffix} "
+                    f"{_format_value(total_sum)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{suffix} {total_count}"
+                )
+            else:
+                suffix = _label_str(names, values)
+                lines.append(
+                    f"{metric.name}{suffix} "
+                    f"{_format_value(leaf.value)}"
+                )
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def json_snapshot(registry) -> dict:
+    """``registry`` as a JSON-ready dict: metadata plus one entry per
+    metric. Histogram entries include bucket bounds/counts and derived
+    p50/p90/p99."""
+    metrics = []
+    for metric in registry.collect():
+        entry = {
+            "name": metric.name,
+            "type": metric.kind,
+            "help": metric.help,
+            "labels": list(metric.label_names),
+            "samples": [],
+        }
+        for values, leaf in metric.samples():
+            labels = dict(zip(metric.label_names, values))
+            if metric.kind == "histogram":
+                counts, total_sum, total_count = leaf.snapshot()
+                sample = {
+                    "labels": labels,
+                    "count": total_count,
+                    "sum": total_sum,
+                    "buckets": [
+                        {"le": bound, "count": count}
+                        for bound, count in zip(leaf.buckets, counts)
+                    ],
+                    "inf_count": counts[-1],
+                }
+                sample.update(leaf.percentiles())
+            else:
+                sample = {"labels": labels, "value": leaf.value}
+            entry["samples"].append(sample)
+        metrics.append(entry)
+    return {
+        "registry": registry.name,
+        "exported_unix": time.time(),
+        "age_seconds": registry.age_seconds,
+        "metrics": metrics,
+    }
+
+
+def to_json(registry, indent: int = 2) -> str:
+    """:func:`json_snapshot` serialized with sorted keys (stable
+    output for golden tests and diffs)."""
+    return json.dumps(
+        json_snapshot(registry), indent=indent, sort_keys=True
+    )

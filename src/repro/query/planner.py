@@ -35,6 +35,8 @@ from .._util import (
 )
 from ..core.stats import QueryStats, SearchResult
 from ..exceptions import IndexNotBuiltError, UnsupportedCapabilityError
+from ..obs.metrics import HandleCache
+from ..obs.trace import current_trace
 from .capabilities import (
     CAP_BATCHED_KERNEL,
     CAP_COUNT,
@@ -53,6 +55,25 @@ from .varlength import is_prefix_query, scan_prefix_knn, scan_prefix_search
 #: Windows per block in the synthesized scan kernels (bounds the
 #: temporary ``(block, l)`` matrix regardless of index size).
 SCAN_BLOCK = 4096
+
+#: Planner counters (recorded into the process default registry):
+#: how many plans ran on a native plane kernel vs. a synthesized one,
+#: and how many dispatched to the variable-length prefix path.
+_metrics = HandleCache(
+    lambda registry: (
+        registry.counter(
+            "repro_planner_plans_total",
+            "Query plans produced, by mode and whether the mode runs "
+            "on a native plane kernel.",
+            labels=("mode", "native"),
+        ),
+        registry.counter(
+            "repro_planner_varlength_plans_total",
+            "Query plans dispatched to the variable-length prefix "
+            "kernels (query length m < indexed window length l).",
+        ),
+    )
+)
 
 
 # ----------------------------------------------------------------------
@@ -175,15 +196,17 @@ class QueryPlan:
         ones.
         """
         if self.spec.domain == "raw":
-            try:
-                source = self.index.source
-            except IndexNotBuiltError:
-                # A mutable plane before its first full window (live):
-                # nothing is indexed yet, and such planes reject the
-                # GLOBAL regime, so the raw→index mapping is the
-                # identity — the kernels validate the values themselves.
-                return self.spec.query_list()
-            return list(self.spec.prepare(source).queries)
+            with current_trace().span("prepare", domain="raw"):
+                try:
+                    source = self.index.source
+                except IndexNotBuiltError:
+                    # A mutable plane before its first full window
+                    # (live): nothing is indexed yet, and such planes
+                    # reject the GLOBAL regime, so the raw→index
+                    # mapping is the identity — the kernels validate
+                    # the values themselves.
+                    return self.spec.query_list()
+                return list(self.spec.prepare(source).queries)
         return self.spec.query_list()
 
     def _call_options(self, executor) -> dict:
@@ -374,6 +397,10 @@ def plan(index, spec: QuerySpec) -> QueryPlan:
         # ``batched`` parameterize the search kernels only, and no
         # plane's native knn accepts them either.
         options = {}
+    plans_total, varlength_total = _metrics()
+    plans_total.labels(mode=spec.mode, native=str(native).lower()).inc()
+    if varlength:
+        varlength_total.inc()
     return QueryPlan(
         index=index,
         spec=spec,

@@ -1,0 +1,136 @@
+"""Golden tests for the repro.obs exporters: the Prometheus text
+exposition parses line-by-line and the JSON snapshot round-trips."""
+
+import json
+import math
+
+from repro.obs import MetricsRegistry, json_snapshot, to_json, to_prometheus
+
+
+def _populated_registry():
+    registry = MetricsRegistry("golden")
+    queries = registry.counter(
+        "repro_engine_queries_total",
+        "Queries served, by mode.",
+        labels=("mode",),
+    )
+    queries.labels(mode="search").inc(7)
+    queries.labels(mode="knn").inc(2)
+    lag = registry.gauge(
+        "repro_live_ingest_lag_readings", "Un-sealed readings."
+    )
+    lag.set(42)
+    latency = registry.histogram(
+        "repro_engine_query_seconds",
+        "Query latency.",
+        buckets=(0.001, 0.01, 0.1),
+    )
+    for value in (0.0005, 0.005, 0.05, 0.5):
+        latency.observe(value)
+    return registry
+
+
+def _parse_prometheus(text):
+    """Minimal exposition-format parser: returns ({name: type},
+    {sample_line_name_and_labels: value})."""
+    types, samples = {}, {}
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            types[name] = kind
+        elif line.startswith("# HELP "):
+            assert line.count(" ") >= 3
+        elif line:
+            key, _, value = line.rpartition(" ")
+            samples[key] = float(value)
+    return types, samples
+
+
+class TestPrometheusExport:
+    def test_empty_registry_exports_empty_string(self):
+        assert to_prometheus(MetricsRegistry("empty")) == ""
+
+    def test_exposition_parses_and_is_complete(self):
+        text = to_prometheus(_populated_registry())
+        types, samples = _parse_prometheus(text)
+        assert types == {
+            "repro_engine_queries_total": "counter",
+            "repro_live_ingest_lag_readings": "gauge",
+            "repro_engine_query_seconds": "histogram",
+        }
+        assert samples['repro_engine_queries_total{mode="search"}'] == 7
+        assert samples['repro_engine_queries_total{mode="knn"}'] == 2
+        assert samples["repro_live_ingest_lag_readings"] == 42
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus(_populated_registry())
+        _, samples = _parse_prometheus(text)
+        assert samples['repro_engine_query_seconds_bucket{le="0.001"}'] == 1
+        assert samples['repro_engine_query_seconds_bucket{le="0.01"}'] == 2
+        assert samples['repro_engine_query_seconds_bucket{le="0.1"}'] == 3
+        assert samples['repro_engine_query_seconds_bucket{le="+Inf"}'] == 4
+        assert samples["repro_engine_query_seconds_count"] == 4
+        assert math.isclose(
+            samples["repro_engine_query_seconds_sum"], 0.5555
+        )
+
+    def test_help_lines_escape_newlines(self):
+        registry = MetricsRegistry("esc")
+        registry.counter("x_total", "Line one.\nLine two.")
+        text = to_prometheus(registry)
+        assert "# HELP x_total Line one.\\nLine two." in text
+
+    def test_label_values_escape_quotes_and_backslashes(self):
+        registry = MetricsRegistry("esc")
+        family = registry.counter("x_total", "X.", labels=("path",))
+        family.labels(path='a"b\\c').inc()
+        text = to_prometheus(registry)
+        assert 'x_total{path="a\\"b\\\\c"} 1' in text
+
+
+class TestJSONExport:
+    def test_round_trips_through_json(self):
+        registry = _populated_registry()
+        parsed = json.loads(to_json(registry))
+        assert parsed == json_snapshot(registry) or (
+            # exported_unix/age differ between the two calls; compare
+            # everything else.
+            {k: v for k, v in parsed.items()
+             if k not in ("exported_unix", "age_seconds")}
+            == {k: v for k, v in json_snapshot(registry).items()
+                if k not in ("exported_unix", "age_seconds")}
+        )
+
+    def test_snapshot_structure_is_stable(self):
+        snapshot = json_snapshot(_populated_registry())
+        assert snapshot["registry"] == "golden"
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        assert by_name["repro_engine_queries_total"]["type"] == "counter"
+        search = next(
+            s
+            for s in by_name["repro_engine_queries_total"]["samples"]
+            if s["labels"] == {"mode": "search"}
+        )
+        assert search["value"] == 7
+
+    def test_histogram_sample_reports_percentiles(self):
+        snapshot = json_snapshot(_populated_registry())
+        hist = next(
+            m
+            for m in snapshot["metrics"]
+            if m["name"] == "repro_engine_query_seconds"
+        )
+        (sample,) = hist["samples"]
+        assert sample["count"] == 4
+        assert math.isclose(sample["sum"], 0.5555)
+        assert {"p50", "p90", "p99"} <= set(sample)
+        assert sample["p50"] <= sample["p90"] <= sample["p99"]
+
+    def test_output_is_deterministic(self):
+        registry = _populated_registry()
+        first = json.loads(to_json(registry))
+        second = json.loads(to_json(registry))
+        first.pop("exported_unix"), second.pop("exported_unix")
+        first.pop("age_seconds"), second.pop("age_seconds")
+        assert first == second

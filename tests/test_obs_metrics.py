@@ -1,0 +1,255 @@
+"""Unit tests for the repro.obs metrics core (counters, gauges,
+histograms, labels, registries, null objects, handle caching)."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    default_registry,
+    resolve_registry,
+    set_default_registry,
+)
+from repro.obs.metrics import HandleCache
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry("test")
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("requests_total", "Requests.")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self, registry):
+        counter = registry.counter("requests_total", "Requests.")
+        with pytest.raises(InvalidParameterError):
+            counter.inc(-1)
+
+    def test_labeled_children_are_independent(self, registry):
+        family = registry.counter("hits_total", "Hits.", labels=("mode",))
+        family.labels(mode="search").inc(2)
+        family.labels(mode="knn").inc()
+        assert family.labels(mode="search").value == 2
+        assert family.labels(mode="knn").value == 1
+
+    def test_labels_get_or_create_is_stable(self, registry):
+        family = registry.counter("hits_total", "Hits.", labels=("mode",))
+        assert family.labels(mode="x") is family.labels(mode="x")
+
+    def test_leaf_rejects_labels_call(self, registry):
+        counter = registry.counter("plain_total", "Plain.")
+        with pytest.raises(InvalidParameterError):
+            counter.labels(mode="x")
+
+    def test_family_rejects_direct_increment(self, registry):
+        family = registry.counter("hits_total", "Hits.", labels=("mode",))
+        with pytest.raises(InvalidParameterError):
+            family.inc()
+
+    def test_labels_must_match_declared_names(self, registry):
+        family = registry.counter("hits_total", "Hits.", labels=("mode",))
+        with pytest.raises(InvalidParameterError):
+            family.labels(other="x")
+
+    def test_concurrent_increments_are_exact(self, registry):
+        counter = registry.counter("spins_total", "Spins.")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc() for _ in range(2000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8 * 2000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("depth", "Depth.")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_callback_gauge_evaluates_at_read(self, registry):
+        state = {"n": 1}
+        gauge = registry.gauge("lag", "Lag.")
+        gauge.set_function(lambda: state["n"])
+        assert gauge.value == 1
+        state["n"] = 7
+        assert gauge.value == 7
+
+    def test_set_clears_callback(self, registry):
+        gauge = registry.gauge("lag", "Lag.")
+        gauge.set_function(lambda: 99)
+        gauge.set(3)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        hist = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        counts, total, count = hist.snapshot()
+        assert counts == [1, 1, 1]  # <=0.1, <=1.0, +Inf
+        assert count == 3
+        assert total == pytest.approx(5.55)
+
+    def test_default_buckets_are_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_rejects_unsorted_buckets(self, registry):
+        with pytest.raises(InvalidParameterError):
+            registry.histogram("bad", "Bad.", buckets=(1.0, 0.5))
+
+    def test_quantiles_interpolate(self, registry):
+        hist = registry.histogram(
+            "lat_seconds", "Latency.", buckets=(1.0, 2.0, 4.0)
+        )
+        for value in (0.5,) * 50 + (1.5,) * 40 + (3.0,) * 10:
+            hist.observe(value)
+        pcts = hist.percentiles()
+        assert 0.0 < pcts["p50"] <= 1.0
+        assert 1.0 < pcts["p90"] <= 2.0
+        assert 2.0 < pcts["p99"] <= 4.0
+
+    def test_empty_quantile_is_zero(self, registry):
+        hist = registry.histogram("lat_seconds", "Latency.")
+        assert hist.quantile(0.5) == 0.0
+
+    def test_timer_records_one_observation(self, registry):
+        hist = registry.histogram("lat_seconds", "Latency.")
+        with hist.time():
+            pass
+        _, total, count = hist.snapshot()
+        assert count == 1
+        assert total >= 0.0
+
+    def test_labeled_children_inherit_buckets(self, registry):
+        family = registry.histogram(
+            "lat_seconds", "Latency.", labels=("mode",), buckets=(0.5, 2.0)
+        )
+        child = family.labels(mode="search")
+        assert child.buckets == (0.5, 2.0)
+
+    def test_concurrent_observations_are_exact(self, registry):
+        hist = registry.histogram("lat_seconds", "Latency.")
+        threads = [
+            threading.Thread(
+                target=lambda: [hist.observe(0.001) for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counts, _, count = hist.snapshot()
+        assert count == 8 * 1000
+        assert sum(counts) == 8 * 1000
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self, registry):
+        first = registry.counter("a_total", "A.")
+        again = registry.counter("a_total", "A.")
+        assert first is again
+
+    def test_type_mismatch_raises(self, registry):
+        registry.counter("a_total", "A.")
+        with pytest.raises(InvalidParameterError):
+            registry.gauge("a_total", "A.")
+
+    def test_label_mismatch_raises(self, registry):
+        registry.counter("a_total", "A.", labels=("x",))
+        with pytest.raises(InvalidParameterError):
+            registry.counter("a_total", "A.", labels=("y",))
+
+    def test_invalid_name_rejected(self, registry):
+        with pytest.raises(InvalidParameterError):
+            registry.counter("bad name", "Bad.")
+
+    def test_collect_is_sorted_by_name(self, registry):
+        registry.counter("zz_total", "Z.")
+        registry.counter("aa_total", "A.")
+        names = [metric.name for metric in registry.collect()]
+        assert names == sorted(names)
+
+    def test_contains_len_unregister_clear(self, registry):
+        registry.counter("a_total", "A.")
+        registry.gauge("b", "B.")
+        assert "a_total" in registry and len(registry) == 2
+        registry.unregister("a_total")
+        assert "a_total" not in registry
+        registry.clear()
+        assert len(registry) == 0
+
+
+class TestNullObjects:
+    def test_null_registry_metrics_are_noops(self):
+        counter = NULL_REGISTRY.counter("x_total", "X.")
+        counter.inc()
+        counter.labels(mode="a").inc()
+        gauge = NULL_REGISTRY.gauge("g", "G.")
+        gauge.set(5)
+        hist = NULL_REGISTRY.histogram("h", "H.")
+        with hist.time():
+            hist.observe(1.0)
+        assert list(NULL_REGISTRY.collect()) == []
+
+    def test_resolve_registry_modes(self):
+        own = MetricsRegistry("own")
+        assert resolve_registry(own) is own
+        assert resolve_registry(False) is NULL_REGISTRY
+        assert resolve_registry(None) is default_registry()
+        assert resolve_registry(True) is default_registry()
+
+
+class TestDefaultRegistryAndHandleCache:
+    def test_set_default_registry_swaps_and_restores(self):
+        original = default_registry()
+        replacement = MetricsRegistry("swap")
+        try:
+            set_default_registry(replacement)
+            assert default_registry() is replacement
+        finally:
+            set_default_registry(original)
+        assert default_registry() is original
+
+    def test_handle_cache_tracks_default_swap(self):
+        calls = []
+
+        def build(registry):
+            calls.append(registry)
+            return registry.counter("hc_total", "HC.")
+
+        handles = HandleCache(build)
+        original = default_registry()
+        try:
+            first = handles()
+            assert handles() is first  # cached, no rebuild
+            assert len(calls) == 1
+            swap = MetricsRegistry("swap")
+            set_default_registry(swap)
+            second = handles()
+            assert second is not first
+            assert calls[-1] is swap
+        finally:
+            set_default_registry(original)
+        assert handles() is not second

@@ -1,0 +1,128 @@
+"""Unit tests for repro.obs query tracing: spans, context propagation,
+ring buffer, sampling, and the null trace."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.obs import (
+    NULL_TRACE,
+    QueryTrace,
+    Tracer,
+    activate_trace,
+    current_trace,
+    deactivate_trace,
+)
+
+
+class TestQueryTrace:
+    def test_spans_record_names_and_durations(self):
+        trace = QueryTrace("search")
+        with trace.span("plan"):
+            pass
+        with trace.span("execute", shard=3):
+            pass
+        trace.finish()
+        data = trace.as_dict()
+        assert [span["name"] for span in data["spans"]] == [
+            "plan",
+            "execute",
+        ]
+        assert data["spans"][1]["meta"] == {"shard": 3}
+        assert data["mode"] == "search"
+        assert data["duration_s"] >= 0.0
+        for span in data["spans"]:
+            assert span["duration_s"] >= 0.0
+            assert span["start_s"] >= 0.0
+
+    def test_span_offsets_are_relative_to_trace_origin(self):
+        trace = QueryTrace("search")
+        with trace.span("first"):
+            pass
+        with trace.span("second"):
+            pass
+        data = trace.as_dict()
+        first, second = data["spans"]
+        assert second["start_s"] >= first["start_s"]
+
+    def test_as_dict_carries_meta(self):
+        trace = QueryTrace("knn", index="demo")
+        trace.finish()
+        assert trace.as_dict()["meta"] == {"index": "demo"}
+
+    def test_spans_from_threads_all_land(self):
+        trace = QueryTrace("batch")
+
+        def work():
+            for _ in range(200):
+                with trace.span("execute"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace.as_dict()["spans"]) == 4 * 200
+
+
+class TestContextPropagation:
+    def test_activate_makes_trace_current(self):
+        trace = QueryTrace("search")
+        token = activate_trace(trace)
+        try:
+            assert current_trace() is trace
+        finally:
+            deactivate_trace(token)
+        assert current_trace() is NULL_TRACE
+
+    def test_default_current_is_null(self):
+        assert current_trace() is NULL_TRACE
+
+    def test_null_trace_is_falsy_and_inert(self):
+        assert not NULL_TRACE
+        with NULL_TRACE.span("anything", shard=1):
+            pass
+        NULL_TRACE.finish()
+
+
+class TestTracer:
+    def test_ring_buffer_is_bounded(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            trace = tracer.start("search", i=i)
+            tracer.finish(trace)
+        traces = tracer.traces()
+        assert len(traces) == 3
+        assert [t.meta["i"] for t in traces] == [7, 8, 9]
+
+    def test_sample_zero_yields_null_traces(self):
+        tracer = Tracer(capacity=4, sample=0.0)
+        for _ in range(5):
+            trace = tracer.start("search")
+            assert trace is NULL_TRACE
+            tracer.finish(trace)
+        assert len(tracer) == 0
+
+    def test_sample_interval_is_deterministic(self):
+        tracer = Tracer(capacity=64, sample=0.5)
+        kept = [
+            tracer.start("search") is not NULL_TRACE for _ in range(10)
+        ]
+        assert kept == [False, True] * 5  # every 2nd query sampled
+
+    def test_clear_empties_ring(self):
+        tracer = Tracer(capacity=4)
+        tracer.finish(tracer.start("search"))
+        assert len(tracer) == 1
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Tracer(capacity=0)
+        with pytest.raises(InvalidParameterError):
+            Tracer(sample=1.5)
+        with pytest.raises(InvalidParameterError):
+            Tracer(sample=-0.1)

@@ -52,6 +52,11 @@ class TestTopLevelExports:
             "repro.live.segments",
             "repro.live.compaction",
             "repro.live.wal",
+            "repro.obs",
+            "repro.obs.metrics",
+            "repro.obs.trace",
+            "repro.obs.export",
+            "repro.obs.logsetup",
             "repro.persistence",
             "repro.cli",
         ],
@@ -62,7 +67,7 @@ class TestTopLevelExports:
     def test_subpackage_all_resolve(self):
         for module_name in ("repro.core", "repro.indices", "repro.data",
                             "repro.bench", "repro.extensions", "repro.engine",
-                            "repro.query"):
+                            "repro.query", "repro.obs"):
             module = importlib.import_module(module_name)
             for name in module.__all__:
                 assert hasattr(module, name), f"{module_name}.{name}"
