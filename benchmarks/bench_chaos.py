@@ -1,0 +1,289 @@
+"""Chaos benchmark: kill-and-recover loops, fault storms, and the
+disarmed-failpoint overhead gate.
+
+The ``repro.faults`` acceptance record. Three sections drive the *real*
+serving stack through injected failures and assert the recovery
+contract; a fourth proves that the failpoint instrumentation is free
+when disarmed:
+
+* ``kill_recover`` — repeated simulated kills (torn WAL writes, crashes
+  mid-seal / mid-manifest-commit / mid-segment-write / mid-compaction)
+  against one durable :class:`~repro.live.LiveTwinIndex` under bursty
+  ingest with concurrent queries; after every kill the plane is
+  recovered from disk and checked byte-exactly against a from-scratch
+  oracle. ``exactness_violations`` must be 0.
+* ``storms`` — probabilistic ENOSPC / torn-write / I/O fault storms on
+  the WAL and the query fan-out; the plane must stay serviceable and
+  exact, and query p50/p99 under fault load is recorded.
+* ``overhead`` — the hot single-query path with the failpoint sites
+  *disarmed* (production state) vs the same modules with the failpoint
+  call rebound to a no-op. Paired interleaved best-of timing, same
+  plane, cache off — the same method as ``bench_obs_overhead.py``. The
+  gate: **at most 1%**.
+
+Run standalone::
+
+    python benchmarks/bench_chaos.py            # full scale
+    python benchmarks/bench_chaos.py --smoke    # CI-sized
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+#: The acceptance gate on disarmed-failpoint overhead, percent.
+OVERHEAD_GATE_PCT = 1.0
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Chaos-test the serving stack and record "
+        "BENCH_chaos.json."
+    )
+    parser.add_argument(
+        "--loops", type=int, default=30,
+        help="kill-and-recover incidents (default: 30)",
+    )
+    parser.add_argument(
+        "--storm-appends", type=int, default=300,
+        help="appends per fault storm (default: 300)",
+    )
+    parser.add_argument(
+        "--storm-queries", type=int, default=200,
+        help="queries per fault storm (default: 200)",
+    )
+    parser.add_argument(
+        "--windows", type=int, default=100_000,
+        help="indexed window count for the overhead gate (default: 100000)",
+    )
+    parser.add_argument(
+        "--length", type=int, default=100, help="window length (default: 100)"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=64,
+        help="overhead workload size (default: 64)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count for the overhead plane (default: 4)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=7,
+        help="interleaved timing repetitions; best is kept (default: 7)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output", default="BENCH_chaos.json",
+        help="JSON results path (default: BENCH_chaos.json)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sizes for CI smoke runs (overrides the scale flags)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.loops = 6
+        args.storm_appends = 60
+        args.storm_queries = 40
+        args.windows = 4_000
+        args.queries = 12
+        args.shards = 2
+        args.repeats = 3
+    return args
+
+
+def _paired_best(repeats, setup_a, run_a, setup_b, run_b):
+    """Best wall-clock seconds of two runs, interleaved (A B A B ...).
+    ``setup_*`` runs un-timed immediately before its side."""
+    best_a = best_b = np.inf
+    for _ in range(repeats):
+        setup_a()
+        started = time.perf_counter()
+        run_a()
+        best_a = min(best_a, time.perf_counter() - started)
+        setup_b()
+        started = time.perf_counter()
+        run_b()
+        best_b = min(best_b, time.perf_counter() - started)
+    return best_a, best_b
+
+
+def main(argv=None) -> int:
+    import repro._util as _util
+    import repro.engine.sharding as sharding
+    import repro.live.index as live_index
+    from repro.core.windows import WindowSource
+    from repro.data import synthetic
+    from repro.engine import QueryEngine, ShardedTSIndex
+    from repro.faults import chaos, failpoints
+
+    args = parse_args(argv)
+    failpoints.reset()  # the overhead gate measures the disarmed state
+    workdir = tempfile.mkdtemp(prefix="bench_chaos_")
+    results = {
+        "config": {
+            "loops": args.loops,
+            "storm_appends": args.storm_appends,
+            "storm_queries": args.storm_queries,
+            "windows": args.windows,
+            "length": args.length,
+            "queries": args.queries,
+            "shards": args.shards,
+            "repeats": args.repeats,
+            "seed": args.seed,
+            "smoke": bool(args.smoke),
+            "cpu_count": os.cpu_count(),
+            "overhead_gate_pct": OVERHEAD_GATE_PCT,
+        },
+    }
+    try:
+        # --- kill-and-recover loops -----------------------------------
+        print(f"kill-and-recover: {args.loops} incidents ...")
+        results["kill_recover"] = chaos.run_kill_recover(
+            os.path.join(workdir, "kill_recover"),
+            loops=args.loops,
+            seed=args.seed,
+        )
+        kr = results["kill_recover"]
+        print(
+            f"  {kr['crashes']} crashes over {kr['loops']} loops "
+            f"({kr['final_readings']} readings survive), "
+            f"violations={kr['exactness_violations']}, "
+            f"recovery mean {1e3 * (kr['recovery_seconds']['mean'] or 0):.1f}ms"
+        )
+
+        # --- fault storms ---------------------------------------------
+        results["storms"] = {}
+        for mode in ("enospc", "io", "search"):
+            storm = chaos.run_storm(
+                os.path.join(workdir, f"storm_{mode}"),
+                mode=mode,
+                appends=args.storm_appends,
+                queries=args.storm_queries,
+                seed=args.seed,
+            )
+            results["storms"][mode] = storm
+            p99 = storm["query_seconds"]["p99"]
+            print(
+                f"storm[{mode}]: {storm['append_failures']} append / "
+                f"{storm['query_failures']} query faults survived, "
+                f"violations={storm['exactness_violations']}, "
+                f"serviceable={storm['serviceable_after_storm']}, "
+                f"query p99 {1e3 * p99:.2f}ms" if p99 is not None else
+                f"storm[{mode}]: no successful queries"
+            )
+
+        # --- disarmed-failpoint overhead gate -------------------------
+        print(f"overhead: building plane over {args.windows} windows ...")
+        series = synthetic.insect_like(
+            args.windows + args.length - 1, seed=args.seed
+        )
+        source = WindowSource(series, args.length, "global")
+        sharded = ShardedTSIndex.from_source(source, shards=args.shards)
+        rng = np.random.default_rng(args.seed)
+        positions = rng.integers(0, source.count, size=args.queries)
+        queries = [
+            np.array(source.window_block(int(p), int(p) + 1)[0])
+            for p in positions
+        ]
+        kth = []
+        for query, position in zip(queries[:8], positions[:8]):
+            zone = (max(0, int(position) - args.length),
+                    int(position) + args.length)
+            ranked = sharded.knn(query, 10, exclude=zone)
+            if len(ranked):
+                kth.append(float(ranked.distances[-1]))
+        epsilon = float(np.median(kth)) if kth else 0.5
+        workers = min(32, (os.cpu_count() or 1) + 4)
+        engine = QueryEngine(metrics=False, trace_sample=0.0,
+                             max_workers=workers)
+        engine.add("plane", sharded)
+
+        # Baseline side: the failpoint call rebound to a no-op in every
+        # module the single-query path goes through; enabled side: the
+        # real (disarmed) failpoint. The rebind happens off the clock.
+        real = failpoints.failpoint
+        noop = lambda name, **context: None  # noqa: E731
+        patched = (sharding, _util, live_index)
+
+        def bind(fn):
+            for module in patched:
+                module.failpoint = fn
+
+        def workload():
+            for query in queries:
+                engine.query("plane", query, epsilon, use_cache=False)
+
+        try:
+            noop_s, real_s = _paired_best(
+                args.repeats,
+                lambda: bind(noop), workload,
+                lambda: bind(real), workload,
+            )
+        finally:
+            bind(real)
+        overhead = 100.0 * (real_s - noop_s) / noop_s
+        results["overhead"] = {
+            "noop_ms_per_query": round(1e3 * noop_s / len(queries), 4),
+            "disarmed_ms_per_query": round(1e3 * real_s / len(queries), 4),
+            "overhead_pct": round(overhead, 2),
+        }
+        print(
+            f"overhead: no-op {results['overhead']['noop_ms_per_query']}"
+            f"ms/query, disarmed "
+            f"{results['overhead']['disarmed_ms_per_query']}ms/query "
+            f"({overhead:+.2f}%)"
+        )
+        engine.close()
+
+        violations = (
+            results["kill_recover"]["exactness_violations"]
+            + sum(s["exactness_violations"]
+                  for s in results["storms"].values())
+        )
+        serviceable = all(
+            s["serviceable_after_storm"] for s in results["storms"].values()
+        )
+        results["gate"] = {
+            "exactness_violations": violations,
+            "serviceable_after_storms": serviceable,
+            "overhead_pct": results["overhead"]["overhead_pct"],
+            "limit_pct": OVERHEAD_GATE_PCT,
+            "passed": bool(
+                violations == 0
+                and serviceable
+                and results["overhead"]["overhead_pct"] <= OVERHEAD_GATE_PCT
+            ),
+        }
+        print(
+            f"gate: violations={violations}, serviceable={serviceable}, "
+            f"disarmed overhead {results['overhead']['overhead_pct']:+.2f}% "
+            f"(limit {OVERHEAD_GATE_PCT}%) -> "
+            f"{'PASS' if results['gate']['passed'] else 'FAIL'}"
+        )
+    finally:
+        failpoints.reset()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    # Smoke runs are too noisy to gate the overhead on; exactness and
+    # serviceability still gate (they are timing-independent).
+    if args.smoke:
+        return 0 if (
+            results["gate"]["exactness_violations"] == 0
+            and results["gate"]["serviceable_after_storms"]
+        ) else 1
+    return 0 if results["gate"]["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

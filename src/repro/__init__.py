@@ -100,6 +100,9 @@ from .exceptions import (
     InvalidParameterError,
     ReproError,
     SerializationError,
+    ShardTimeoutError,
+    SimulatedCrashError,
+    StorageError,
     UnsupportedNormalizationError,
 )
 from .indices import (
@@ -160,7 +163,10 @@ __all__ = [
     "ReproError",
     "SearchResult",
     "SerializationError",
+    "ShardTimeoutError",
     "ShardedTSIndex",
+    "SimulatedCrashError",
+    "StorageError",
     "SubsequenceIndex",
     "SweeplineSearch",
     "TSIndex",

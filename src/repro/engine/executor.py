@@ -304,8 +304,19 @@ class QueryEngine:
         verification: str = "bulk",
         domain: str = "index",
         use_cache: bool = True,
+        timeout: float | None = None,
+        degraded: bool = False,
     ) -> SearchResult:
         """One twin query against the named plane.
+
+        ``timeout`` bounds each fan-out part (shard/segment) on planes
+        declaring :data:`~repro.query.capabilities.CAP_FANOUT_TIMEOUT`
+        (the planner drops it elsewhere); parts missing the deadline
+        fail fast with :class:`~repro.exceptions.ShardTimeoutError`
+        unless ``degraded=True``, which instead serves the parts that
+        answered and marks the result's ``degraded`` record. Degraded
+        results are never cached — a later complete answer must not be
+        shadowed by a partial one.
 
         The query routes through the unified pipeline: a
         :class:`~repro.query.QuerySpec` is planned against the plane's
@@ -332,12 +343,20 @@ class QueryEngine:
         started = time.perf_counter()
         try:
             index, generation = self._registry.get_with_generation(name)
+            options = {"verification": verification}
+            if timeout is not None:
+                options["timeout"] = timeout
+            if degraded:
+                options["degraded"] = True
+                # A degraded answer is partial by design; caching it
+                # would serve the hole to later complete-answer calls.
+                use_cache = False
             spec = QuerySpec(
                 query=query,
                 mode="search",
                 epsilon=epsilon,
                 domain=domain,
-                options={"verification": verification},
+                options=options,
             )
             with trace.span("plan"):
                 executed = plan(index, spec)

@@ -33,6 +33,7 @@ import os
 from .._util import (
     check_non_negative,
     check_positive_int,
+    fan_out,
     map_with_executor,
 )
 from ..core.batch import BatchResult
@@ -42,6 +43,7 @@ from ..core.stats import BuildStats, SearchResult
 from ..core.tsindex import TSIndex, TSIndexParams
 from ..core.windows import WindowSource
 from ..exceptions import InvalidParameterError
+from ..faults.failpoints import failpoint
 from ..indices.base import SubsequenceIndex
 from ..obs.metrics import HandleCache
 from ..obs.trace import current_trace
@@ -50,6 +52,7 @@ from ..query.capabilities import (
     CAP_COUNT,
     CAP_EXECUTOR,
     CAP_EXISTS,
+    CAP_FANOUT_TIMEOUT,
     CAP_KNN,
     CAP_SEARCH,
     CAP_SEARCH_BATCH,
@@ -166,6 +169,7 @@ class ShardedTSIndex(SubsequenceIndex):
             CAP_SEARCH_BATCH,
             CAP_BATCHED_KERNEL,
             CAP_EXECUTOR,
+            CAP_FANOUT_TIMEOUT,
             CAP_VARLENGTH,
             CAP_VERIFICATION,
         }
@@ -368,6 +372,8 @@ class ShardedTSIndex(SubsequenceIndex):
         *,
         verification: str = "bulk",
         executor: concurrent.futures.Executor | None = None,
+        timeout: float | None = None,
+        degraded: bool = False,
     ) -> SearchResult:
         """All twins of ``query`` within Chebyshev ``ε``, shard-merged.
 
@@ -378,6 +384,12 @@ class ShardedTSIndex(SubsequenceIndex):
         concurrently; structural counters are merged in shard order
         either way, so stats are deterministic. Queries shorter than
         ``l`` dispatch to :meth:`search_varlength`.
+
+        ``timeout`` bounds the pooled fan-out, in seconds. On expiry
+        the default fails fast with a typed
+        :class:`~repro.exceptions.ShardTimeoutError` naming the shards
+        that did not answer; ``degraded=True`` instead merges the shards
+        that did and records exactly which on ``result.degraded``.
         """
         if is_prefix_query(query, self._source.length):
             return self.search_varlength(
@@ -393,6 +405,7 @@ class ShardedTSIndex(SubsequenceIndex):
         def one(indexed) -> SearchResult:
             shard, tree = indexed
             with trace.span("execute", shard=shard):
+                failpoint("shard.search", shard=shard)
                 with shard_seconds.time():
                     return tree.search(
                         query, epsilon, verification=verification
@@ -400,10 +413,28 @@ class ShardedTSIndex(SubsequenceIndex):
 
         # Position re-offsetting happens in the shared merge kernel,
         # which pairs each result back with its span start.
-        results = self._map(executor, one, list(enumerate(self._shards)))
+        outcome = fan_out(
+            executor,
+            one,
+            list(enumerate(self._shards)),
+            part="shard",
+            timeout=timeout,
+            degraded=degraded,
+        )
         with trace.span("merge"):
             with merge_seconds.time():
-                return merge_offset_search(zip(self._starts, results))
+                merged = merge_offset_search(
+                    (start, result)
+                    for start, result in zip(self._starts, outcome.results)
+                    if result is not None
+                )
+        if outcome.degraded:
+            merged.degraded = {
+                "answered": list(outcome.answered),
+                "missing": list(outcome.missing),
+                "timeout": timeout,
+            }
+        return merged
 
     def search_varlength(
         self,

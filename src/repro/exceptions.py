@@ -8,6 +8,8 @@ surprise for NumPy-centric code.
 
 from __future__ import annotations
 
+import contextlib
+
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""
@@ -57,5 +59,59 @@ class UnsupportedNormalizationError(ReproError, ValueError):
     """
 
 
-class SerializationError(ReproError):
+class StorageError(ReproError):
+    """A durability operation (WAL, segment archive, manifest) failed.
+
+    The typed wrapper for every ``OSError``/``IOError`` that would
+    otherwise escape raw from the storage layer — disk full, permission
+    denied, torn writes surfacing as short reads. The original OS error
+    is preserved as ``__cause__`` so ``errno`` stays inspectable.
+    """
+
+
+class SerializationError(StorageError):
     """An index could not be saved to or restored from disk."""
+
+
+class ShardTimeoutError(ReproError, TimeoutError):
+    """A fan-out query hit its per-shard deadline before every part
+    answered.
+
+    The fail-fast default for ``timeout=``-bounded queries. ``answered``
+    and ``missing`` name exactly which parts completed and which did
+    not, so callers can decide whether to retry, widen the deadline, or
+    re-issue in degraded mode.
+    """
+
+    def __init__(self, message: str, *, answered=(), missing=()):
+        super().__init__(message)
+        self.answered = tuple(answered)
+        self.missing = tuple(missing)
+
+
+class SimulatedCrashError(BaseException):
+    """A fault-injection crash: the process is assumed dead past this point.
+
+    Raised by an armed ``crash``/torn-write failpoint
+    (:mod:`repro.faults`). It deliberately derives from
+    :class:`BaseException` — not :class:`ReproError`, not even
+    :class:`Exception` — so no retry loop, quarantine path, or broad
+    ``except Exception`` handler in the library can swallow it: a real
+    ``kill -9`` runs no handlers, and neither does this.
+    """
+
+
+@contextlib.contextmanager
+def wrap_os_errors(operation: str, path):
+    """Re-raise any ``OSError`` escaping the block as a typed
+    :class:`StorageError` naming the operation and path.
+
+    Library-typed errors (including :class:`SerializationError`, which
+    is *not* an ``OSError``) pass through untouched.
+    """
+    try:
+        yield
+    except ReproError:
+        raise
+    except OSError as exc:
+        raise StorageError(f"{operation} failed for {str(path)!r}: {exc}") from exc

@@ -12,12 +12,48 @@ The merge itself reads only the two segments' immutable sources, so the
 :class:`Compactor` runs it on a single background thread while appends
 and queries proceed; only the final list splice takes the live plane's
 lock.
+
+Failure handling: a failed merge is retried with bounded exponential
+backoff (``repro_compaction_retries_total``). When the retry budget is
+exhausted the run is abandoned — surfaced once through the log and
+:meth:`Compactor.stats`, never latched into the next :meth:`wait` or
+:meth:`close` — and the next :meth:`schedule` (every seal schedules)
+starts a fresh run with a fresh budget, so one bad merge cannot poison
+the plane.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import threading
+
+from ..exceptions import SimulatedCrashError
+from ..faults.failpoints import failpoint
+from ..obs.logsetup import get_logger
+from ..obs.metrics import HandleCache
+
+_log = get_logger("repro.live.compaction")
+
+_metrics = HandleCache(
+    lambda registry: (
+        registry.counter(
+            "repro_compaction_retries_total",
+            "Background compaction merge retries after a failure.",
+        ),
+        registry.counter(
+            "repro_compaction_failures_total",
+            "Background compaction runs abandoned after the retry "
+            "budget was exhausted.",
+        ),
+    )
+)
+
+#: Retries per scheduled run before the run is abandoned.
+DEFAULT_MAX_RETRIES = 4
+
+#: First backoff delay, seconds; doubles per retry up to the cap.
+DEFAULT_BACKOFF = 0.05
+DEFAULT_BACKOFF_CAP = 2.0
 
 
 def select_adjacent_pair(segments) -> int:
@@ -41,38 +77,146 @@ class Compactor:
     begins at or after the call, coalescing bursts into one run. The
     thread is only created on first use, so short-lived in-memory
     indexes never pay for it.
+
+    ``work`` failures are retried up to ``max_retries`` times with
+    exponential backoff (``backoff`` seconds doubling to
+    ``backoff_cap``); an exhausted budget abandons the run without
+    poisoning the compactor — the error is logged once and kept in
+    :meth:`stats` / :attr:`last_error` until a later run succeeds.
     """
 
-    def __init__(self, work):
+    def __init__(
+        self,
+        work,
+        *,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+    ):
         self._work = work
+        self._max_retries = int(max_retries)
+        self._backoff = float(backoff)
+        self._backoff_cap = float(backoff_cap)
         self._pool: concurrent.futures.ThreadPoolExecutor | None = None
         self._future: concurrent.futures.Future | None = None
         self._lock = threading.Lock()
         self._shutdown = False
+        #: Interrupts a backoff sleep when close() is called.
+        self._wake = threading.Event()
+        self._retries = 0
+        self._failures = 0
+        self._last_error: BaseException | None = None
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def retry_count(self) -> int:
+        """Lifetime merge retries across all runs."""
+        with self._lock:
+            return self._retries
+
+    @property
+    def failure_count(self) -> int:
+        """Runs abandoned after the retry budget was exhausted."""
+        with self._lock:
+            return self._failures
+
+    @property
+    def last_error(self) -> BaseException | None:
+        """The most recent merge error (cleared by the next clean run)."""
+        with self._lock:
+            return self._last_error
+
+    @property
+    def crashed(self) -> bool:
+        """Whether a simulated crash killed the background thread."""
+        with self._lock:
+            return self._crashed
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "retries": self._retries,
+                "failures": self._failures,
+                "crashed": self._crashed,
+                "last_error": (
+                    repr(self._last_error) if self._last_error else None
+                ),
+            }
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        """One scheduled run: the work function under a bounded
+        retry/backoff loop. Never raises — errors are accounted, not
+        latched (a :class:`SimulatedCrashError` stops the thread cold,
+        like the process kill it stands in for)."""
+        delay = self._backoff
+        attempt = 0
+        retries_total, failures_total = _metrics()
+        while True:
+            try:
+                failpoint("compaction.merge", attempt=attempt)
+                self._work()
+            except SimulatedCrashError as exc:
+                with self._lock:
+                    self._crashed = True
+                    self._last_error = exc
+                return
+            except Exception as exc:
+                with self._lock:
+                    self._last_error = exc
+                    shutdown = self._shutdown
+                if attempt >= self._max_retries or shutdown:
+                    failures_total.inc()
+                    with self._lock:
+                        self._failures += 1
+                    _log.error(
+                        "background compaction abandoned after %d "
+                        "retries (next schedule starts fresh): %r",
+                        attempt, exc,
+                    )
+                    return
+                attempt += 1
+                retries_total.inc()
+                with self._lock:
+                    self._retries += 1
+                _log.warning(
+                    "background compaction failed (attempt %d/%d), "
+                    "retrying in %.3fs: %r",
+                    attempt, self._max_retries, delay, exc,
+                )
+                if self._wake.wait(delay):
+                    return  # shutting down; don't burn the close() path
+                delay = min(delay * 2.0, self._backoff_cap)
+            else:
+                with self._lock:
+                    self._last_error = None
+                return
 
     def schedule(self) -> None:
         """Ensure a compaction run is in flight (no-op after close)."""
         with self._lock:
-            if self._shutdown:
+            if self._shutdown or self._crashed:
                 return
             if self._pool is None:
                 self._pool = concurrent.futures.ThreadPoolExecutor(
                     max_workers=1, thread_name_prefix="repro-live-compact"
                 )
             if self._future is None or self._future.done():
-                self._future = self._pool.submit(self._work)
+                self._future = self._pool.submit(self._run)
 
     def wait(self, timeout: float | None = None) -> None:
-        """Block until the in-flight run (if any) finishes; re-raises
-        any error the background merge hit."""
+        """Block until the in-flight run (if any) finishes. Merge errors
+        do not re-raise here — they surface through :meth:`stats` and
+        the log, and the plane stays serviceable."""
         with self._lock:
             future = self._future
         if future is not None:
             future.result(timeout)
 
     def close(self) -> None:
-        """Wait for in-flight work and shut the thread down
-        (idempotent; background errors surface here)."""
+        """Wait for in-flight work and shut the thread down (idempotent;
+        pending backoff sleeps are interrupted, not served)."""
         with self._lock:
             if self._shutdown:
                 return
@@ -80,7 +224,8 @@ class Compactor:
             future, pool = self._future, self._pool
             self._future = None
             self._pool = None
+        self._wake.set()
         if future is not None:
-            future.result()
+            concurrent.futures.wait([future])
         if pool is not None:
             pool.shutdown(wait=True)

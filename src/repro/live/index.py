@@ -48,6 +48,7 @@ from .._util import (
     POSITION_DTYPE,
     check_non_negative,
     check_positive_int,
+    fan_out,
     map_with_executor,
 )
 from ..core.batch import BatchResult
@@ -62,8 +63,11 @@ from ..exceptions import (
     IndexNotBuiltError,
     InvalidParameterError,
     SerializationError,
+    StorageError,
     UnsupportedNormalizationError,
+    wrap_os_errors,
 )
+from ..faults.failpoints import failpoint
 from ..indices.base import SubsequenceIndex
 from ..obs.logsetup import get_logger
 from ..obs.metrics import HandleCache
@@ -72,6 +76,7 @@ from ..query.capabilities import (
     CAP_COUNT,
     CAP_EXECUTOR,
     CAP_EXISTS,
+    CAP_FANOUT_TIMEOUT,
     CAP_KNN,
     CAP_SEARCH,
     CAP_SEARCH_BATCH,
@@ -144,6 +149,11 @@ _metrics = HandleCache(
             "repro_live_recoveries_total",
             "Live-plane recoveries completed.",
         ),
+        "quarantined": registry.counter(
+            "repro_segments_quarantined_total",
+            "Segment archives moved aside by non-strict recovery "
+            "(corrupt archive plus the non-contiguous suffix behind it).",
+        ),
     }
 )
 
@@ -188,6 +198,7 @@ class LiveTwinIndex(SubsequenceIndex):
             CAP_COUNT,
             CAP_SEARCH_BATCH,
             CAP_EXECUTOR,
+            CAP_FANOUT_TIMEOUT,
             CAP_VARLENGTH,
             CAP_VERIFICATION,
         }
@@ -277,6 +288,7 @@ class LiveTwinIndex(SubsequenceIndex):
         self._seals = 0
         self._compactions = 0
         self._closed = False
+        self._quarantined: tuple[str, ...] = ()
         self._compactor = Compactor(self._compact_loop)
 
     def _init_buffer(self, values: np.ndarray) -> None:
@@ -373,6 +385,7 @@ class LiveTwinIndex(SubsequenceIndex):
         *,
         fsync: bool | None = None,
         background_compaction: bool = True,
+        strict: bool = True,
     ) -> "LiveTwinIndex":
         """Reopen a durable live plane after a shutdown or crash.
 
@@ -391,6 +404,18 @@ class LiveTwinIndex(SubsequenceIndex):
         validation raises
         :class:`~repro.exceptions.SerializationError` /
         :class:`~repro.exceptions.InvalidParameterError` loudly.
+
+        ``strict=False`` switches corrupt-**archive** handling from
+        fail-loud to quarantine-and-continue: the first unreadable
+        archive *and every archive behind it* (segments partition the
+        position axis, so nothing past a hole is position-addressable)
+        are moved into a ``quarantine/`` subdirectory — never deleted —
+        a WARNING is logged, and the plane recovers the longest intact
+        prefix, byte-identical to a from-scratch index over those
+        readings. A journal that no longer abuts the truncated frontier
+        is quarantined with them. Manifest damage stays loud in both
+        modes: quarantine is for losing *data files*, not for trusting
+        a directory whose catalog cannot be parsed.
         """
         from ..persistence import load_index  # lazy: avoids import cost
 
@@ -415,40 +440,64 @@ class LiveTwinIndex(SubsequenceIndex):
 
         loaded: list[tuple[int, int, str, FrozenTSIndex]] = []
         frontier = 0
-        for entry in manifest["segments"]:
+        quarantined: list[str] = []
+        entries = manifest["segments"]
+        for position, entry in enumerate(entries):
             start, stop = int(entry["start"]), int(entry["stop"])
             if start != frontier or stop <= start:
                 raise SerializationError(
                     f"segment chain broken at [{start}, {stop}) "
                     f"(expected a segment starting at {frontier})"
                 )
-            archive = load_index(os.path.join(path, str(entry["file"])))
-            if not isinstance(archive, FrozenTSIndex):
-                raise SerializationError(
-                    f"{entry['file']}: not a frozen segment archive "
-                    f"(got {type(archive).__name__})"
-                )
-            if archive.size != stop - start or archive.length != length:
-                raise SerializationError(
-                    f"{entry['file']}: archive shape disagrees with the "
-                    f"manifest span [{start}, {stop})"
-                )
+            try:
+                with wrap_os_errors("segment read", entry["file"]):
+                    failpoint("segment.read", file=str(entry["file"]))
+                    archive = load_index(os.path.join(path, str(entry["file"])))
+                if not isinstance(archive, FrozenTSIndex):
+                    raise SerializationError(
+                        f"{entry['file']}: not a frozen segment archive "
+                        f"(got {type(archive).__name__})"
+                    )
+                if archive.size != stop - start or archive.length != length:
+                    raise SerializationError(
+                        f"{entry['file']}: archive shape disagrees with "
+                        f"the manifest span [{start}, {stop})"
+                    )
+            except (StorageError, InvalidParameterError) as exc:
+                if strict:
+                    raise
+                quarantined = [str(e["file"]) for e in entries[position:]]
+                _quarantine_files(path, quarantined, reason=exc)
+                break
             loaded.append((start, stop, str(entry["file"]), archive))
             frontier = stop
         wal_offset = manifest.get("wal_offset")
-        if wal_offset is not None and int(wal_offset) != frontier:
+        if (
+            not quarantined
+            and wal_offset is not None
+            and int(wal_offset) != frontier
+        ):
             raise SerializationError(
                 f"manifest wal_offset {wal_offset} disagrees with the "
                 f"sealed frontier {frontier}"
             )
 
         wal_path = os.path.join(path, WAL_NAME)
+        wal_dropped = False
         wal_start, wal_values, _clean = WriteAheadLog.replay(wal_path)
         if wal_start > frontier:
-            raise SerializationError(
-                f"WAL begins at value {wal_start}, past the sealed "
-                f"frontier {frontier}; readings are missing"
-            )
+            if not quarantined:
+                raise SerializationError(
+                    f"WAL begins at value {wal_start}, past the sealed "
+                    f"frontier {frontier}; readings are missing"
+                )
+            # The journal starts past the truncated frontier — its
+            # readings are not contiguous with the surviving prefix.
+            # Preserve it alongside the quarantined archives.
+            _quarantine_files(path, [WAL_NAME], reason=None)
+            wal_dropped = True
+            wal_start = frontier
+            wal_values = np.empty(0, dtype=FLOAT_DTYPE)
 
         # Reconstruct the full series: sealed chunks cover
         # [0, frontier + l - 1), the journal covers [wal_start, ...).
@@ -516,7 +565,13 @@ class LiveTwinIndex(SubsequenceIndex):
                     )
                 )
             index._delta_start = frontier
-            index._wal = WriteAheadLog.open(wal_path, fsync=fsync)
+            if wal_dropped:
+                index._wal = WriteAheadLog.create(
+                    wal_path, start=frontier, fsync=fsync
+                )
+            else:
+                index._wal = WriteAheadLog.open(wal_path, fsync=fsync)
+            index._quarantined = tuple(quarantined)
             index._absorb(frontier)
             # Normalize the journal to the recovered state: drops any
             # torn tail record and re-anchors at the sealed frontier.
@@ -542,9 +597,11 @@ class LiveTwinIndex(SubsequenceIndex):
         _metrics()["recoveries"].inc()
         _log.info(
             "recovered live plane at %r: %d segments, %d journal "
-            "readings replayed%s",
+            "readings replayed%s%s",
             path, len(loaded), wal_values.size,
             "" if _clean else " (torn WAL tail dropped)",
+            f" ({len(quarantined)} archives quarantined)"
+            if quarantined else "",
         )
         return index
 
@@ -691,6 +748,8 @@ class LiveTwinIndex(SubsequenceIndex):
                 "mutations": self._mutations,
                 "durable": self._directory is not None,
                 "directory": self._directory,
+                "quarantined_files": list(self._quarantined),
+                "compaction": self._compactor.stats(),
                 "segment_stats": [
                     segment.stats_row() for segment in self._segments
                 ],
@@ -781,6 +840,30 @@ class LiveTwinIndex(SubsequenceIndex):
             with self._lock:
                 if self._wal is not None:
                     self._wal.close()
+
+    def abandon(self) -> None:
+        """Drop the plane as a crash would: stop accepting work and
+        release file handles **without** flushing, sealing, or letting
+        in-flight background compaction commit anything.
+
+        For fault testing (the chaos harness calls this after a
+        :class:`~repro.exceptions.SimulatedCrashError`): after
+        ``abandon()`` the only way back is :meth:`recover`, exactly as
+        after a real kill. Idempotent, like :meth:`close`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            # _closed makes the compaction loop bail before its next
+            # splice/manifest commit, so the background thread cannot
+            # mutate durable state past the "crash".
+            self._closed = True
+        self._compactor.close()
+        with self._lock:
+            if self._wal is not None:
+                # Every append ends in a flush, so closing the handle
+                # writes nothing a crash would not have written.
+                self._wal.close()
 
     def __enter__(self) -> "LiveTwinIndex":
         return self
@@ -913,6 +996,7 @@ class LiveTwinIndex(SubsequenceIndex):
         metrics = _metrics()
         start = self._delta_start
         stop = self._delta_start + self._delta_count
+        failpoint("live.seal", start=start, stop=stop)
         with metrics["seal_seconds"].time():
             detached = self._source.detach(self._delta_start, stop)
             frozen = FrozenTSIndex.from_tree(
@@ -1022,7 +1106,9 @@ class LiveTwinIndex(SubsequenceIndex):
         from .wal import fsync_directory, fsync_file
 
         path = os.path.join(self._directory, file)
-        save_index(frozen, path)
+        with wrap_os_errors("segment write", path):
+            failpoint("segment.write", file=file)
+            save_index(frozen, path)
         if self._fsync:
             fsync_file(path)
             fsync_directory(self._directory)
@@ -1064,6 +1150,8 @@ class LiveTwinIndex(SubsequenceIndex):
         *,
         verification: str = "bulk",
         executor=None,
+        timeout: float | None = None,
+        degraded: bool = False,
     ) -> SearchResult:
         """All twins of ``query`` within Chebyshev ``ε`` over everything
         appended so far — byte-identical to a from-scratch
@@ -1073,6 +1161,13 @@ class LiveTwinIndex(SubsequenceIndex):
         the delta is searched under the plane's lock (it is the only
         mutable part), segments from an immutable snapshot outside it.
         Queries shorter than ``l`` dispatch to :meth:`search_varlength`.
+
+        ``timeout`` bounds the pooled segment fan-out, in seconds (the
+        delta answers inline and is never dropped). On expiry the
+        default is a typed
+        :class:`~repro.exceptions.ShardTimeoutError`; ``degraded=True``
+        instead serves the segments that answered, recording exactly
+        which parts did on ``result.degraded``.
         """
         if is_prefix_query(query, self._length):
             return self.search_varlength(
@@ -1099,14 +1194,24 @@ class LiveTwinIndex(SubsequenceIndex):
 
         def one(segment: Segment) -> SearchResult:
             with trace.span("execute", segment=segment.start):
+                failpoint("segment.search", segment=segment.start)
                 return segment.index.search(
                     prepared, epsilon, verification=verification
                 )
 
-        results = map_with_executor(executor, one, segments)
+        outcome = fan_out(
+            executor,
+            one,
+            segments,
+            labels=[segment.start for segment in segments],
+            part="segment",
+            timeout=timeout,
+            degraded=degraded,
+        )
         parts = [
             (segment.start, result)
-            for segment, result in zip(segments, results)
+            for segment, result in zip(segments, outcome.results)
+            if result is not None
         ]
         if delta_result is not None:
             parts.append((delta_start, delta_result))
@@ -1114,7 +1219,17 @@ class LiveTwinIndex(SubsequenceIndex):
         # shared offset merge yields a globally position-sorted result —
         # exactly the monolithic one.
         with trace.span("merge"):
-            return merge_offset_search(parts)
+            merged = merge_offset_search(parts)
+        if outcome.degraded:
+            answered = list(outcome.answered)
+            if delta_result is not None:
+                answered.append(delta_start)
+            merged.degraded = {
+                "answered": answered,
+                "missing": list(outcome.missing),
+                "timeout": timeout,
+            }
+        return merged
 
     def search_varlength(
         self,
@@ -1345,6 +1460,30 @@ def _coerce_readings(readings, *, allow_empty: bool) -> np.ndarray:
     if not np.all(np.isfinite(array)):
         raise InvalidParameterError("readings contain NaN or infinity")
     return array
+
+
+def _quarantine_files(directory, names, *, reason) -> None:
+    """Move ``names`` from the live directory into ``quarantine/``
+    (never deleted — preserved for forensics and manual repair)."""
+    qdir = os.path.join(os.fspath(directory), "quarantine")
+    os.makedirs(qdir, exist_ok=True)
+    moved = 0
+    for name in names:
+        source = os.path.join(directory, name)
+        try:
+            os.replace(source, os.path.join(qdir, name))
+            moved += 1
+        except FileNotFoundError:
+            continue
+        except OSError as exc:
+            _log.warning("could not quarantine %r: %s", source, exc)
+    _metrics()["quarantined"].inc(len(names))
+    _log.warning(
+        "quarantined %d file(s) into %r%s: %s",
+        moved, qdir,
+        f" (first failure: {reason!r})" if reason is not None else "",
+        list(names),
+    )
 
 
 def _local_exclude(

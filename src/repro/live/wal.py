@@ -35,7 +35,13 @@ import zlib
 import numpy as np
 
 from .._util import FLOAT_DTYPE
-from ..exceptions import SerializationError
+from ..exceptions import (
+    SerializationError,
+    SimulatedCrashError,
+    StorageError,
+    wrap_os_errors,
+)
+from ..faults.failpoints import failpoint, make_error
 from ..obs.logsetup import get_logger
 from ..obs.metrics import HandleCache
 
@@ -112,9 +118,10 @@ class WriteAheadLog:
         """Create a fresh journal whose first reading will be the global
         value index ``start``; truncates any existing file."""
         wal = cls(path, fsync=fsync)
-        wal._file = open(wal._path, "wb")
-        wal._file.write(WAL_MAGIC + _HEADER.pack(int(start)))
-        wal._flush()
+        with wrap_os_errors("WAL create", path):
+            wal._file = open(wal._path, "wb")
+            wal._file.write(WAL_MAGIC + _HEADER.pack(int(start)))
+            wal._flush()
         return wal
 
     @classmethod
@@ -122,12 +129,20 @@ class WriteAheadLog:
         """Open an existing journal for appending (no replay; callers
         replay first, then open)."""
         wal = cls(path, fsync=fsync)
-        wal._file = open(wal._path, "ab")
+        with wrap_os_errors("WAL open", path):
+            wal._file = open(wal._path, "ab")
         return wal
 
     # ------------------------------------------------------------------
     def append(self, values) -> None:
-        """Durably journal one batch of readings (before indexing)."""
+        """Durably journal one batch of readings (before indexing).
+
+        A failed write (disk full, I/O error) is rolled back by
+        truncating the journal to its pre-append size, so a *survivable*
+        mid-record failure never leaves a torn record in the middle of
+        the log — the typed :class:`~repro.exceptions.StorageError`
+        propagates and the journal stays appendable.
+        """
         if self._file is None:
             raise SerializationError(f"WAL {self._path!r} is closed")
         append_seconds, _ = _metrics()
@@ -136,33 +151,91 @@ class WriteAheadLog:
                 values, dtype=FLOAT_DTYPE
             ).tobytes()
             record = _RECORD.pack(len(payload) // 8, zlib.crc32(payload))
-            self._file.write(record + payload)
-            self._flush()
+            data = record + payload
+            durable = self._durable_size()
+            try:
+                torn = failpoint("wal.append", path=self._path, size=len(data))
+                if torn is not None:
+                    self._torn_write(torn, data)
+                self._file.write(data)
+                self._flush()
+            except SimulatedCrashError:
+                raise
+            except OSError as exc:
+                self._rollback(durable)
+                raise StorageError(
+                    f"WAL append to {self._path!r} failed: {exc}"
+                ) from exc
+
+    def _durable_size(self) -> int | None:
+        """Current on-disk journal size (the append rollback point).
+        The write buffer is empty between appends — every append ends
+        in a flush — so ``fstat`` is exact here."""
+        try:
+            return os.fstat(self._file.fileno()).st_size
+        except OSError:
+            return None
+
+    def _torn_write(self, spec, data: bytes) -> None:
+        """Armed ``wal.append`` torn-write protocol: write the first
+        ``torn_after_bytes`` of the record, then fail — with the payload's
+        ``error`` class when given (a survivable partial write the
+        rollback must clean up), else a simulated crash that leaves the
+        torn tail on disk for replay to drop."""
+        keep = int(spec.get("torn_after_bytes", 0)) if isinstance(spec, dict) else 0
+        self._file.write(data[:keep])
+        self._file.flush()
+        if isinstance(spec, dict) and spec.get("error"):
+            raise make_error(spec["error"])
+        raise SimulatedCrashError(
+            f"injected crash: torn WAL append at {self._path!r} "
+            f"({keep}/{len(data)} bytes written)"
+        )
+
+    def _rollback(self, durable: int | None) -> None:
+        """Best-effort truncation back to the last durable record
+        boundary after a failed append."""
+        if durable is None:
+            return
+        try:
+            self._file.flush()
+        except OSError:
+            pass
+        try:
+            self._file.truncate(durable)
+            self._file.seek(durable)
+        except OSError as exc:
+            _log.warning(
+                "could not roll back failed WAL append on %r: %s",
+                self._path, exc,
+            )
 
     def rewrite(self, *, start: int, values) -> None:
         """Atomically replace the journal with one holding ``values``
         from global offset ``start`` (the post-seal truncation)."""
+        failpoint("wal.rewrite", path=self._path, start=int(start))
         was_open = self._file is not None
         if was_open:
             self._file.close()
             self._file = None
         tmp = self._path + ".tmp"
         payload = np.ascontiguousarray(values, dtype=FLOAT_DTYPE).tobytes()
-        with open(tmp, "wb") as handle:
-            handle.write(WAL_MAGIC + _HEADER.pack(int(start)))
-            if payload:
-                handle.write(
-                    _RECORD.pack(len(payload) // 8, zlib.crc32(payload))
-                )
-                handle.write(payload)
-            handle.flush()
+        with wrap_os_errors("WAL rewrite", self._path):
+            with open(tmp, "wb") as handle:
+                handle.write(WAL_MAGIC + _HEADER.pack(int(start)))
+                if payload:
+                    handle.write(
+                        _RECORD.pack(len(payload) // 8, zlib.crc32(payload))
+                    )
+                    handle.write(payload)
+                handle.flush()
+                if self._fsync:
+                    os.fsync(handle.fileno())
+            os.replace(tmp, self._path)
             if self._fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp, self._path)
-        if self._fsync:
-            fsync_directory(os.path.dirname(self._path) or ".")
-        if was_open:
-            self._file = open(self._path, "ab")
+                fsync_directory(os.path.dirname(self._path) or ".")
+            if was_open:
+                self._file = open(self._path, "ab")
 
     def close(self) -> None:
         """Close the journal handle (idempotent)."""
@@ -172,6 +245,7 @@ class WriteAheadLog:
 
     def _flush(self) -> None:
         self._file.flush()
+        failpoint("wal.fsync", path=self._path, fsync=self._fsync)
         if self._fsync:
             _, fsync_seconds = _metrics()
             with fsync_seconds.time():
@@ -256,11 +330,12 @@ def fsync_directory(directory) -> None:
 
 def fsync_file(path) -> None:
     """fsync an already-written file's contents to disk."""
-    fd = os.open(os.fspath(path), os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+    with wrap_os_errors("fsync", path):
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
 
 def manifest_path(directory) -> str:
@@ -276,12 +351,23 @@ def save_manifest(directory, manifest: dict) -> None:
     the append hot path."""
     path = manifest_path(directory)
     tmp = path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=1)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
-    fsync_directory(directory)
+    with wrap_os_errors("manifest commit", path):
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        spec = failpoint("manifest.commit", path=path)
+        if spec is not None:
+            if isinstance(spec, dict) and "truncate_tmp_to" in spec:
+                # Leave a *partially written* tmp file behind, as a
+                # crash mid-write would.
+                with open(tmp, "r+b") as handle:
+                    handle.truncate(int(spec["truncate_tmp_to"]))
+            raise SimulatedCrashError(
+                f"injected crash before manifest commit at {path!r}"
+            )
+        os.replace(tmp, path)
+        fsync_directory(directory)
 
 
 def load_manifest(directory) -> dict:

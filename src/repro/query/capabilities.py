@@ -50,6 +50,13 @@ CAP_VERIFICATION = "verification"
 #: length with a prefix scan kernel.
 CAP_VARLENGTH = "varlength"
 
+#: ``search`` accepts ``timeout=`` (a per-part fan-out deadline) and
+#: ``degraded=`` (serve the parts that answered instead of failing
+#: fast with :class:`~repro.exceptions.ShardTimeoutError`). Only
+#: fan-out planes — sharded and live — can bound their parts this way;
+#: the planner drops the options everywhere else.
+CAP_FANOUT_TIMEOUT = "fanout_timeout"
+
 #: Every capability name, for validation and documentation.
 ALL_CAPABILITIES = frozenset(
     {
@@ -62,6 +69,7 @@ ALL_CAPABILITIES = frozenset(
         CAP_EXECUTOR,
         CAP_VERIFICATION,
         CAP_VARLENGTH,
+        CAP_FANOUT_TIMEOUT,
     }
 )
 

@@ -42,6 +42,7 @@ from .capabilities import (
     CAP_COUNT,
     CAP_EXECUTOR,
     CAP_EXISTS,
+    CAP_FANOUT_TIMEOUT,
     CAP_KNN,
     CAP_SEARCH_BATCH,
     CAP_VARLENGTH,
@@ -380,6 +381,11 @@ def plan(index, spec: QuerySpec) -> QueryPlan:
         options.pop("verification", None)
     if CAP_BATCHED_KERNEL not in caps:
         options.pop("batched", None)
+    if CAP_FANOUT_TIMEOUT not in caps:
+        # Only fan-out planes can bound their parts with a deadline or
+        # answer degraded; everywhere else the options are meaningless.
+        options.pop("timeout", None)
+        options.pop("degraded", None)
     varlength = False
     length = _plane_length(index)
     if length is not None:
@@ -388,9 +394,12 @@ def plan(index, spec: QuerySpec) -> QueryPlan:
         )
     if varlength:
         # The prefix kernels serve search (and the search-derived
-        # modes); nothing batched-kernel-shaped applies, and ``native``
-        # now reports whether the *prefix* kernel is the plane's own.
+        # modes); nothing batched-kernel-shaped applies (and the prefix
+        # kernels take no fan-out deadline), and ``native`` now reports
+        # whether the *prefix* kernel is the plane's own.
         options.pop("batched", None)
+        options.pop("timeout", None)
+        options.pop("degraded", None)
         native = CAP_VARLENGTH in caps and spec.mode != "knn"
     if spec.mode in ("knn", "exists", "count") and not varlength:
         # These modes take no kernel options — ``verification``/

@@ -1,0 +1,154 @@
+"""Compactor retry/backoff semantics: failed merges retry with bounded
+backoff, an exhausted budget never poisons the plane, and a simulated
+crash stops the background thread cold."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulatedCrashError
+from repro.faults import failpoints
+from repro.live import LiveTwinIndex
+from repro.live.compaction import Compactor
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+class TestRetry:
+    def test_transient_failures_retry_to_success(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            if len(calls) < 3:
+                raise RuntimeError("transient")
+
+        compactor = Compactor(work, max_retries=5, backoff=0.001)
+        compactor.schedule()
+        compactor.wait(timeout=10.0)
+        compactor.close()
+        assert len(calls) == 3
+        assert compactor.retry_count == 2
+        assert compactor.failure_count == 0
+        assert compactor.last_error is None
+
+    def test_budget_exhaustion_abandons_without_poison(self):
+        def work():
+            raise RuntimeError("permanent")
+
+        compactor = Compactor(work, max_retries=2, backoff=0.001)
+        compactor.schedule()
+        compactor.wait(timeout=10.0)  # must NOT raise the work error
+        assert compactor.failure_count == 1
+        assert compactor.retry_count == 2
+        assert "permanent" in repr(compactor.last_error)
+        stats = compactor.stats()
+        assert stats["failures"] == 1 and stats["crashed"] is False
+        compactor.close()  # must NOT raise either
+
+    def test_next_schedule_starts_a_fresh_budget(self):
+        attempts = []
+        fail_first_run = [True]
+
+        def work():
+            attempts.append(1)
+            if fail_first_run[0]:
+                raise RuntimeError("bad run")
+
+        compactor = Compactor(work, max_retries=1, backoff=0.001)
+        compactor.schedule()
+        compactor.wait(timeout=10.0)
+        assert compactor.failure_count == 1
+        fail_first_run[0] = False
+        compactor.schedule()
+        compactor.wait(timeout=10.0)
+        compactor.close()
+        # The abandoned run did not latch: the fresh run succeeded and
+        # cleared the recorded error.
+        assert compactor.last_error is None
+        assert compactor.failure_count == 1
+
+    def test_close_interrupts_backoff_sleep(self):
+        def work():
+            raise RuntimeError("always")
+
+        compactor = Compactor(work, max_retries=5, backoff=30.0)
+        compactor.schedule()
+        time.sleep(0.05)  # let the first attempt fail into its backoff
+        started = time.perf_counter()
+        compactor.close()
+        assert time.perf_counter() - started < 5.0
+
+    def test_simulated_crash_stops_thread_and_schedule_noops(self):
+        def work():
+            raise SimulatedCrashError("kill")
+
+        compactor = Compactor(work, max_retries=5, backoff=0.001)
+        compactor.schedule()
+        compactor.wait(timeout=10.0)
+        assert compactor.crashed is True
+        assert compactor.stats()["crashed"] is True
+        assert compactor.retry_count == 0  # a kill is not retried
+        compactor.schedule()  # must no-op, not restart the dead thread
+        compactor.wait(timeout=10.0)
+        compactor.close()
+
+
+class TestPlaneIntegration:
+    def test_merge_failures_leave_plane_serviceable(self, tmp_path):
+        rng = np.random.default_rng(3)
+        live = LiveTwinIndex.create(
+            str(tmp_path / "live"), length=16, seal_threshold=48,
+            max_segments=2,
+        )
+        live._compactor._max_retries = 1
+        live._compactor._backoff = 0.001
+        fed = np.cumsum(rng.normal(size=300))
+        failpoints.arm("compaction.merge", error=RuntimeError("merge down"))
+        live.append(fed)
+        live.compact(timeout=10.0)
+        assert live.stats()["compaction"]["failures"] >= 1
+        # Seals and appends keep working while merges fail ...
+        more = np.cumsum(rng.normal(size=200)) + fed[-1]
+        live.append(more)
+        assert live.seal_count >= 2
+        # ... and once the fault clears, compaction succeeds again.
+        failpoints.disarm("compaction.merge")
+        live.compact(timeout=10.0)
+        assert live.stats()["compaction"]["last_error"] is None
+        assert len(live.segments) <= 2
+        stream = np.concatenate([fed, more])
+        assert np.array_equal(np.asarray(live.values), stream)
+        result = live.search(stream[50:66], 0.3)
+        assert len(result) >= 1
+        live.close()
+
+    def test_retries_surface_in_metrics(self):
+        from repro.obs import MetricsRegistry, set_default_registry
+        from repro.obs.metrics import default_registry
+
+        registry = MetricsRegistry("repro")
+        previous = default_registry()
+        set_default_registry(registry)
+        try:
+            def work():
+                raise RuntimeError("nope")
+
+            compactor = Compactor(work, max_retries=2, backoff=0.001)
+            compactor.schedule()
+            compactor.wait(timeout=10.0)
+            compactor.close()
+            assert registry.get(
+                "repro_compaction_retries_total"
+            ).value == 2
+            assert registry.get(
+                "repro_compaction_failures_total"
+            ).value == 1
+        finally:
+            set_default_registry(previous)

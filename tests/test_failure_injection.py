@@ -161,3 +161,36 @@ class TestDegenerateData:
     def test_twin_search_validates(self):
         with pytest.raises(ReproError):
             twin_search(np.ones(50), np.ones(60), 0.1)
+
+
+class TestStorageErrorTaxonomy:
+    """Raw OS errors escaping the durability layer arrive typed."""
+
+    def test_storage_error_is_repro_error(self):
+        from repro.exceptions import ReproError, StorageError
+
+        assert issubclass(StorageError, ReproError)
+        assert not issubclass(StorageError, OSError)
+
+    def test_serialization_error_is_storage_error(self):
+        from repro.exceptions import SerializationError, StorageError
+
+        assert issubclass(SerializationError, StorageError)
+
+    def test_wal_create_in_unwritable_dir_is_typed(self, tmp_path):
+        from repro.exceptions import StorageError
+        from repro.live.wal import WriteAheadLog
+
+        missing = tmp_path / "no" / "such" / "dir" / "wal.log"
+        with pytest.raises(StorageError) as info:
+            WriteAheadLog.create(missing)
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_simulated_crash_not_caught_by_except_exception(self):
+        from repro.exceptions import SimulatedCrashError
+
+        with pytest.raises(SimulatedCrashError):
+            try:
+                raise SimulatedCrashError("kill")
+            except Exception:  # a real kill -9 runs no handlers
+                pytest.fail("SimulatedCrashError must escape Exception")

@@ -52,6 +52,9 @@ class TestTopLevelExports:
             "repro.live.segments",
             "repro.live.compaction",
             "repro.live.wal",
+            "repro.faults",
+            "repro.faults.failpoints",
+            "repro.faults.chaos",
             "repro.obs",
             "repro.obs.metrics",
             "repro.obs.trace",
@@ -67,10 +70,19 @@ class TestTopLevelExports:
     def test_subpackage_all_resolve(self):
         for module_name in ("repro.core", "repro.indices", "repro.data",
                             "repro.bench", "repro.extensions", "repro.engine",
-                            "repro.query", "repro.obs"):
+                            "repro.query", "repro.obs", "repro.faults"):
             module = importlib.import_module(module_name)
             for name in module.__all__:
                 assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_fault_exceptions_exported(self):
+        # The fault-tolerance taxonomy is part of the public surface.
+        assert issubclass(repro.StorageError, repro.ReproError)
+        assert issubclass(repro.SerializationError, repro.StorageError)
+        assert issubclass(repro.ShardTimeoutError, repro.ReproError)
+        assert issubclass(repro.ShardTimeoutError, TimeoutError)
+        assert issubclass(repro.SimulatedCrashError, BaseException)
+        assert not issubclass(repro.SimulatedCrashError, Exception)
 
 
 class TestDocstrings:
