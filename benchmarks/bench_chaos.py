@@ -28,7 +28,6 @@ Run standalone::
 """
 
 import argparse
-import json
 import os
 import shutil
 import sys
@@ -98,26 +97,12 @@ def parse_args(argv=None) -> argparse.Namespace:
     return args
 
 
-def _paired_best(repeats, setup_a, run_a, setup_b, run_b):
-    """Best wall-clock seconds of two runs, interleaved (A B A B ...).
-    ``setup_*`` runs un-timed immediately before its side."""
-    best_a = best_b = np.inf
-    for _ in range(repeats):
-        setup_a()
-        started = time.perf_counter()
-        run_a()
-        best_a = min(best_a, time.perf_counter() - started)
-        setup_b()
-        started = time.perf_counter()
-        run_b()
-        best_b = min(best_b, time.perf_counter() - started)
-    return best_a, best_b
-
-
 def main(argv=None) -> int:
     import repro._util as _util
     import repro.engine.sharding as sharding
     import repro.live.index as live_index
+    from repro.bench.record import write_artifact
+    from repro.bench.timing import paired_best
     from repro.core.windows import WindowSource
     from repro.data import synthetic
     from repro.engine import QueryEngine, ShardedTSIndex
@@ -221,7 +206,7 @@ def main(argv=None) -> int:
                 engine.query("plane", query, epsilon, use_cache=False)
 
         try:
-            noop_s, real_s = _paired_best(
+            noop_s, real_s = paired_best(
                 args.repeats,
                 lambda: bind(noop), workload,
                 lambda: bind(real), workload,
@@ -271,9 +256,7 @@ def main(argv=None) -> int:
         failpoints.reset()
         shutil.rmtree(workdir, ignore_errors=True)
 
-    with open(args.output, "w") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    write_artifact(args.output, results, kind="chaos", seed=args.seed)
     print(f"wrote {args.output}")
     # Smoke runs are too noisy to gate the overhead on; exactness and
     # serviceability still gate (they are timing-independent).

@@ -30,7 +30,6 @@ uploads the artifact.
 
 import argparse
 import concurrent.futures
-import json
 import os
 import sys
 import time
@@ -248,21 +247,13 @@ def _best_of(repeats: int, run) -> float:
     return best
 
 
-def _paired_best(repeats: int, run_a, run_b) -> tuple[float, float]:
-    """Best seconds of each of two runs, measured interleaved (A B A B
-    ...) so clock drift and cache warmth affect both sides equally."""
-    best_a = best_b = np.inf
-    for _ in range(repeats):
-        started = time.perf_counter()
-        run_a()
-        best_a = min(best_a, time.perf_counter() - started)
-        started = time.perf_counter()
-        run_b()
-        best_b = min(best_b, time.perf_counter() - started)
-    return best_a, best_b
+def _no_setup() -> None:
+    """No per-round state swap: both sides run as-is."""
 
 
 def main(argv=None) -> int:
+    from repro.bench.record import write_artifact
+    from repro.bench.timing import paired_best
     from repro.core.windows import WindowSource
     from repro.data import synthetic
     from repro.indices import create_method
@@ -360,11 +351,13 @@ def main(argv=None) -> int:
                 and np.array_equal(one.distances, other.distances)
             ):
                 raise AssertionError(f"{name}: engine != direct")
-        direct_seconds, engine_seconds = _paired_best(
+        direct_seconds, engine_seconds = paired_best(
             args.repeats,
+            _no_setup,
             lambda: [
                 plane.search(query, epsilon, **options) for query in subset
             ],
+            _no_setup,
             lambda: [
                 engine.query(name, query, epsilon, use_cache=False)
                 for query in subset
@@ -384,11 +377,13 @@ def main(argv=None) -> int:
     # shape engine.batch serves (its per-query results are what the
     # cache keys), so the row measures the pipeline, not the frozen
     # shared-traversal kernel (a different serving mode).
-    direct_seconds, engine_seconds = _paired_best(
+    direct_seconds, engine_seconds = paired_best(
         args.repeats,
+        _no_setup,
         lambda: sharded.search_batch(
             queries, epsilon, executor=pool, batched=False
         ),
+        _no_setup,
         lambda: engine.batch("sharded", queries, epsilon, use_cache=False),
     )
     record("batch_sharded", direct_seconds, engine_seconds, len(queries))
@@ -419,9 +414,7 @@ def main(argv=None) -> int:
 
     pool.shutdown()
     engine.close()
-    with open(args.output, "w") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    write_artifact(args.output, results, kind="engine", seed=args.seed)
     print(f"wrote {args.output}")
     return 0
 

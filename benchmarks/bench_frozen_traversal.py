@@ -33,13 +33,13 @@ Run::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
 
 import numpy as np
 
+from repro.bench.record import write_artifact
 from repro.core.tsindex import TSIndex, TSIndexParams
 from repro.core.windows import WindowSource
 from repro.data import synthetic
@@ -262,9 +262,7 @@ def main(argv=None) -> int:
         ),
     )
 
-    with open(args.output, "w") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    write_artifact(args.output, results, kind="frozen", seed=args.seed)
     print(f"wrote {args.output}")
     return 0
 

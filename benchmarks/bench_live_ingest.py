@@ -29,7 +29,6 @@ Run::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import shutil
 import sys
@@ -39,6 +38,7 @@ import time
 
 import numpy as np
 
+from repro.bench.record import write_artifact
 from repro.core.tsindex import TSIndex, TSIndexParams
 from repro.data import synthetic
 from repro.live import LiveTwinIndex
@@ -282,9 +282,7 @@ def main(argv=None) -> int:
         print(f"{name}: p50 {row['p50_ms']}ms  p99 {row['p99_ms']}ms")
 
     live.close()
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    write_artifact(args.output, results, kind="live", seed=args.seed)
     print(f"wrote {args.output}")
     return 0
 

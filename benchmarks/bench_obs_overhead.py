@@ -30,7 +30,6 @@ Run standalone::
 """
 
 import argparse
-import json
 import os
 import shutil
 import sys
@@ -94,26 +93,9 @@ def parse_args(argv=None) -> argparse.Namespace:
     return args
 
 
-def _paired_best(repeats, setup_a, run_a, setup_b, run_b):
-    """Best wall-clock seconds of two runs, interleaved (A B A B ...).
-
-    ``setup_*`` runs un-timed immediately before its side — the bench
-    swaps the process-default metrics registry there, off the clock.
-    """
-    best_a = best_b = np.inf
-    for _ in range(repeats):
-        setup_a()
-        started = time.perf_counter()
-        run_a()
-        best_a = min(best_a, time.perf_counter() - started)
-        setup_b()
-        started = time.perf_counter()
-        run_b()
-        best_b = min(best_b, time.perf_counter() - started)
-    return best_a, best_b
-
-
 def main(argv=None) -> int:
+    from repro.bench.record import write_artifact
+    from repro.bench.timing import paired_best
     from repro.core.windows import WindowSource
     from repro.data import synthetic
     from repro.engine import QueryEngine, ShardedTSIndex
@@ -206,7 +188,7 @@ def main(argv=None) -> int:
         )
 
     # --- hot single-query path (the gated section) --------------------
-    disabled_s, enabled_s = _paired_best(
+    disabled_s, enabled_s = paired_best(
         args.repeats,
         disable,
         lambda: [
@@ -222,7 +204,7 @@ def main(argv=None) -> int:
     record("single_query", disabled_s, enabled_s, len(queries), "query")
 
     # --- batch path ---------------------------------------------------
-    disabled_s, enabled_s = _paired_best(
+    disabled_s, enabled_s = paired_best(
         args.repeats,
         disable,
         lambda: engine_off.batch("plane", queries, epsilon, use_cache=False),
@@ -338,9 +320,7 @@ def main(argv=None) -> int:
     engine_on.close()
     engine_off.close()
     set_default_registry(MetricsRegistry("repro"))
-    with open(args.output, "w") as handle:
-        json.dump(results, handle, indent=2)
-        handle.write("\n")
+    write_artifact(args.output, results, kind="obs", seed=args.seed)
     print(f"wrote {args.output}")
     # Smoke runs are too noisy to gate on (tiny queries amplify jitter);
     # the committed full-scale artifact is the acceptance record.

@@ -29,13 +29,13 @@ Run::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import time
 
 import numpy as np
 
+from repro.bench.record import write_artifact
 from repro.core.tsindex import TSIndex
 from repro.data import synthetic
 from repro.engine import ShardedTSIndex
@@ -221,8 +221,7 @@ def main(argv=None) -> int:
     finally:
         live.close()
 
-    with open(args.output, "w") as handle:
-        json.dump(results, handle, indent=2)
+    write_artifact(args.output, results, kind="varlength", seed=args.seed)
     print(f"wrote {args.output}")
     return 0
 

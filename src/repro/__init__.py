@@ -128,6 +128,7 @@ from .obs import (
     to_prometheus,
 )
 from .query import QuerySpec
+from .sweep import QueryMix, SweepSpec, compare_artifacts, run_sweep
 
 # Library logging convention: silent unless the application configures
 # handlers (repro.obs.configure_logging is the documented shortcut).
@@ -157,6 +158,7 @@ __all__ = [
     "Normalization",
     "QueryCache",
     "QueryEngine",
+    "QueryMix",
     "QuerySpec",
     "QueryStats",
     "QueryTrace",
@@ -168,6 +170,7 @@ __all__ = [
     "SimulatedCrashError",
     "StorageError",
     "SubsequenceIndex",
+    "SweepSpec",
     "SweeplineSearch",
     "TSIndex",
     "TSIndexParams",
@@ -180,6 +183,7 @@ __all__ = [
     "bulk_load",
     "bulk_load_source",
     "chebyshev_distance",
+    "compare_artifacts",
     "configure_logging",
     "create_method",
     "euclidean_distance",
@@ -191,6 +195,7 @@ __all__ = [
     "search_batch",
     "to_json",
     "to_prometheus",
+    "run_sweep",
     "twin_search",
     "__version__",
 ]

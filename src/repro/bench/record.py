@@ -1,5 +1,20 @@
-"""EXPERIMENTS.md generator: run everything, emit paper-vs-measured.
+"""Benchmark records: the shared JSON artifact envelope, and the
+EXPERIMENTS.md generator.
 
+Artifact envelope
+-----------------
+Every ``benchmarks/bench_*.py`` script (and the sweep driver) writes
+its ``BENCH_*.json`` through :func:`write_artifact`, which wraps the
+script's result sections in one schema-versioned envelope — ``schema``,
+``kind``, and a ``meta`` block (generation time, seed, cpu_count, git
+revision, python version) — and serializes with sorted keys so
+artifacts diff stably. :func:`read_artifact` is the mirror: it loads
+any artifact, normalizing pre-envelope ("legacy") ``BENCH_*.json``
+files into the same shape, so ``repro sweep compare`` can gate a fresh
+run against any committed baseline regardless of vintage.
+
+EXPERIMENTS.md generator
+------------------------
 ``python -m repro.bench.record --output EXPERIMENTS.md`` executes the
 intro experiment and Figures 4-8 on both datasets and renders one
 markdown report with, per experiment: the paper's qualitative claim,
@@ -11,10 +26,129 @@ module (see its header for the exact invocation used).
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import platform
+import re
+import subprocess
 import sys
+import time
 
+from ..exceptions import InvalidParameterError, SerializationError
 from . import experiments as exp
 from .reporting import to_markdown
+
+#: Envelope schema written by :func:`write_artifact`.
+ARTIFACT_SCHEMA = "repro.bench/1"
+
+#: Schema tag assigned to pre-envelope artifacts by :func:`read_artifact`.
+LEGACY_SCHEMA = "repro.bench/0-legacy"
+
+#: Top-level keys the envelope owns; result sections may not shadow them.
+RESERVED_KEYS = ("schema", "kind", "meta")
+
+
+def git_revision() -> str | None:
+    """The working tree's short git revision, or ``None`` outside a
+    repository (artifacts must still be writable from an sdist)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def make_meta(*, seed=None) -> dict:
+    """The envelope ``meta`` block: where, when and from what this
+    artifact was generated."""
+    meta = {
+        "generated_unix": round(time.time(), 3),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "git_rev": git_revision(),
+    }
+    if seed is not None:
+        meta["seed"] = int(seed)
+    return meta
+
+
+def make_artifact(results: dict, *, kind: str, seed=None) -> dict:
+    """Wrap a script's result sections in the shared envelope."""
+    if not isinstance(results, dict):
+        raise InvalidParameterError(
+            f"artifact results must be a dict, got {type(results).__name__}"
+        )
+    clashes = [key for key in RESERVED_KEYS if key in results]
+    if clashes:
+        raise InvalidParameterError(
+            f"result sections may not use reserved envelope keys: {clashes}"
+        )
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "kind": str(kind),
+        "meta": make_meta(seed=seed),
+    }
+    payload.update(results)
+    return payload
+
+
+def write_artifact(path, results: dict, *, kind: str, seed=None) -> dict:
+    """Write one enveloped, stably-ordered ``BENCH_*.json`` artifact.
+
+    Keys are sorted at every level so two runs of the same benchmark
+    differ only where measurements differ. Returns the full payload.
+    """
+    payload = make_artifact(results, kind=kind, seed=seed)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def _infer_kind(path) -> str:
+    """``BENCH_<kind>.json`` → ``<kind>``; anything else → ``unknown``."""
+    name = os.path.basename(str(path))
+    match = re.fullmatch(r"BENCH_([A-Za-z0-9_]+)\.json", name)
+    return match.group(1) if match else "unknown"
+
+
+def read_artifact(path) -> dict:
+    """Load a benchmark artifact, normalizing legacy files.
+
+    Artifacts written before the envelope existed (no ``schema`` key)
+    are wrapped in place: their sections become the payload body under
+    ``schema = "repro.bench/0-legacy"`` with the kind inferred from the
+    filename — so every committed ``BENCH_*.json`` ever produced reads
+    through the one code path and can serve as a ``compare`` baseline.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"cannot read artifact {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"artifact {path} must hold a JSON object, got "
+            f"{type(data).__name__}"
+        )
+    if "schema" in data:
+        return data
+    normalized = {
+        "schema": LEGACY_SCHEMA,
+        "kind": _infer_kind(path),
+        "meta": {},
+    }
+    for key, value in data.items():
+        if key not in normalized:
+            normalized[key] = value
+    return normalized
 
 #: The paper's qualitative claim for each figure, quoted/condensed from
 #: Section 6.2 — what the measured series are compared against.

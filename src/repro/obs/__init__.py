@@ -40,6 +40,7 @@ from .metrics import (
     default_registry,
     resolve_registry,
     set_default_registry,
+    snapshot_delta,
 )
 from .trace import (
     DEFAULT_TRACE_CAPACITY,
@@ -64,6 +65,7 @@ __all__ = [
     "default_registry",
     "set_default_registry",
     "resolve_registry",
+    "snapshot_delta",
     "to_prometheus",
     "to_json",
     "json_snapshot",

@@ -1,0 +1,67 @@
+"""``repro.sweep`` — statistical benchmark sweeps with observability
+signals and regression gating.
+
+The sweep subsystem closes the loop between the benchmark harness and
+the observability stack: a declarative :class:`SweepSpec` expands into
+deterministically-identified scenarios (:mod:`repro.sweep.spec`), the
+runner executes each one on an isolated engine + metrics registry and
+harvests latency samples, metric deltas and trace attribution
+(:mod:`repro.sweep.runner`), every reported number is a cross-repetition
+statistic (:mod:`repro.sweep.stats`), and artifacts are schema-versioned
+JSON that ``repro sweep compare`` gates against committed baselines
+(:mod:`repro.sweep.baseline`, :mod:`repro.sweep.report`).
+
+Quickstart::
+
+    from repro.sweep import smoke_spec, run_sweep, write_report
+    result = run_sweep(smoke_spec())
+    write_report("BENCH_sweep.json", result, seed=7)
+"""
+
+from .attribution import attribute_traces
+from .baseline import (
+    DEFAULT_THRESHOLD_PCT,
+    TAIL_THRESHOLD_PCT,
+    compare_artifacts,
+    flatten,
+    gated_threshold,
+)
+from .report import load_report, render_compare, render_markdown, write_report
+from .runner import build_workload, run_scenario, run_sweep
+from .spec import (
+    CHAOS_PLANES,
+    MIX_KINDS,
+    MIXED,
+    QueryMix,
+    Scenario,
+    SweepSpec,
+    full_spec,
+    smoke_spec,
+)
+from .stats import bucket_quantile, summarize
+
+__all__ = [
+    "CHAOS_PLANES",
+    "DEFAULT_THRESHOLD_PCT",
+    "MIXED",
+    "MIX_KINDS",
+    "QueryMix",
+    "Scenario",
+    "SweepSpec",
+    "TAIL_THRESHOLD_PCT",
+    "attribute_traces",
+    "bucket_quantile",
+    "build_workload",
+    "compare_artifacts",
+    "flatten",
+    "full_spec",
+    "gated_threshold",
+    "load_report",
+    "render_compare",
+    "render_markdown",
+    "run_scenario",
+    "run_sweep",
+    "smoke_spec",
+    "summarize",
+    "write_report",
+]

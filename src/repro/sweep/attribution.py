@@ -1,0 +1,84 @@
+"""Stage attribution: where scenario wall-clock time actually goes.
+
+The engine's sampled :class:`~repro.obs.trace.QueryTrace` objects carry
+per-stage spans — ``prepare`` (planner), ``plan``, ``execute``,
+``merge``, ``verify`` — plus per-shard / per-segment fan-out spans that
+run *concurrently* on pool threads. :func:`attribute_traces` aggregates
+a scenario's traces into one breakdown:
+
+* **wall stages** — spans on the query's critical path, with the
+  engine-level ``execute`` span's nested ``merge``/``verify`` time
+  subtracted out so shares sum to (at most) 1.0 rather than
+  double-counting, and an ``other`` bucket for untraced residue;
+* **parts** — the fan-out spans (identified by a ``shard``/``segment``
+  key in their meta), reported separately as parallel CPU seconds:
+  their sum can legitimately exceed wall time and must not be folded
+  into the wall breakdown.
+"""
+
+from __future__ import annotations
+
+#: Canonical wall-stage order for reports.
+STAGE_ORDER = ("prepare", "plan", "execute", "merge", "verify", "other")
+
+#: Meta keys marking a span as a concurrent fan-out part.
+PART_META_KEYS = ("shard", "segment")
+
+
+def _is_part(span: dict) -> bool:
+    meta = span.get("meta") or {}
+    return any(key in meta for key in PART_META_KEYS)
+
+
+def attribute_traces(traces) -> dict:
+    """Aggregate trace dicts (``QueryTrace.as_dict()`` shape) into a
+    per-stage breakdown.
+
+    Returns ``{"traces": n, "wall_s": ..., "stages": {name: {"total_s",
+    "mean_ms", "share"}}, "parts": {...}}`` with stages in
+    :data:`STAGE_ORDER`. Empty input yields zeroed stages so reports
+    stay structurally stable.
+    """
+    traces = [
+        trace.as_dict() if hasattr(trace, "as_dict") else trace
+        for trace in traces
+    ]
+    wall = sum(float(trace.get("duration_s", 0.0)) for trace in traces)
+    stage_totals = {name: 0.0 for name in STAGE_ORDER}
+    part_totals: dict = {}
+    for trace in traces:
+        for span in trace.get("spans", ()):
+            name = span.get("name", "")
+            duration = float(span.get("duration_s", 0.0))
+            if _is_part(span):
+                part_totals[name] = part_totals.get(name, 0.0) + duration
+            elif name in stage_totals:
+                stage_totals[name] += duration
+    # The engine's "execute" span wraps the plane's merge/verify work;
+    # keep only its exclusive time so stage shares don't double-count.
+    stage_totals["execute"] = max(
+        0.0,
+        stage_totals["execute"] - stage_totals["merge"] - stage_totals["verify"],
+    )
+    accounted = sum(
+        stage_totals[name] for name in STAGE_ORDER if name != "other"
+    )
+    stage_totals["other"] = max(0.0, wall - accounted)
+
+    count = len(traces)
+    stages = {
+        name: {
+            "total_s": stage_totals[name],
+            "mean_ms": 1000.0 * stage_totals[name] / count if count else 0.0,
+            "share": stage_totals[name] / wall if wall > 0 else 0.0,
+        }
+        for name in STAGE_ORDER
+    }
+    parts = {
+        name: {
+            "total_s": total,
+            "mean_ms": 1000.0 * total / count if count else 0.0,
+        }
+        for name, total in sorted(part_totals.items())
+    }
+    return {"traces": count, "wall_s": wall, "stages": stages, "parts": parts}

@@ -1,0 +1,149 @@
+"""Baseline comparison: gate a fresh sweep (or any ``BENCH_*.json``)
+against a committed artifact with per-metric relative thresholds.
+
+Artifacts are flattened to dotted numeric paths, the *gated* subset —
+latency-shaped metrics only, never environment metadata, configuration
+echoes, raw signal counts or dispersion statistics — is intersected
+between current and baseline, and each shared path is checked for
+relative regression. Central-tendency metrics (mean/median/p50) get the
+default threshold; tail metrics (p99/max), which are legitimately an
+order of magnitude noisier at sweep repetition counts, get a wider one.
+A comparison of an artifact against itself always passes with zero
+regressions — the determinism contract ``repro sweep compare`` gates
+in CI.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..exceptions import InvalidParameterError
+
+#: Relative regression threshold (percent) for central-tendency metrics.
+DEFAULT_THRESHOLD_PCT = 25.0
+
+#: Wider threshold (percent) for tail metrics (p99, max).
+TAIL_THRESHOLD_PCT = 60.0
+
+#: Path segments that exclude a subtree from gating: metadata,
+#: configuration echoes and observability signal counts are recorded
+#: for forensics, not gated as performance.
+EXCLUDED_SEGMENTS = frozenset(
+    {"meta", "spec", "params", "config", "signals", "ops", "schema"}
+)
+
+#: Leaf names that are never gated even inside a gated subtree —
+#: dispersion/support statistics, not performance levels.
+EXCLUDED_LEAVES = frozenset(
+    {"n", "count", "stdev", "ci95", "min", "share", "traces",
+     "repetitions", "warmup", "scenario_count", "epsilon",
+     "results_returned"}
+)
+
+#: Leaf names gated as central-tendency latency metrics.
+CENTRAL_LEAVES = frozenset({"mean", "median", "p50", "mean_ms", "p50_ms"})
+
+#: Leaf names gated with the wider tail threshold.
+TAIL_LEAVES = frozenset({"p99", "max", "p99_ms"})
+
+#: Leaves matching this are time-valued even outside a summary block
+#: (e.g. a legacy artifact's ``single_query_ms``).
+_TIME_LEAF = re.compile(r"(^|_)(ms|seconds|sec|s)($|_)|_ms$|_seconds$")
+
+
+def flatten(payload, prefix: str = "") -> dict:
+    """``{dotted.path: float}`` for every numeric leaf (bools are not
+    numbers here; lists index numerically)."""
+    flat: dict = {}
+    if isinstance(payload, dict):
+        items = payload.items()
+    elif isinstance(payload, (list, tuple)):
+        items = enumerate(payload)
+    else:
+        items = ()
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[path] = float(value)
+        elif isinstance(value, (dict, list, tuple)):
+            flat.update(flatten(value, path))
+    return flat
+
+
+def gated_threshold(path: str):
+    """The regression threshold (percent) for ``path``, or ``None``
+    when the path is not performance-gated."""
+    segments = path.split(".")
+    if any(segment in EXCLUDED_SEGMENTS for segment in segments):
+        return None
+    leaf = segments[-1]
+    if leaf in EXCLUDED_LEAVES:
+        return None
+    if leaf in TAIL_LEAVES:
+        return TAIL_THRESHOLD_PCT
+    if leaf in CENTRAL_LEAVES:
+        return DEFAULT_THRESHOLD_PCT
+    if _TIME_LEAF.search(leaf):
+        return DEFAULT_THRESHOLD_PCT
+    return None
+
+
+def compare_artifacts(
+    current: dict, baseline: dict, *, threshold_scale: float = 1.0
+) -> dict:
+    """Compare two artifact payloads (``read_artifact`` output shape).
+
+    Only paths present in *both* artifacts are compared — scenario sets
+    may evolve; a disappeared path is reported in ``missing`` /
+    ``added`` counts, never as a regression. Returns ``{"passed",
+    "compared", "regressions", "verdicts", "missing", "added"}`` where
+    each verdict is ``{path, baseline, current, delta_pct,
+    threshold_pct, regressed}``.
+    """
+    threshold_scale = float(threshold_scale)
+    if threshold_scale <= 0:
+        raise InvalidParameterError(
+            f"threshold_scale must be > 0, got {threshold_scale}"
+        )
+    flat_current = flatten(current)
+    flat_baseline = flatten(baseline)
+    gated_current = {
+        path for path in flat_current if gated_threshold(path) is not None
+    }
+    gated_baseline = {
+        path for path in flat_baseline if gated_threshold(path) is not None
+    }
+    shared = sorted(gated_current & gated_baseline)
+
+    verdicts = []
+    for path in shared:
+        threshold = gated_threshold(path) * threshold_scale
+        base = flat_baseline[path]
+        now = flat_current[path]
+        if base <= 0.0:
+            # No meaningful relative delta off a zero/negative base; a
+            # sub-microsecond level is noise either way.
+            delta_pct = 0.0 if now <= 1e-6 else float("inf")
+        else:
+            delta_pct = 100.0 * (now - base) / base
+        verdicts.append(
+            {
+                "path": path,
+                "baseline": base,
+                "current": now,
+                "delta_pct": delta_pct,
+                "threshold_pct": threshold,
+                "regressed": delta_pct > threshold,
+            }
+        )
+    regressions = [v for v in verdicts if v["regressed"]]
+    return {
+        "passed": not regressions,
+        "compared": len(verdicts),
+        "regressions": len(regressions),
+        "verdicts": verdicts,
+        "missing": sorted(gated_baseline - gated_current),
+        "added": sorted(gated_current - gated_baseline),
+    }

@@ -1,0 +1,141 @@
+"""Sweep artifacts and human-readable reports.
+
+:func:`write_report` persists a sweep result as an enveloped,
+stably-ordered ``BENCH_sweep.json`` via :mod:`repro.bench.record`.
+:func:`render_markdown` turns any sweep artifact — fresh or committed —
+into the scenario summary table, the per-stage attribution table, and
+an ASCII latency chart, reusing the existing :mod:`repro.bench`
+reporting primitives. :func:`render_compare` does the same for a
+:func:`~repro.sweep.baseline.compare_artifacts` verdict.
+"""
+
+from __future__ import annotations
+
+from ..bench.charts import render_chart
+from ..bench.record import read_artifact, write_artifact
+from ..bench.reporting import format_table, to_markdown
+from ..exceptions import InvalidParameterError
+from .attribution import STAGE_ORDER
+
+#: ``kind`` tag of sweep artifacts.
+SWEEP_KIND = "sweep"
+
+
+def write_report(path, result: dict, *, seed=None) -> dict:
+    """Persist one sweep result as an enveloped artifact; returns the
+    payload written."""
+    return write_artifact(path, result, kind=SWEEP_KIND, seed=seed)
+
+
+def load_report(path) -> dict:
+    """Load a sweep artifact (enveloped or legacy)."""
+    artifact = read_artifact(path)
+    if "scenarios" not in artifact:
+        raise InvalidParameterError(
+            f"{path} is not a sweep artifact (no 'scenarios' section); "
+            f"kind={artifact.get('kind')!r}"
+        )
+    return artifact
+
+
+def _scenario_rows(artifact: dict) -> list:
+    rows = []
+    for record in artifact.get("scenarios", ()):
+        timing = record.get("repetition_seconds", {})
+        query = record.get("query_ms", {})
+        signals = record.get("signals", {})
+        rows.append(
+            {
+                "scenario": record.get("id", "?"),
+                "reps": timing.get("n"),
+                "rep mean (s)": timing.get("mean"),
+                "rep ±ci95 (s)": timing.get("ci95"),
+                "rep p99 (s)": timing.get("p99"),
+                "query p50 (ms)": query.get("p50_ms"),
+                "query p99 (ms)": query.get("p99_ms"),
+                "cache hit rate": signals.get("cache_hit_rate"),
+                "chaos failures": signals.get("chaos_failures"),
+            }
+        )
+    return rows
+
+
+def _stage_rows(artifact: dict) -> list:
+    rows = []
+    for record in artifact.get("scenarios", ()):
+        stages = record.get("stages", {}).get("stages", {})
+        row = {"scenario": record.get("id", "?")}
+        for name in STAGE_ORDER:
+            share = stages.get(name, {}).get("share", 0.0)
+            row[name] = f"{100.0 * share:.1f}%"
+        rows.append(row)
+    return rows
+
+
+def _latency_chart(artifact: dict) -> str:
+    """Repetition mean latency per scenario, log-y ASCII chart (skipped
+    when any scenario's mean is non-positive — a log axis needs
+    positive values)."""
+    scenarios = artifact.get("scenarios", ())
+    means = [
+        1000.0 * record.get("repetition_seconds", {}).get("mean", 0.0)
+        for record in scenarios
+    ]
+    if not means or any(mean <= 0 for mean in means):
+        return "(latency chart skipped: non-positive repetition means)"
+    return render_chart(
+        list(range(1, len(means) + 1)),
+        {"rep mean": means},
+        y_label="ms",
+        x_label="scenario # (ordered by ID)",
+    )
+
+
+def render_markdown(artifact: dict) -> str:
+    """The full human-readable report for one sweep artifact."""
+    meta = artifact.get("meta", {})
+    header = (
+        f"# Sweep report\n\n"
+        f"schema `{artifact.get('schema')}` · kind `{artifact.get('kind')}`"
+        f" · git `{meta.get('git_rev')}` · seed `{meta.get('seed')}`"
+        f" · scenarios {artifact.get('scenario_count')}"
+        f" · repetitions {artifact.get('repetitions')}\n"
+    )
+    sections = [
+        header,
+        "## Scenarios\n\n" + to_markdown(_scenario_rows(artifact)),
+        "## Stage attribution (share of traced wall time)\n\n"
+        + to_markdown(_stage_rows(artifact)),
+        "## Repetition mean latency\n\n```\n"
+        + _latency_chart(artifact)
+        + "\n```",
+    ]
+    return "\n\n".join(sections) + "\n"
+
+
+def render_compare(comparison: dict, *, limit: int = 20) -> str:
+    """A fixed-width verdict table plus the pass/fail summary line."""
+    verdicts = comparison["verdicts"]
+    shown = sorted(
+        verdicts, key=lambda v: v["delta_pct"], reverse=True
+    )[: int(limit)]
+    rows = [
+        {
+            "metric": v["path"],
+            "baseline": v["baseline"],
+            "current": v["current"],
+            "delta %": v["delta_pct"],
+            "threshold %": v["threshold_pct"],
+            "verdict": "REGRESSED" if v["regressed"] else "ok",
+        }
+        for v in shown
+    ]
+    table = format_table(rows) if rows else "(no shared gated metrics)"
+    summary = (
+        f"{'PASS' if comparison['passed'] else 'FAIL'}: "
+        f"{comparison['compared']} metrics compared, "
+        f"{comparison['regressions']} regressed, "
+        f"{len(comparison['missing'])} only in baseline, "
+        f"{len(comparison['added'])} only in current"
+    )
+    return table + "\n\n" + summary + "\n"

@@ -1,0 +1,361 @@
+"""The sweep runner: execute every scenario of a spec and harvest
+latency samples *and* observability signals.
+
+Each scenario gets a fully isolated serving stack: its own
+:class:`~repro.obs.MetricsRegistry` (installed as the process default
+for the scenario's duration, so live-plane instrumentation — seals,
+compactions, ingest lag — lands in it too), its own
+:class:`~repro.engine.QueryEngine` tracing every query, and its own
+deterministically seeded workload. Repetition timings come from
+:func:`repro.bench.timing.sample_seconds` (un-timed warmup, one sample
+per repetition); metric deltas come from
+:meth:`~repro.obs.MetricsRegistry.snapshot` pairs around the timed
+region via :func:`~repro.obs.snapshot_delta`; stage attribution comes
+from the engine's sampled traces. A scenario's optional chaos arm
+re-uses :mod:`repro.faults.failpoints` on the plane's fan-out site and
+counts surfaced failures as a signal rather than aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import shutil
+import tempfile
+
+import numpy as np
+
+from ..data import synthetic
+from ..engine import QueryEngine
+from ..exceptions import InvalidParameterError, ReproError
+from ..faults import failpoints
+from ..live import LiveTwinIndex
+from ..bench.timing import sample_seconds
+from ..obs import (
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+    snapshot_delta,
+)
+from .attribution import attribute_traces
+from .spec import MIX_KINDS, Scenario, SweepSpec
+from .stats import histogram_delta_summary, merge_histogram_samples, summarize
+
+#: The plane name every scenario registers its index under.
+PLANE_NAME = "sweep"
+
+#: k for the workload's k-NN ops.
+KNN_K = 5
+
+#: Bernoulli firing probability of a scenario's chaos arm.
+CHAOS_PROBABILITY = 0.1
+
+#: Failpoint site per plane for the ``"search"`` chaos arm.
+CHAOS_SEARCH_SITES = {"sharded": "shard.search", "live": "segment.search"}
+
+
+def base_epsilon(series) -> float:
+    """The scenario's ε unit: half the series' global standard
+    deviation — the same calibration the chaos harness uses, selective
+    at scale 1 and permissive by scale ~4 on the synthetic generators."""
+    return 0.5 * float(np.std(np.asarray(series, dtype=np.float64)))
+
+
+def build_workload(scenario: Scenario) -> list:
+    """The deterministic, interleaved op list for one repetition.
+
+    Each op is ``(kind, positions)``: single-position tuples for
+    ``search`` / ``varlength`` / ``knn``, ``batch_size`` positions for
+    a ``batch`` op. Positions and interleaving order derive only from
+    the scenario's parameter digest, so the same scenario always
+    replays the same workload.
+    """
+    rng = random.Random(scenario.workload_seed())
+    window_count = scenario.windows
+    counts = scenario.mix.counts(scenario.operations)
+    ops = []
+    for kind in MIX_KINDS:
+        for _ in range(counts[kind]):
+            draws = scenario.batch_size if kind == "batch" else 1
+            positions = tuple(
+                rng.randrange(window_count) for _ in range(draws)
+            )
+            ops.append((kind, positions))
+    rng.shuffle(ops)
+    return ops
+
+
+def _build_live_plane(scenario: Scenario, series, directory):
+    """A live plane fed incrementally so seals (and, with a small
+    ``max_segments``, compactions) actually happen during setup."""
+    index = LiveTwinIndex.create(
+        directory,
+        series[: scenario.length],
+        length=scenario.length,
+        normalization="none",
+        seal_threshold=scenario.seal_threshold or 4096,
+        max_segments=4,
+        background_compaction=False,
+        fsync=False,
+    )
+    chunk = max(1, (scenario.seal_threshold or 4096) // 2)
+    remaining = series[scenario.length:]
+    for start in range(0, len(remaining), chunk):
+        index.append(remaining[start:start + chunk])
+    index.compact(timeout=60.0)
+    return index
+
+
+class _ScenarioStack(contextlib.ExitStack):
+    """Per-scenario serving stack: registry, engine, plane, temp dirs —
+    all torn down (and the process default registry restored) however
+    the scenario exits."""
+
+    def __init__(self, scenario: Scenario, series):
+        super().__init__()
+        self.registry = MetricsRegistry("sweep")
+        previous = default_registry()
+        set_default_registry(self.registry)
+        self.callback(set_default_registry, previous)
+        self.engine = QueryEngine(
+            metrics=self.registry, trace_capacity=512, trace_sample=1.0
+        )
+        self.callback(self.engine.close)
+        if scenario.plane == "live":
+            directory = tempfile.mkdtemp(prefix="repro-sweep-live-")
+            self.callback(shutil.rmtree, directory, True)
+            index = _build_live_plane(scenario, series, directory)
+            self.callback(index.close)
+            self.engine.add_live(PLANE_NAME, index)
+        else:
+            options = {}
+            if scenario.plane == "sharded" and scenario.shards:
+                options["shards"] = scenario.shards
+            self.engine.build(
+                PLANE_NAME,
+                series,
+                scenario.length,
+                method=scenario.plane,
+                normalization="none",
+                **options,
+            )
+
+
+class _WorkloadRunner:
+    """Executes one repetition of a scenario's op list, tolerating (and
+    counting) failures surfaced by the chaos arm."""
+
+    def __init__(self, scenario: Scenario, engine, series, epsilon: float):
+        self.scenario = scenario
+        self.engine = engine
+        self.series = series
+        self.epsilon = epsilon
+        self.ops = build_workload(scenario)
+        self.failures = 0
+        self.results = 0
+
+    def _query_values(self, position: int, length: int):
+        return self.series[position:position + length]
+
+    def _execute(self, kind: str, positions) -> None:
+        length = self.scenario.length
+        if kind == "search":
+            result = self.engine.query(
+                PLANE_NAME, self._query_values(positions[0], length),
+                self.epsilon, use_cache=False,
+            )
+        elif kind == "varlength":
+            result = self.engine.query(
+                PLANE_NAME,
+                self._query_values(positions[0], max(2, length // 2)),
+                self.epsilon, use_cache=False,
+            )
+        elif kind == "knn":
+            result = self.engine.knn(
+                PLANE_NAME, self._query_values(positions[0], length), KNN_K
+            )
+        elif kind == "batch":
+            batch = self.engine.batch(
+                PLANE_NAME,
+                [self._query_values(p, length) for p in positions],
+                self.epsilon, use_cache=False,
+            )
+            self.results += sum(len(r) for r in batch)
+            return
+        else:  # pragma: no cover - guarded by MIX_KINDS
+            raise InvalidParameterError(f"unknown op kind {kind!r}")
+        self.results += len(result)
+
+    def run_once(self) -> None:
+        for kind, positions in self.ops:
+            try:
+                self._execute(kind, positions)
+            except (ReproError, OSError):
+                self.failures += 1
+
+
+def _counter_total(delta: dict, name: str) -> float:
+    entry = delta.get(name)
+    if not entry:
+        return 0.0
+    return float(sum(entry["samples"].values()))
+
+
+def _gauge_value(snapshot: dict, name: str) -> float:
+    entry = snapshot.get(name)
+    if not entry or not entry["samples"]:
+        return 0.0
+    return float(next(iter(entry["samples"].values())))
+
+
+def _chaos_site(scenario: Scenario) -> str | None:
+    if scenario.chaos == "search":
+        return CHAOS_SEARCH_SITES.get(scenario.plane)
+    return None
+
+
+def run_scenario(
+    scenario: Scenario, *, repetitions: int, warmup: int
+) -> dict:
+    """Run one scenario: build its stack, time ``repetitions`` workload
+    replays, and return the full per-scenario record."""
+    series = synthetic.insect_like(
+        scenario.windows + scenario.length - 1, seed=scenario.seed
+    )
+    epsilon = scenario.epsilon_scale * base_epsilon(series)
+
+    with _ScenarioStack(scenario, series) as stack:
+        engine = stack.engine
+        runner = _WorkloadRunner(scenario, engine, series, epsilon)
+
+        site = _chaos_site(scenario)
+        if site is not None:
+            stack.callback(failpoints.disarm, site)
+            failpoints.arm(
+                site,
+                error="io",
+                probability=CHAOS_PROBABILITY,
+                seed=scenario.workload_seed() & 0xFFFF,
+            )
+
+        # Warmup replays run through sample_seconds below (warmup=...),
+        # but the traces and metric deltas must cover only the timed
+        # region — snapshot after warmup, clear the trace ring.
+        for _ in range(int(warmup)):
+            runner.run_once()
+        engine.tracer.clear()
+        runner.failures = 0
+        runner.results = 0
+        before = stack.registry.snapshot()
+
+        samples = sample_seconds(
+            runner.run_once, repetitions=repetitions, warmup=0
+        )
+
+        traces = [trace.as_dict() for trace in engine.traces()]
+        timed_failures = runner.failures
+        timed_results = runner.results
+
+        # A short cached replay so the cache-hit-rate gauge reflects
+        # real repeat traffic (the timed region runs cache-cold).
+        replay = [
+            positions[0]
+            for kind, positions in runner.ops
+            if kind == "search"
+        ][:4]
+        for _ in range(2):
+            for position in replay:
+                try:
+                    engine.query(
+                        PLANE_NAME,
+                        series[position:position + scenario.length],
+                        epsilon,
+                        use_cache=True,
+                    )
+                except (ReproError, OSError):
+                    pass
+
+        after = stack.registry.snapshot()
+        delta = snapshot_delta(before, after)
+
+        latency_entry = delta.get("repro_engine_query_seconds", {})
+        merged = merge_histogram_samples(latency_entry)
+        query_ms = histogram_delta_summary(
+            merged, latency_entry.get("le", ())
+        )
+
+        signals = {
+            "queries_total": _counter_total(
+                delta, "repro_engine_queries_total"
+            ),
+            "cache_hit_rate": _gauge_value(
+                after, "repro_engine_cache_hit_rate"
+            ),
+            "ingest_lag_readings": _gauge_value(
+                after, "repro_live_ingest_lag_readings"
+            ),
+            "seals_total": _counter_total(
+                after, "repro_live_seals_total"
+            ),
+            "compactions_total": _counter_total(
+                after, "repro_live_compactions_total"
+            ),
+            "chaos_failures": timed_failures,
+        }
+
+    ops_counts = scenario.mix.counts(scenario.operations)
+    return {
+        "id": scenario.scenario_id,
+        "params": scenario.params(),
+        "repetitions": int(repetitions),
+        "warmup": int(warmup),
+        "epsilon": epsilon,
+        "ops": ops_counts,
+        "results_returned": timed_results,
+        "repetition_seconds": summarize(samples),
+        "query_ms": query_ms,
+        "signals": signals,
+        "stages": attribute_traces(traces),
+    }
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    repetitions: int | None = None,
+    warmup: int | None = None,
+    progress=None,
+) -> dict:
+    """Run every scenario of ``spec`` and return the sweep result
+    (scenarios ordered by ID, so reports and artifacts are stable).
+
+    ``progress`` — optional ``callable(index, total, scenario_id)``
+    invoked before each scenario (the CLI prints from it).
+    """
+    repetitions = (
+        spec.repetitions if repetitions is None else int(repetitions)
+    )
+    warmup = spec.warmup if warmup is None else int(warmup)
+    if repetitions < 1:
+        raise InvalidParameterError(
+            f"repetitions must be >= 1, got {repetitions}"
+        )
+    if warmup < 0:
+        raise InvalidParameterError(f"warmup must be >= 0, got {warmup}")
+
+    scenarios = spec.expand()
+    records = []
+    for index, scenario in enumerate(scenarios):
+        if progress is not None:
+            progress(index, len(scenarios), scenario.scenario_id)
+        records.append(
+            run_scenario(scenario, repetitions=repetitions, warmup=warmup)
+        )
+    records.sort(key=lambda record: record["id"])
+    return {
+        "spec": spec.as_dict(),
+        "repetitions": repetitions,
+        "warmup": warmup,
+        "scenario_count": len(records),
+        "scenarios": records,
+    }

@@ -1,0 +1,326 @@
+"""Sweep specification: a declarative parameter grid over the serving
+stack, expanded deterministically into stably-identified scenarios.
+
+A :class:`SweepSpec` names the axes the paper's evaluation sweeps —
+dataset size (windows), subsequence length ``l``, the ε radius (as a
+scale on a measured k-NN base radius), shard count, seal threshold —
+plus the serving-stack axes the paper could not have: which query
+plane serves, the query-mix composition (full-length / variable-length
+/ batch / k-NN fractions), and an optional chaos arm reusing
+:mod:`repro.faults`. :meth:`SweepSpec.expand` walks the cross product
+in a fixed order, collapses axes that do not apply to a plane (shards
+on non-sharded planes, seal thresholds on non-live planes), drops
+chaos arms the plane has no failpoint site for, and deduplicates — so
+the same spec and seed always yield the same scenario list, in the
+same order, with the same IDs.
+
+Scenario IDs are the regression-tracking key: a readable prefix (plane,
+windows, length, ε scale, mix, chaos) plus a short hash of *all*
+parameters including the seed. Two runs of the same spec produce
+identical IDs; any parameter change produces a new ID rather than a
+silently incomparable row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+
+from ..exceptions import InvalidParameterError
+
+#: Query-op kinds a mix apportions, in the fixed tie-break order used
+#: by largest-remainder apportionment.
+MIX_KINDS = ("search", "varlength", "batch", "knn")
+
+#: Chaos arms the runner understands, and the planes each applies to
+#: (the named failpoint site must exist on the plane's query/ingest
+#: path for the arm to fire at all).
+CHAOS_PLANES = {
+    "search": ("sharded", "live"),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryMix:
+    """The composition of one scenario's workload, as fractions.
+
+    Fractions need not sum to 1 — they are normalized — but must be
+    non-negative with a positive total. ``counts(n)`` apportions ``n``
+    operations across the kinds deterministically (largest remainder,
+    ties broken in :data:`MIX_KINDS` order), so a mix plus a workload
+    size always yields the same op counts.
+    """
+
+    search: float = 1.0
+    varlength: float = 0.0
+    batch: float = 0.0
+    knn: float = 0.0
+
+    def __post_init__(self):
+        fractions = self.as_tuple()
+        if any(f < 0 for f in fractions):
+            raise InvalidParameterError(
+                f"mix fractions must be >= 0, got {fractions}"
+            )
+        if sum(fractions) <= 0:
+            raise InvalidParameterError("mix fractions must not all be zero")
+
+    def as_tuple(self) -> tuple:
+        return tuple(float(getattr(self, kind)) for kind in MIX_KINDS)
+
+    def counts(self, operations: int) -> dict:
+        """Apportion ``operations`` ops across the kinds (sums exactly
+        to ``operations``)."""
+        operations = int(operations)
+        if operations < 1:
+            raise InvalidParameterError(
+                f"operations must be >= 1, got {operations}"
+            )
+        fractions = self.as_tuple()
+        total = sum(fractions)
+        exact = [operations * f / total for f in fractions]
+        counts = [int(e) for e in exact]
+        remainders = sorted(
+            range(len(MIX_KINDS)),
+            key=lambda i: (-(exact[i] - counts[i]), i),
+        )
+        for i in remainders[: operations - sum(counts)]:
+            counts[i] += 1
+        return dict(zip(MIX_KINDS, counts))
+
+    def label(self) -> str:
+        """A compact slug (``search`` for the pure default, else e.g.
+        ``mix-s50-v20-b20-k10`` in normalized percent)."""
+        fractions = self.as_tuple()
+        total = sum(fractions)
+        percents = [round(100 * f / total) for f in fractions]
+        if percents[0] == 100:
+            return "search"
+        return "mix-" + "-".join(
+            f"{kind[0]}{pct}" for kind, pct in zip(MIX_KINDS, percents)
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One fully-specified point of the sweep grid."""
+
+    plane: str
+    windows: int
+    length: int
+    epsilon_scale: float
+    shards: int | None
+    seal_threshold: int | None
+    mix: QueryMix
+    chaos: str | None
+    operations: int
+    batch_size: int
+    seed: int
+
+    def params(self) -> dict:
+        """The JSON-able parameter record (stable key order via JSON
+        serialization with sorted keys)."""
+        return {
+            "plane": self.plane,
+            "windows": int(self.windows),
+            "length": int(self.length),
+            "epsilon_scale": float(self.epsilon_scale),
+            "shards": self.shards if self.shards is None else int(self.shards),
+            "seal_threshold": (
+                self.seal_threshold
+                if self.seal_threshold is None
+                else int(self.seal_threshold)
+            ),
+            "mix": dict(zip(MIX_KINDS, self.mix.as_tuple())),
+            "chaos": self.chaos,
+            "operations": int(self.operations),
+            "batch_size": int(self.batch_size),
+            "seed": int(self.seed),
+        }
+
+    @property
+    def scenario_id(self) -> str:
+        """Readable prefix + 8-hex-digit parameter digest."""
+        digest = hashlib.sha256(
+            json.dumps(self.params(), sort_keys=True).encode("utf-8")
+        ).hexdigest()[:8]
+        parts = [
+            self.plane,
+            f"w{self.windows}",
+            f"l{self.length}",
+            f"e{self.epsilon_scale:g}",
+            self.mix.label(),
+        ]
+        if self.shards is not None:
+            parts.append(f"s{self.shards}")
+        if self.seal_threshold is not None:
+            parts.append(f"t{self.seal_threshold}")
+        if self.chaos:
+            parts.append(f"chaos_{self.chaos}")
+        parts.append(digest)
+        return "-".join(parts)
+
+    def workload_seed(self) -> int:
+        """The per-scenario RNG seed: derived from the full parameter
+        digest, so distinct scenarios never share a query stream while
+        the same scenario always reproduces its own."""
+        digest = hashlib.sha256(
+            json.dumps(self.params(), sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        return int(digest[:12], 16)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """The declarative grid; :meth:`expand` yields the scenario list.
+
+    Axis tuples that do not apply to a plane are collapsed rather than
+    multiplied: ``shards`` applies only to ``"sharded"``,
+    ``seal_thresholds`` only to ``"live"``, and a chaos arm only to the
+    planes in :data:`CHAOS_PLANES`. ``operations`` is the per-repetition
+    workload size; ``repetitions``/``warmup`` are defaults the runner
+    may override per run.
+    """
+
+    planes: tuple = ("sharded",)
+    windows: tuple = (20_000,)
+    lengths: tuple = (100,)
+    epsilon_scales: tuple = (1.0,)
+    shards: tuple = (None,)
+    seal_thresholds: tuple = (None,)
+    mixes: tuple = (QueryMix(),)
+    chaos: tuple = (None,)
+    operations: int = 32
+    batch_size: int = 8
+    repetitions: int = 5
+    warmup: int = 1
+    seed: int = 7
+
+    def __post_init__(self):
+        for axis in ("planes", "windows", "lengths", "epsilon_scales",
+                     "shards", "seal_thresholds", "mixes", "chaos"):
+            if not getattr(self, axis):
+                raise InvalidParameterError(f"axis {axis!r} must be non-empty")
+        for field in ("operations", "batch_size", "repetitions"):
+            if int(getattr(self, field)) < 1:
+                raise InvalidParameterError(
+                    f"{field} must be >= 1, got {getattr(self, field)}"
+                )
+        if int(self.warmup) < 0:
+            raise InvalidParameterError(
+                f"warmup must be >= 0, got {self.warmup}"
+            )
+        for arm in self.chaos:
+            if arm is not None and arm not in CHAOS_PLANES:
+                raise InvalidParameterError(
+                    f"unknown chaos arm {arm!r}; "
+                    f"known: {sorted(CHAOS_PLANES)}"
+                )
+
+    def expand(self) -> list:
+        """The deterministic scenario list (fixed product order, axes
+        collapsed per plane, duplicates dropped)."""
+        scenarios, seen = [], set()
+        for plane, windows, length, scale, shard, seal, mix, arm in (
+            itertools.product(
+                self.planes, self.windows, self.lengths,
+                self.epsilon_scales, self.shards, self.seal_thresholds,
+                self.mixes, self.chaos,
+            )
+        ):
+            if plane != "sharded":
+                shard = None
+            if plane != "live":
+                seal = None
+            if arm is not None and plane not in CHAOS_PLANES[arm]:
+                continue
+            scenario = Scenario(
+                plane=plane,
+                windows=int(windows),
+                length=int(length),
+                epsilon_scale=float(scale),
+                shards=shard,
+                seal_threshold=seal,
+                mix=mix,
+                chaos=arm,
+                operations=int(self.operations),
+                batch_size=int(self.batch_size),
+                seed=int(self.seed),
+            )
+            if scenario.windows < 2 * scenario.length:
+                raise InvalidParameterError(
+                    f"windows={scenario.windows} is too small for "
+                    f"length={scenario.length} (need >= 2*length)"
+                )
+            key = scenario.scenario_id
+            if key in seen:
+                continue
+            seen.add(key)
+            scenarios.append(scenario)
+        return scenarios
+
+    def as_dict(self) -> dict:
+        """JSON-able form recorded in sweep artifacts."""
+        return {
+            "planes": list(self.planes),
+            "windows": [int(w) for w in self.windows],
+            "lengths": [int(length) for length in self.lengths],
+            "epsilon_scales": [float(s) for s in self.epsilon_scales],
+            "shards": [s if s is None else int(s) for s in self.shards],
+            "seal_thresholds": [
+                s if s is None else int(s) for s in self.seal_thresholds
+            ],
+            "mixes": [dict(zip(MIX_KINDS, mix.as_tuple())) for mix in self.mixes],
+            "chaos": list(self.chaos),
+            "operations": int(self.operations),
+            "batch_size": int(self.batch_size),
+            "repetitions": int(self.repetitions),
+            "warmup": int(self.warmup),
+            "seed": int(self.seed),
+        }
+
+
+#: The default mixed workload: half full-length searches, the rest
+#: split across variable-length, batch and k-NN traffic.
+MIXED = QueryMix(search=0.5, varlength=0.2, batch=0.2, knn=0.1)
+
+
+def full_spec(seed: int = 7) -> SweepSpec:
+    """The committed-artifact grid: 2 planes x 2 ε scales x 2 mixes
+    (8 scenarios), 5 repetitions each at full scale."""
+    return SweepSpec(
+        planes=("sharded", "live"),
+        windows=(30_000,),
+        lengths=(100,),
+        epsilon_scales=(1.0, 4.0),
+        shards=(4,),
+        seal_thresholds=(4096,),
+        mixes=(QueryMix(), MIXED),
+        chaos=(None,),
+        operations=32,
+        batch_size=8,
+        repetitions=5,
+        warmup=1,
+        seed=seed,
+    )
+
+
+def smoke_spec(seed: int = 7) -> SweepSpec:
+    """The CI grid: tiny planes, few repetitions, chaos arm included so
+    the fault-injected path stays exercised."""
+    return SweepSpec(
+        planes=("sharded",),
+        windows=(2_500,),
+        lengths=(50,),
+        epsilon_scales=(1.0,),
+        shards=(2,),
+        mixes=(MIXED,),
+        chaos=(None, "search"),
+        operations=12,
+        batch_size=4,
+        repetitions=3,
+        warmup=1,
+        seed=seed,
+    )

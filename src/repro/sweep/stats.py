@@ -1,0 +1,127 @@
+"""Statistical summaries for sweep measurements.
+
+Every number a sweep reports is computed across repetitions — never a
+single sample. :func:`summarize` turns a list of per-repetition samples
+into the standard summary block (mean, median, sample stdev, a 95 %
+normal-approximation confidence half-width, p50/p99, min/max), and
+:func:`bucket_quantile` estimates percentiles from a histogram *delta*
+(bucket counts between two registry snapshots), mirroring the linear
+interpolation :meth:`repro.obs.metrics.Histogram.quantile` uses on live
+histograms so the two agree on the same data.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+from ..exceptions import InvalidParameterError
+
+#: z-score for a two-sided 95 % normal confidence interval.
+Z_95 = 1.96
+
+
+def _quantile(ordered: list, q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted sample list."""
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = position - lower
+    return float(ordered[lower] + (ordered[upper] - ordered[lower]) * fraction)
+
+
+def summarize(samples) -> dict:
+    """The summary block for one measured quantity across repetitions.
+
+    ``stdev`` is the sample standard deviation (ddof=1; 0.0 with fewer
+    than two samples) and ``ci95`` its normal-approximation 95 %
+    half-width — honest error bars for the repetition counts sweeps
+    actually run, without pretending to t-distribution rigor.
+    """
+    samples = [float(s) for s in samples]
+    if not samples:
+        raise InvalidParameterError("summarize requires at least one sample")
+    ordered = sorted(samples)
+    stdev = statistics.stdev(samples) if len(samples) > 1 else 0.0
+    return {
+        "n": len(samples),
+        "mean": statistics.fmean(samples),
+        "median": statistics.median(samples),
+        "stdev": stdev,
+        "ci95": Z_95 * stdev / math.sqrt(len(samples)),
+        "p50": _quantile(ordered, 0.50),
+        "p99": _quantile(ordered, 0.99),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }
+
+
+def bucket_quantile(bounds, counts, q: float) -> float:
+    """Estimated ``q``-quantile from histogram bucket counts.
+
+    ``bounds`` are the finite upper bounds (as in a snapshot's ``"le"``
+    list); ``counts`` has one extra trailing entry for the +Inf bucket.
+    Same interpolation as ``Histogram.quantile``: linear inside the
+    target bucket, +Inf observations clamped to the largest finite
+    bound, 0.0 when empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise InvalidParameterError(f"quantile must be in [0, 1], got {q}")
+    bounds = [float(b) for b in bounds]
+    counts = [int(c) for c in counts]
+    if len(counts) != len(bounds) + 1:
+        raise InvalidParameterError(
+            f"counts must have len(bounds)+1 entries, got "
+            f"{len(counts)} for {len(bounds)} bounds"
+        )
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if index >= len(bounds):
+                return bounds[-1]
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index]
+            fraction = (rank - previous) / count
+            return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+    return bounds[-1]
+
+
+def histogram_delta_summary(delta_sample: dict, bounds) -> dict:
+    """Percentile block for one histogram delta sample (seconds →
+    milliseconds), plus count and mean."""
+    count = int(delta_sample.get("count", 0))
+    total = float(delta_sample.get("sum", 0.0))
+    counts = list(delta_sample.get("buckets", []))
+    if count <= 0 or not counts:
+        return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0, "p99_ms": 0.0}
+    return {
+        "count": count,
+        "mean_ms": 1000.0 * total / count,
+        "p50_ms": 1000.0 * bucket_quantile(bounds, counts, 0.50),
+        "p99_ms": 1000.0 * bucket_quantile(bounds, counts, 0.99),
+    }
+
+
+def merge_histogram_samples(entry: dict) -> dict:
+    """Sum a histogram delta entry's labelled samples into one sample
+    (e.g. ``repro_engine_query_seconds`` across its ``mode`` children)."""
+    merged = {"count": 0, "sum": 0.0, "buckets": []}
+    for sample in entry.get("samples", {}).values():
+        merged["count"] += int(sample.get("count", 0))
+        merged["sum"] += float(sample.get("sum", 0.0))
+        buckets = list(sample.get("buckets", []))
+        if not merged["buckets"]:
+            merged["buckets"] = buckets
+        else:
+            merged["buckets"] = [
+                a + b for a, b in zip(merged["buckets"], buckets)
+            ]
+    return merged

@@ -1,0 +1,419 @@
+"""Sweep subsystem: spec expansion determinism, workload apportionment,
+runner determinism, stage attribution, artifact envelopes and the
+baseline comparison gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.record import (
+    ARTIFACT_SCHEMA,
+    LEGACY_SCHEMA,
+    make_artifact,
+    read_artifact,
+    write_artifact,
+)
+from repro.bench.timing import paired_best, sample_seconds
+from repro.exceptions import InvalidParameterError, SerializationError
+from repro.sweep import (
+    MIXED,
+    QueryMix,
+    SweepSpec,
+    attribute_traces,
+    bucket_quantile,
+    build_workload,
+    compare_artifacts,
+    flatten,
+    full_spec,
+    gated_threshold,
+    run_sweep,
+    smoke_spec,
+    summarize,
+)
+from repro.sweep.report import load_report, render_compare, render_markdown, write_report
+
+
+def tiny_spec(**overrides):
+    """A sweep small enough for unit tests (sub-second per scenario)."""
+    options = dict(
+        planes=("sharded",),
+        windows=(600,),
+        lengths=(40,),
+        shards=(2,),
+        mixes=(MIXED,),
+        operations=6,
+        batch_size=2,
+        repetitions=2,
+        warmup=0,
+        seed=11,
+    )
+    options.update(overrides)
+    return SweepSpec(**options)
+
+
+def strip_timings(result):
+    """A sweep result with every wall-clock-dependent field removed —
+    what determinism can honestly be asserted on."""
+    stripped = copy.deepcopy(result)
+    for record in stripped["scenarios"]:
+        record.pop("repetition_seconds")
+        record.pop("query_ms")
+        record.pop("stages")
+        record["signals"].pop("cache_hit_rate")
+    return stripped
+
+
+class TestQueryMix:
+    def test_counts_sum_exactly(self):
+        for operations in (1, 7, 12, 100):
+            counts = MIXED.counts(operations)
+            assert sum(counts.values()) == operations
+
+    def test_pure_default_is_all_search(self):
+        assert QueryMix().counts(10) == {
+            "search": 10, "varlength": 0, "batch": 0, "knn": 0,
+        }
+
+    def test_fractions_normalized(self):
+        assert QueryMix(search=2.0, knn=2.0).counts(10) == {
+            "search": 5, "varlength": 0, "batch": 0, "knn": 5,
+        }
+
+    def test_label(self):
+        assert QueryMix().label() == "search"
+        assert MIXED.label() == "mix-s50-v20-b20-k10"
+
+    def test_rejects_negative_and_all_zero(self):
+        with pytest.raises(InvalidParameterError):
+            QueryMix(search=-0.1)
+        with pytest.raises(InvalidParameterError):
+            QueryMix(search=0.0)
+
+
+class TestSpecExpansion:
+    def test_same_spec_same_ids_twice(self):
+        first = [s.scenario_id for s in smoke_spec().expand()]
+        second = [s.scenario_id for s in smoke_spec().expand()]
+        assert first == second
+
+    def test_seed_changes_every_id(self):
+        base = {s.scenario_id for s in smoke_spec(seed=1).expand()}
+        other = {s.scenario_id for s in smoke_spec(seed=2).expand()}
+        assert not base & other
+
+    def test_irrelevant_axes_collapse(self):
+        spec = tiny_spec(
+            planes=("frozen",), shards=(2, 4, 8), seal_thresholds=(64, 128)
+        )
+        scenarios = spec.expand()
+        assert len(scenarios) == 1
+        assert scenarios[0].shards is None
+        assert scenarios[0].seal_threshold is None
+
+    def test_chaos_skipped_on_planes_without_a_site(self):
+        spec = tiny_spec(planes=("frozen",), chaos=(None, "search"))
+        assert [s.chaos for s in spec.expand()] == [None]
+
+    def test_unknown_chaos_arm_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tiny_spec(chaos=("meteor",))
+
+    def test_full_spec_meets_the_committed_artifact_floor(self):
+        spec = full_spec()
+        assert len(spec.expand()) >= 8
+        assert spec.repetitions >= 5
+
+    def test_scenario_params_json_round_trip(self):
+        scenario = smoke_spec().expand()[0]
+        assert json.loads(json.dumps(scenario.params())) == scenario.params()
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        scenario = tiny_spec().expand()[0]
+        assert build_workload(scenario) == build_workload(scenario)
+
+    def test_respects_mix_counts(self):
+        scenario = tiny_spec(operations=20).expand()[0]
+        ops = build_workload(scenario)
+        counts = scenario.mix.counts(20)
+        for kind, count in counts.items():
+            assert sum(1 for k, _ in ops if k == kind) == count
+
+    def test_batch_ops_draw_batch_size_positions(self):
+        scenario = tiny_spec(operations=20, batch_size=3).expand()[0]
+        for kind, positions in build_workload(scenario):
+            assert len(positions) == (3 if kind == "batch" else 1)
+            assert all(0 <= p < scenario.windows for p in positions)
+
+
+class TestStats:
+    def test_summarize_basics(self):
+        block = summarize([1.0, 2.0, 3.0, 4.0])
+        assert block["n"] == 4
+        assert block["mean"] == pytest.approx(2.5)
+        assert block["median"] == pytest.approx(2.5)
+        assert block["min"] == 1.0 and block["max"] == 4.0
+        assert block["p50"] == pytest.approx(2.5)
+        assert block["stdev"] > 0 and block["ci95"] > 0
+
+    def test_summarize_single_sample_has_zero_spread(self):
+        block = summarize([2.0])
+        assert block["stdev"] == 0.0 and block["ci95"] == 0.0
+        assert block["p99"] == 2.0
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(InvalidParameterError):
+            summarize([])
+
+    def test_bucket_quantile_interpolates(self):
+        bounds = [1.0, 2.0, 4.0]
+        counts = [0, 10, 0, 0]  # all mass in (1, 2]
+        assert bucket_quantile(bounds, counts, 0.5) == pytest.approx(1.5)
+        assert bucket_quantile(bounds, counts, 0.0) == pytest.approx(1.0)
+
+    def test_bucket_quantile_clamps_infinite_bucket(self):
+        bounds = [1.0, 2.0]
+        counts = [0, 0, 5]  # all mass beyond the largest finite bound
+        assert bucket_quantile(bounds, counts, 0.9) == 2.0
+
+    def test_bucket_quantile_empty_is_zero(self):
+        assert bucket_quantile([1.0], [0, 0], 0.5) == 0.0
+
+
+class TestAttribution:
+    def trace(self, spans, duration):
+        return {
+            "mode": "search",
+            "duration_s": duration,
+            "spans": [
+                {"name": name, "duration_s": d, "meta": meta}
+                for name, d, meta in spans
+            ],
+        }
+
+    def test_execute_excludes_nested_merge_and_verify(self):
+        traces = [self.trace(
+            [("plan", 0.1, None), ("execute", 0.8, None),
+             ("merge", 0.2, None), ("verify", 0.1, None)],
+            duration=1.0,
+        )]
+        stages = attribute_traces(traces)["stages"]
+        assert stages["execute"]["total_s"] == pytest.approx(0.5)
+        assert stages["merge"]["total_s"] == pytest.approx(0.2)
+        shares = sum(s["share"] for s in stages.values())
+        assert shares == pytest.approx(1.0)
+
+    def test_fanout_spans_reported_as_parts_not_wall(self):
+        traces = [self.trace(
+            [("execute", 0.4, None),
+             ("execute", 0.3, {"shard": 0}),
+             ("execute", 0.3, {"shard": 1})],
+            duration=0.5,
+        )]
+        out = attribute_traces(traces)
+        assert out["stages"]["execute"]["total_s"] == pytest.approx(0.4)
+        assert out["parts"]["execute"]["total_s"] == pytest.approx(0.6)
+
+    def test_empty_input_is_structurally_stable(self):
+        out = attribute_traces([])
+        assert out["traces"] == 0
+        assert set(out["stages"]) == {
+            "prepare", "plan", "execute", "merge", "verify", "other",
+        }
+
+
+class TestTiming:
+    def test_sample_seconds_counts(self):
+        calls = []
+        samples = sample_seconds(
+            lambda: calls.append(1), repetitions=3, warmup=2
+        )
+        assert len(samples) == 3
+        assert len(calls) == 5
+        assert all(s >= 0 for s in samples)
+
+    def test_paired_best_interleaves(self):
+        order = []
+        best_a, best_b = paired_best(
+            2,
+            lambda: order.append("sa"), lambda: order.append("a"),
+            lambda: order.append("sb"), lambda: order.append("b"),
+        )
+        assert order == ["sa", "a", "sb", "b", "sa", "a", "sb", "b"]
+        assert best_a >= 0 and best_b >= 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            sample_seconds(lambda: None, repetitions=0)
+        with pytest.raises(InvalidParameterError):
+            paired_best(0, *([lambda: None] * 4))
+
+
+class TestArtifactEnvelope:
+    def test_write_read_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_demo.json"
+        payload = write_artifact(
+            path, {"section": {"ms": 1.5}}, kind="demo", seed=3
+        )
+        loaded = read_artifact(path)
+        assert loaded == payload
+        assert loaded["schema"] == ARTIFACT_SCHEMA
+        assert loaded["kind"] == "demo"
+        assert loaded["meta"]["seed"] == 3
+        assert "cpu_count" in loaded["meta"]
+
+    def test_legacy_artifact_normalized(self, tmp_path):
+        path = tmp_path / "BENCH_obs.json"
+        path.write_text(json.dumps({"gate": {"overhead_pct": 1.0}}))
+        loaded = read_artifact(path)
+        assert loaded["schema"] == LEGACY_SCHEMA
+        assert loaded["kind"] == "obs"
+        assert loaded["meta"] == {}
+        assert loaded["gate"]["overhead_pct"] == 1.0
+
+    def test_reserved_keys_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            make_artifact({"meta": {}}, kind="demo")
+
+    def test_unreadable_artifact_raises(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            read_artifact(path)
+
+    def test_every_committed_baseline_reads(self):
+        import glob
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..")
+        committed = glob.glob(os.path.join(root, "BENCH_*.json"))
+        for path in committed:
+            loaded = read_artifact(path)
+            assert loaded["schema"] in (ARTIFACT_SCHEMA, LEGACY_SCHEMA)
+            assert loaded["kind"] != "unknown"
+
+
+class TestCompare:
+    def test_self_compare_passes_with_zero_regressions(self):
+        artifact = make_artifact(
+            {"scenarios": [{"repetition_seconds": {"mean": 0.5, "p99": 0.9}}]},
+            kind="sweep",
+        )
+        comparison = compare_artifacts(artifact, artifact)
+        assert comparison["passed"]
+        assert comparison["regressions"] == 0
+        assert comparison["compared"] > 0
+
+    def test_inflated_metric_flagged(self):
+        baseline = make_artifact(
+            {"scenarios": [{"repetition_seconds": {"mean": 0.5}}]},
+            kind="sweep",
+        )
+        current = copy.deepcopy(baseline)
+        current["scenarios"][0]["repetition_seconds"]["mean"] = 1.0
+        comparison = compare_artifacts(current, baseline)
+        assert not comparison["passed"]
+        assert comparison["regressions"] == 1
+
+    def test_tail_metrics_get_wider_threshold(self):
+        assert gated_threshold("scenarios.0.repetition_seconds.p99") > \
+            gated_threshold("scenarios.0.repetition_seconds.mean")
+
+    def test_metadata_and_signals_not_gated(self):
+        for path in (
+            "meta.generated_unix",
+            "scenarios.0.params.windows",
+            "scenarios.0.signals.chaos_failures",
+            "spec.operations",
+            "scenarios.0.repetition_seconds.stdev",
+        ):
+            assert gated_threshold(path) is None
+
+    def test_disjoint_scenario_sets_compare_empty_but_pass(self):
+        one = make_artifact(
+            {"scenarios": [{"a": {"mean": 1.0}}]}, kind="sweep"
+        )
+        other = make_artifact(
+            {"scenarios": [{"b": {"mean": 1.0}}]}, kind="sweep"
+        )
+        comparison = compare_artifacts(one, other)
+        assert comparison["passed"]
+        assert comparison["compared"] == 0
+        assert comparison["missing"] and comparison["added"]
+
+    def test_flatten_skips_bools_and_strings(self):
+        flat = flatten({"a": True, "b": "x", "c": {"d": 2}, "e": [3.0]})
+        assert flat == {"c.d": 2.0, "e.0": 3.0}
+
+    def test_legacy_baseline_comparable(self, tmp_path):
+        legacy = tmp_path / "BENCH_obs.json"
+        legacy.write_text(json.dumps(
+            {"single_query": {"enabled_ms_per_query": 2.0}}
+        ))
+        current = make_artifact(
+            {"single_query": {"enabled_ms_per_query": 4.0}}, kind="obs"
+        )
+        comparison = compare_artifacts(current, read_artifact(legacy))
+        assert comparison["compared"] == 1
+        assert not comparison["passed"]
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        spec = tiny_spec()
+        return run_sweep(spec), run_sweep(spec)
+
+    def test_two_runs_identical_modulo_timings(self, runs):
+        first, second = runs
+        assert strip_timings(first) == strip_timings(second)
+
+    def test_report_ordered_by_scenario_id(self, runs):
+        ids = [record["id"] for record in runs[0]["scenarios"]]
+        assert ids == sorted(ids)
+
+    def test_statistics_cover_all_repetitions(self, runs):
+        for record in runs[0]["scenarios"]:
+            assert record["repetition_seconds"]["n"] == record["repetitions"]
+
+    def test_self_compare_of_a_real_run(self, runs, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        write_report(path, runs[0], seed=11)
+        artifact = load_report(path)
+        comparison = compare_artifacts(artifact, artifact)
+        assert comparison["passed"] and comparison["regressions"] == 0
+        assert comparison["compared"] > 0
+
+    def test_chaos_scenario_counts_failures(self):
+        result = run_sweep(tiny_spec(chaos=("search",), operations=16))
+        record = result["scenarios"][0]
+        assert record["params"]["chaos"] == "search"
+        assert record["signals"]["chaos_failures"] > 0
+
+    def test_live_scenario_reports_ingest_signals(self):
+        result = run_sweep(
+            tiny_spec(planes=("live",), seal_thresholds=(128,))
+        )
+        signals = result["scenarios"][0]["signals"]
+        assert signals["seals_total"] > 0
+
+    def test_traces_attributed(self, runs):
+        record = runs[0]["scenarios"][0]
+        assert record["stages"]["traces"] > 0
+        assert record["stages"]["stages"]["execute"]["total_s"] > 0
+
+    def test_render_markdown(self, runs, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        write_report(path, runs[0], seed=11)
+        report = render_markdown(load_report(path))
+        assert "## Scenarios" in report
+        assert runs[0]["scenarios"][0]["id"] in report
+
+    def test_render_compare_mentions_verdict(self, runs):
+        comparison = compare_artifacts(
+            make_artifact(runs[0], kind="sweep"),
+            make_artifact(runs[0], kind="sweep"),
+        )
+        text = render_compare(comparison)
+        assert "PASS" in text
