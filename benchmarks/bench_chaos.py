@@ -101,6 +101,7 @@ def main(argv=None) -> int:
     import repro._util as _util
     import repro.engine.sharding as sharding
     import repro.live.index as live_index
+    from repro._util import available_cpu_count
     from repro.bench.record import write_artifact
     from repro.bench.timing import paired_best
     from repro.core.windows import WindowSource
@@ -123,7 +124,7 @@ def main(argv=None) -> int:
             "repeats": args.repeats,
             "seed": args.seed,
             "smoke": bool(args.smoke),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": available_cpu_count(),
             "overhead_gate_pct": OVERHEAD_GATE_PCT,
         },
     }
@@ -185,7 +186,7 @@ def main(argv=None) -> int:
             if len(ranked):
                 kth.append(float(ranked.distances[-1]))
         epsilon = float(np.median(kth)) if kth else 0.5
-        workers = min(32, (os.cpu_count() or 1) + 4)
+        workers = min(32, available_cpu_count() + 4)
         engine = QueryEngine(metrics=False, trace_sample=0.0,
                              max_workers=workers)
         engine.add("plane", sharded)

@@ -252,6 +252,7 @@ def _no_setup() -> None:
 
 
 def main(argv=None) -> int:
+    from repro._util import available_cpu_count
     from repro.bench.record import write_artifact
     from repro.bench.timing import paired_best
     from repro.core.windows import WindowSource
@@ -260,7 +261,7 @@ def main(argv=None) -> int:
     from repro.query.capabilities import CAP_EXECUTOR, capabilities_of
 
     args = parse_args(argv)
-    workers = min(32, (os.cpu_count() or 1) + 4)
+    workers = min(32, available_cpu_count() + 4)
     rng = np.random.default_rng(args.seed)
     series = synthetic.insect_like(
         args.windows + args.length - 1, seed=args.seed
@@ -311,7 +312,7 @@ def main(argv=None) -> int:
             "repeats": args.repeats,
             "seed": args.seed,
             "smoke": bool(args.smoke),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": available_cpu_count(),
         },
     }
 

@@ -39,6 +39,7 @@ import time
 
 import numpy as np
 
+from repro._util import available_cpu_count
 from repro.bench.record import write_artifact
 from repro.core.tsindex import TSIndex, TSIndexParams
 from repro.core.windows import WindowSource
@@ -177,7 +178,7 @@ def main(argv=None) -> int:
             "repeats": args.repeats,
             "seed": args.seed,
             "smoke": bool(args.smoke),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": available_cpu_count(),
         },
         "build": {
             "pointer_build_seconds": round(build_seconds, 4),
@@ -261,6 +262,56 @@ def main(argv=None) -> int:
             lambda: sharded_frozen.search_batch(queries, epsilon),
         ),
     )
+
+    # --- cold start: archive open latency, compressed vs raw mmap ------
+    # The raw container's whole point: load_index on a raw directory
+    # maps the arrays instead of decompressing and copying them, so a
+    # process cold start is O(metadata) regardless of index size.
+    import shutil
+    import tempfile
+
+    from repro.persistence import load_index, save_index
+
+    scratch = tempfile.mkdtemp(prefix="bench-frozen-")
+    try:
+        npz_path = os.path.join(scratch, "frozen.npz")
+        raw_path = os.path.join(scratch, "frozen.raw")
+        started = time.perf_counter()
+        save_index(frozen, npz_path)
+        npz_save_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        save_index(frozen, raw_path, format="raw")
+        raw_save_seconds = time.perf_counter() - started
+        _assert_equal(
+            load_index(raw_path).search(query, epsilon),
+            frozen.search(query, epsilon),
+            "cold_start",
+        )
+        npz_load_seconds = _best_of(
+            args.repeats, lambda: load_index(npz_path)
+        )
+        raw_load_seconds = _best_of(
+            args.repeats, lambda: load_index(raw_path)
+        )
+        raw_bytes = sum(
+            entry.stat().st_size for entry in os.scandir(raw_path)
+        )
+        results["cold_start"] = {
+            "npz_bytes": os.path.getsize(npz_path),
+            "raw_bytes": raw_bytes,
+            "npz_save_seconds": round(npz_save_seconds, 4),
+            "raw_save_seconds": round(raw_save_seconds, 4),
+            "npz_load_seconds": round(npz_load_seconds, 4),
+            "raw_load_seconds": round(raw_load_seconds, 4),
+            "load_speedup": round(npz_load_seconds / raw_load_seconds, 1),
+        }
+        print(
+            f"cold_start: npz load {npz_load_seconds * 1e3:.1f}ms, raw "
+            f"(mmap) load {raw_load_seconds * 1e3:.1f}ms "
+            f"({results['cold_start']['load_speedup']}x)"
+        )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
 
     write_artifact(args.output, results, kind="frozen", seed=args.seed)
     print(f"wrote {args.output}")

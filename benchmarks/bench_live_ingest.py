@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from repro._util import available_cpu_count
 from repro.bench.record import write_artifact
 from repro.core.tsindex import TSIndex, TSIndexParams
 from repro.data import synthetic
@@ -175,7 +176,7 @@ def main(argv=None) -> int:
             "queries": args.queries,
             "seed": args.seed,
             "smoke": bool(args.smoke),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": available_cpu_count(),
         },
     }
 

@@ -94,6 +94,7 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 
 def main(argv=None) -> int:
+    from repro._util import available_cpu_count
     from repro.bench.record import write_artifact
     from repro.bench.timing import paired_best
     from repro.core.windows import WindowSource
@@ -108,7 +109,7 @@ def main(argv=None) -> int:
     )
 
     args = parse_args(argv)
-    workers = min(32, (os.cpu_count() or 1) + 4)
+    workers = min(32, available_cpu_count() + 4)
     rng = np.random.default_rng(args.seed)
     series = synthetic.insect_like(
         args.windows + args.length - 1, seed=args.seed
@@ -162,7 +163,7 @@ def main(argv=None) -> int:
             "append_batches": args.append_batches,
             "seed": args.seed,
             "smoke": bool(args.smoke),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": available_cpu_count(),
             "overhead_gate_pct": OVERHEAD_GATE_PCT,
         },
     }

@@ -35,6 +35,7 @@ import time
 
 import numpy as np
 
+from repro._util import available_cpu_count
 from repro.bench.record import write_artifact
 from repro.core.tsindex import TSIndex
 from repro.data import synthetic
@@ -154,7 +155,7 @@ def main(argv=None) -> int:
             "epsilon": epsilon,
             "seed": args.seed,
             "smoke": bool(args.smoke),
-            "cpus": os.cpu_count(),
+            "cpus": available_cpu_count(),
         },
         "planes": {},
     }

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import os
 from collections.abc import Iterator, Sequence
 
 import numpy as np
@@ -84,6 +85,41 @@ def check_window_length(length, series_length: int, *, name: str = "length") -> 
     return length
 
 
+def available_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; under a restricted CPU
+    affinity mask (containers, ``taskset``) that oversubscribes every
+    default-sized pool. Prefer the scheduler's affinity set where the
+    platform exposes it.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def is_process_executor(executor) -> bool:
+    """Whether ``executor`` fans work out across processes (so only
+    picklable, closure-free tasks may cross it)."""
+    return isinstance(executor, concurrent.futures.ProcessPoolExecutor)
+
+
+def call_task(task):
+    """The ``fn`` used for picklable task fan-outs: each item is a
+    self-contained callable (e.g. an ``ArchiveTask``) and ``fn(item)``
+    is simply ``item()``. :func:`fan_out` recognizes this sentinel to
+    route items across a process pool."""
+    return task()
+
+
+def _process_task(part, label, task):
+    """Module-level process-pool worker: runs the fan-out failpoint
+    (inherited state under the ``fork`` start method) then the task."""
+    failpoint("fanout.task", part=part, label=label)
+    return task()
+
+
 _fanout_metrics = HandleCache(
     lambda registry: {
         "timeouts": registry.counter(
@@ -156,6 +192,13 @@ def fan_out(
     """
     if labels is None:
         labels = range(len(items))
+    if is_process_executor(executor) and fn is not call_task:
+        # Closure-based fan-outs (query-level loops capturing the index)
+        # cannot cross a process boundary; run them serially instead —
+        # byte-identical results, just without the parallelism. Planes
+        # that want process fan-out submit picklable tasks via
+        # ``call_task``.
+        executor = None
     if executor is None or len(items) <= 1:
         results = []
         for label, item in zip(labels, items):
@@ -166,14 +209,20 @@ def fan_out(
                 raise
         return FanOutResult(results, tuple(labels))
 
-    def worker(label, item):
-        failpoint("fanout.task", part=part, label=label)
-        return fn(item)
+    if is_process_executor(executor):
+        futures = [
+            executor.submit(_process_task, part, label, item)
+            for label, item in zip(labels, items)
+        ]
+    else:
+        def worker(label, item):
+            failpoint("fanout.task", part=part, label=label)
+            return fn(item)
 
-    futures = [
-        executor.submit(worker, label, item)
-        for label, item in zip(labels, items)
-    ]
+        futures = [
+            executor.submit(worker, label, item)
+            for label, item in zip(labels, items)
+        ]
     concurrent.futures.wait(
         futures,
         timeout=timeout,

@@ -34,6 +34,7 @@ import subprocess
 import sys
 import time
 
+from .._util import available_cpu_count
 from ..exceptions import InvalidParameterError, SerializationError
 from . import experiments as exp
 from .reporting import to_markdown
@@ -70,7 +71,7 @@ def make_meta(*, seed=None) -> dict:
     artifact was generated."""
     meta = {
         "generated_unix": round(time.time(), 3),
-        "cpu_count": os.cpu_count(),
+        "cpu_count": available_cpu_count(),
         "python": platform.python_version(),
         "git_rev": git_revision(),
     }

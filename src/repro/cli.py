@@ -220,7 +220,17 @@ def build_engine_parser() -> argparse.ArgumentParser:
     build = commands.add_parser(
         "build", help="build a sharded TS-Index and save it to disk"
     )
-    build.add_argument("--output", required=True, help="archive path (.npz)")
+    build.add_argument(
+        "--output", required=True, help="archive path (.npz file or raw dir)"
+    )
+    build.add_argument(
+        "--format",
+        choices=("npz", "raw"),
+        default="npz",
+        help="archive container: compressed single-file npz, or a raw "
+        "directory of uncompressed per-array files that later loads "
+        "open O(1) via mmap (default: npz)",
+    )
     source = build.add_mutually_exclusive_group()
     source.add_argument(
         "--dataset",
@@ -301,6 +311,14 @@ def build_engine_parser() -> argparse.ArgumentParser:
         default=10,
         help="matches to print (default: 10; totals always shown)",
     )
+    query.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="shard fan-out: serial in-process walk, a thread pool, or "
+        "a process pool whose workers mmap the archive by path "
+        "(default: serial; results are byte-identical)",
+    )
 
     stats = commands.add_parser(
         "stats", help="per-shard structural stats of a saved engine"
@@ -335,6 +353,23 @@ def _engine_load(path):
             f"{type(engine).__name__}; build one with `engine build`)"
         )
     return engine
+
+
+def _fanout_pool(kind: str):
+    """The fan-out executor behind a ``--executor`` flag: ``None``
+    (serial), a thread pool, or a process pool sized to the CPUs this
+    process may actually run on."""
+    if kind == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(thread_name_prefix="repro-cli")
+    if kind == "process":
+        from concurrent.futures import ProcessPoolExecutor
+
+        from ._util import available_cpu_count
+
+        return ProcessPoolExecutor(max_workers=available_cpu_count())
+    return None
 
 
 def _run_plane_query(index, args) -> int:
@@ -377,7 +412,12 @@ def _run_plane_query(index, args) -> int:
         spec = QuerySpec(
             query=query, mode="search", epsilon=args.epsilon, domain=domain
         )
-    result = execute(index, spec)
+    pool = _fanout_pool(getattr(args, "executor", "serial"))
+    try:
+        result = execute(index, spec, executor=pool)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
     if args.knn is not None:
         print(f"{len(result)} nearest windows:")
     else:
@@ -456,6 +496,14 @@ def build_live_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fsync every journal write (power-loss safe, slower)",
     )
+    init.add_argument(
+        "--archive-format",
+        choices=("npz", "raw"),
+        default="npz",
+        help="sealed-segment container: compressed npz files, or raw "
+        "directories that recovery and process fan-out open O(1) via "
+        "mmap (default: npz)",
+    )
 
     append = commands.add_parser(
         "append", help="durably append readings to a live index"
@@ -499,6 +547,14 @@ def build_live_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="matches to print (default: 10; totals always shown)",
+    )
+    query.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="segment fan-out: serial in-process walk, a thread pool, "
+        "or a process pool whose workers mmap the sealed segments by "
+        "path (default: serial; results are byte-identical)",
     )
 
     stats = commands.add_parser(
@@ -565,6 +621,7 @@ def _run_live(argv) -> int:
             length=args.length,
             normalization=args.normalization,
             fsync=args.fsync,
+            archive_format=args.archive_format,
             **options,
         ) as live:
             print(f"initialized {live!r} at {args.path}")
@@ -839,7 +896,7 @@ def _run_engine(argv) -> int:
             max_workers=args.workers,
             frozen=args.frozen,
         )
-        save_index(engine, args.output)
+        save_index(engine, args.output, format=args.format)
         build = engine.build_stats
         print(
             f"built {engine!r} in {build.seconds:.2f}s "

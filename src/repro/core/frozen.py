@@ -103,6 +103,21 @@ ARRAY_FIELDS = (
     "positions",
 )
 
+#: The same arrays with the envelopes in their *resident*
+#: timestamp-major ``(l, n)`` layout (``uppers_t`` / ``lowers_t``).
+#: Archives stored this way load zero-copy: :meth:`FrozenTSIndex`
+#: adopts the matrices as-is (memmap views included) instead of
+#: transposing ``(n, l)`` input into fresh private memory.
+RAW_ARRAY_FIELDS = (
+    "uppers_t",
+    "lowers_t",
+    "kinds",
+    "children_offsets",
+    "children",
+    "leaf_offsets",
+    "positions",
+)
+
 
 def _read_only(array: np.ndarray) -> np.ndarray:
     """A read-only view of ``array`` (the caller's own handle — and its
@@ -198,8 +213,23 @@ class FrozenTSIndex:
         self._build_stats = build_stats
         self._freeze_seconds = float(freeze_seconds)
 
-        uppers = np.ascontiguousarray(arrays["uppers"], dtype=FLOAT_DTYPE)
-        lowers = np.ascontiguousarray(arrays["lowers"], dtype=FLOAT_DTYPE)
+        if "uppers_t" in arrays:
+            # Timestamp-major input (raw archives): adopt the matrices
+            # as-is — for a contiguous float64 memmap this is zero-copy,
+            # which is what makes mmap cold starts O(1) in the envelope
+            # size. The row-major handles below are transposed views.
+            uppers_t = np.ascontiguousarray(
+                arrays["uppers_t"], dtype=FLOAT_DTYPE
+            )
+            lowers_t = np.ascontiguousarray(
+                arrays["lowers_t"], dtype=FLOAT_DTYPE
+            )
+            uppers = uppers_t.T
+            lowers = lowers_t.T
+        else:
+            uppers_t = lowers_t = None
+            uppers = np.ascontiguousarray(arrays["uppers"], dtype=FLOAT_DTYPE)
+            lowers = np.ascontiguousarray(arrays["lowers"], dtype=FLOAT_DTYPE)
         kinds = np.ascontiguousarray(arrays["kinds"], dtype=np.int8)
         children_offsets = np.ascontiguousarray(
             arrays["children_offsets"], dtype=np.int64
@@ -284,8 +314,11 @@ class FrozenTSIndex:
         # slab; the row-major ``(n, l)`` form (serialization, thaw,
         # per-node reads) is exposed as their transposed views — one
         # resident copy of the envelopes, not two.
-        self._uppers_t = _read_only(np.ascontiguousarray(uppers.T))
-        self._lowers_t = _read_only(np.ascontiguousarray(lowers.T))
+        if uppers_t is None:
+            uppers_t = np.ascontiguousarray(uppers.T)
+            lowers_t = np.ascontiguousarray(lowers.T)
+        self._uppers_t = _read_only(uppers_t)
+        self._lowers_t = _read_only(lowers_t)
         self._uppers = self._uppers_t.T
         self._lowers = self._lowers_t.T
         # In the canonical BFS layout every node except the root is the
@@ -453,6 +486,22 @@ class FrozenTSIndex:
         return {
             "uppers": self._uppers,
             "lowers": self._lowers,
+            "kinds": self._kinds,
+            "children_offsets": self._children_offsets,
+            "children": self._children,
+            "leaf_offsets": self._leaf_offsets,
+            "positions": self._positions,
+        }
+
+    def raw_arrays(self) -> dict:
+        """The flat arrays with the envelopes in their resident
+        timestamp-major layout (see :data:`RAW_ARRAY_FIELDS`) — the
+        zero-copy serialization form: no transposes on save, and
+        :meth:`from_arrays` adopts them (memmaps included) without
+        copying on load."""
+        return {
+            "uppers_t": self._uppers_t,
+            "lowers_t": self._lowers_t,
             "kinds": self._kinds,
             "children_offsets": self._children_offsets,
             "children": self._children,

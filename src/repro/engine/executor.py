@@ -6,8 +6,13 @@
   query planes,
 * one :class:`~repro.engine.cache.QueryCache` turning repeated queries
   into O(1) hits, and
-* a shared :class:`~concurrent.futures.ThreadPoolExecutor` that fans
-  shard work (single queries) or query work (batches) out across cores,
+* a shared executor that fans shard work (single queries) or query
+  work (batches) out across cores — a
+  :class:`~concurrent.futures.ThreadPoolExecutor` by default, or with
+  ``executor="process"`` a
+  :class:`~concurrent.futures.ProcessPoolExecutor` whose workers open
+  each plane's raw (mmap) archive by path, sidestepping the GIL for
+  true multi-core scaling with byte-identical results,
 
 behind a small surface — ``build`` / ``query`` / ``knn`` / ``exists`` /
 ``count`` / ``batch`` / ``stats`` — that is safe to call from many
@@ -35,9 +40,13 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import os
+import shutil
+import tempfile
 import threading
 import time
 
+from .._util import available_cpu_count
 from ..core.batch import BatchResult
 from ..core.stats import QueryStats, SearchResult
 from ..exceptions import InvalidParameterError
@@ -57,6 +66,9 @@ from .registry import IndexRegistry
 from .sharding import ShardedTSIndex
 
 _log = get_logger("repro.engine")
+
+#: Fan-out executor kinds ``QueryEngine(executor=...)`` accepts.
+EXECUTORS = ("thread", "process")
 
 
 @dataclasses.dataclass
@@ -111,15 +123,34 @@ class QueryEngine:
         *,
         cache_capacity: int = 256,
         max_workers: int | None = None,
+        executor: str = "thread",
         metrics=None,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
         trace_sample: float = 1.0,
     ):
+        if executor not in EXECUTORS:
+            raise InvalidParameterError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         self._registry = registry if registry is not None else IndexRegistry()
         self._cache = QueryCache(cache_capacity)
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-engine"
         )
+        self._executor_kind = executor
+        self._fanout_pool = None
+        self._fanout_workers = 0
+        # Planes built in memory have no archive for workers to open;
+        # process mode spools them to raw (mmap) archives here, once
+        # per (name, generation), and removes the tree on close().
+        self._spool: str | None = None
+        self._spool_seq = 0
+        self._spool_lock = threading.Lock()
+        if executor == "process":
+            self._fanout_workers = max_workers or available_cpu_count()
+            self._fanout_pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self._fanout_workers
+            )
         self._lock = threading.Lock()
         self._queries = 0
         self._queries_by_mode = {mode: 0 for mode in MODES}
@@ -154,6 +185,11 @@ class QueryEngine:
             "Queries answered per registered index.",
             labels=("index",),
         )
+        registry.gauge(
+            "repro_fanout_processes",
+            "Worker processes serving shard/segment fan-out "
+            "(0 under the thread executor).",
+        ).set(self._fanout_workers)
         # Scrape-time gauges. NOTE: in a shared (default) registry the
         # callbacks bind to *this* engine — processes serving several
         # engines should give each its own MetricsRegistry.
@@ -192,9 +228,15 @@ class QueryEngine:
         return self._cache
 
     def close(self) -> None:
-        """Shut the thread pool down (idempotent); indexes stay usable
-        through the registry."""
+        """Shut the fan-out pools down and remove the process spool
+        (idempotent); indexes stay usable through the registry."""
         self._pool.shutdown(wait=True)
+        if self._fanout_pool is not None:
+            self._fanout_pool.shutdown(wait=True)
+        with self._spool_lock:
+            spool, self._spool = self._spool, None
+        if spool is not None:
+            shutil.rmtree(spool, ignore_errors=True)
 
     def __enter__(self) -> "QueryEngine":
         return self
@@ -293,6 +335,51 @@ class QueryEngine:
         _log.debug("query cache invalidated: %s", reason)
 
     # ------------------------------------------------------------------
+    # Fan-out executor
+    # ------------------------------------------------------------------
+    @property
+    def executor_kind(self) -> str:
+        """``"thread"`` or ``"process"`` — the fan-out executor this
+        engine serves shard/segment work on."""
+        return self._executor_kind
+
+    def _fanout(self, index) -> object:
+        """The executor a plane's fan-out should run on: the process
+        pool when configured (spooling in-memory sharded planes to raw
+        archives first, so workers can open them by path), else the
+        shared thread pool."""
+        if self._fanout_pool is None:
+            return self._pool
+        self._ensure_process_servable(index)
+        return self._fanout_pool
+
+    def _ensure_process_servable(self, index) -> None:
+        """Give an unarchived sharded plane an on-disk identity for
+        process workers: save it once as a raw (mmap) archive in the
+        engine spool and attach the path. Planes loaded from disk or
+        saved explicitly already carry one; other plane kinds serve
+        through their own archives (live) or fall back to the serial
+        path inside :func:`~repro._util.fan_out` — byte-identical
+        either way."""
+        if (
+            not isinstance(index, ShardedTSIndex)
+            or index.archive_path is not None
+        ):
+            return
+        with self._spool_lock:
+            if index.archive_path is not None:
+                return
+            if self._spool is None:
+                self._spool = tempfile.mkdtemp(prefix="repro-spool-")
+            from ..persistence import save_index  # lazy: avoids cycle
+
+            self._spool_seq += 1
+            path = os.path.join(self._spool, f"plane-{self._spool_seq}")
+            save_index(index, path, format="raw")
+            index.attach_archive(path)
+            _log.debug("spooled %r for process fan-out", path)
+
+    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def query(
@@ -363,7 +450,7 @@ class QueryEngine:
 
             def execute() -> SearchResult:
                 with trace.span("execute"):
-                    result = executed.execute(executor=self._pool)
+                    result = executed.execute(executor=self._fanout(index))
                 self._record(result.stats)
                 return result
 
@@ -388,7 +475,7 @@ class QueryEngine:
         def run() -> SearchResult:
             index = self._registry.get(name)
             spec = QuerySpec(query=query, mode="knn", k=k, exclude=exclude)
-            result = plan(index, spec).execute(executor=self._pool)
+            result = plan(index, spec).execute(executor=self._fanout(index))
             self._record(result.stats)
             return result
 
@@ -400,7 +487,7 @@ class QueryEngine:
         def run() -> bool:
             index = self._registry.get(name)
             spec = QuerySpec(query=query, mode="exists", epsilon=epsilon)
-            return plan(index, spec).execute(executor=self._pool)
+            return plan(index, spec).execute(executor=self._fanout(index))
 
         return self._serve("exists", name, run)
 
@@ -410,7 +497,7 @@ class QueryEngine:
         def run() -> int:
             index = self._registry.get(name)
             spec = QuerySpec(query=query, mode="count", epsilon=epsilon)
-            return plan(index, spec).execute(executor=self._pool)
+            return plan(index, spec).execute(executor=self._fanout(index))
 
         return self._serve("count", name, run)
 
@@ -428,7 +515,10 @@ class QueryEngine:
         Queries fan out across the engine pool (each walking its shards
         serially — the right split for many small queries); each query
         still consults the shared cache, so repeated workloads are
-        mostly hits.
+        mostly hits. Under the process executor the split flips: query
+        closures cannot cross a process boundary, so the query loop
+        runs here and each query fans its *shards* across the worker
+        processes — identical results either way.
         """
         index, generation = self._registry.get_with_generation(name)
         queries = list(queries)
@@ -442,6 +532,9 @@ class QueryEngine:
                                    queries=len(queries))
         token = activate_trace(trace) if trace else None
         started = time.perf_counter()
+        fanout = (
+            None if self._fanout_pool is None else self._fanout(index)
+        )
 
         def one(query) -> SearchResult:
             self._count_query()
@@ -454,7 +547,7 @@ class QueryEngine:
             executed = plan(index, spec)
 
             def execute() -> SearchResult:
-                result = executed.execute()
+                result = executed.execute(executor=fanout)
                 self._record(result.stats)
                 return result
 
@@ -465,7 +558,7 @@ class QueryEngine:
 
         try:
             with trace.span("execute"):
-                if len(queries) > 1:
+                if fanout is None and len(queries) > 1:
                     results = list(self._pool.map(one, queries))
                 else:
                     results = [one(query) for query in queries]

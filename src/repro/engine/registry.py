@@ -239,8 +239,11 @@ class IndexRegistry:
     # ------------------------------------------------------------------
     # Persistence (via repro.persistence)
     # ------------------------------------------------------------------
-    def save(self, name: str, path) -> None:
-        """Persist the plane under ``name`` to a ``.npz`` archive."""
+    def save(self, name: str, path, *, format: str = "npz") -> None:
+        """Persist the plane under ``name`` — a compressed ``.npz``
+        archive by default, or with ``format="raw"`` a directory of
+        uncompressed per-array files that later loads open O(1) via
+        ``mmap`` (see :func:`repro.persistence.save_index`)."""
         engine = self.get(name)
         if getattr(engine, "method_name", "") == "live":
             raise InvalidParameterError(
@@ -250,7 +253,7 @@ class IndexRegistry:
             )
         from ..persistence import save_index  # lazy: avoids import cycle
 
-        save_index(engine, path)
+        save_index(engine, path, format=format)
 
     def load(self, name: str, path, *, overwrite: bool = False) -> ShardedTSIndex:
         """Restore an engine from ``path`` and register it as ``name``."""

@@ -31,9 +31,12 @@ import concurrent.futures
 import os
 
 from .._util import (
+    available_cpu_count,
+    call_task,
     check_non_negative,
     check_positive_int,
     fan_out,
+    is_process_executor,
     map_with_executor,
 )
 from ..core.batch import BatchResult
@@ -99,10 +102,12 @@ BATCHED_MIN_WINDOWS = 50_000
 def default_shard_count(window_count: int) -> int:
     """Shard count used when the caller does not pick one.
 
-    One shard per available core, but never so many that a shard drops
-    below :data:`MIN_SHARD_WINDOWS` windows, and always at least one.
+    One shard per available core (the cores this process may actually
+    run on, not the machine's total), but never so many that a shard
+    drops below :data:`MIN_SHARD_WINDOWS` windows, and always at least
+    one.
     """
-    cores = os.cpu_count() or 1
+    cores = available_cpu_count()
     return max(1, min(cores, window_count // MIN_SHARD_WINDOWS))
 
 
@@ -186,6 +191,7 @@ class ShardedTSIndex(SubsequenceIndex):
         self._starts = starts
         self._shards = shards
         self._params = params
+        self._archive_path: str | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -238,7 +244,7 @@ class ShardedTSIndex(SubsequenceIndex):
         params = params or TSIndexParams()
         sources = [source.shard(start, stop) for start, stop in spans]
         if max_workers is None:
-            max_workers = min(len(spans), os.cpu_count() or 1)
+            max_workers = min(len(spans), available_cpu_count())
 
         def build_one(shard_source):
             tree = TSIndex.from_source(shard_source, params=params)
@@ -276,6 +282,50 @@ class ShardedTSIndex(SubsequenceIndex):
     ) -> "ShardedTSIndex":
         """Internal hook used by the persistence layer."""
         return cls(source, starts, shards, params)
+
+    # ------------------------------------------------------------------
+    # Archive identity (process fan-out)
+    # ------------------------------------------------------------------
+    @property
+    def archive_path(self) -> str:
+        """The on-disk archive this engine was loaded from (or spooled
+        to), ``None`` for purely in-memory engines. Process fan-out
+        needs it: workers reopen the archive by path instead of
+        receiving index data over the pipe."""
+        return self._archive_path
+
+    def attach_archive(self, path) -> None:
+        """Record ``path`` as this engine's on-disk identity (called by
+        :func:`~repro.persistence.load_index`, and by
+        :class:`~repro.engine.executor.QueryEngine` after spooling an
+        in-memory engine). The archive must hold exactly this index."""
+        self._archive_path = os.fspath(path)
+
+    def _shard_tasks(self, call: str, args_for, kwargs_for=None) -> list:
+        """One picklable :class:`~repro.engine.procpool.ArchiveTask`
+        per shard — the process-pool replacement for the per-shard
+        thread closures (``args_for(i)`` / ``kwargs_for(i)`` build the
+        call arguments for shard ``i``)."""
+        from .procpool import ArchiveTask  # lazy: only process fan-out
+
+        if self._archive_path is None:
+            raise InvalidParameterError(
+                "process fan-out needs an on-disk archive to reopen in "
+                "each worker; save this engine with save_index(..., "
+                "format='raw') and reopen it with load_index(), or "
+                "serve it through QueryEngine(executor='process') "
+                "(which spools unarchived engines automatically)"
+            )
+        return [
+            ArchiveTask(
+                self._archive_path,
+                call,
+                shard=i,
+                args=args_for(i),
+                kwargs=kwargs_for(i) if kwargs_for is not None else {},
+            )
+            for i in range(len(self._shards))
+        ]
 
     # ------------------------------------------------------------------
     # Metadata
@@ -412,11 +462,23 @@ class ShardedTSIndex(SubsequenceIndex):
                     )
 
         # Position re-offsetting happens in the shared merge kernel,
-        # which pairs each result back with its span start.
+        # which pairs each result back with its span start. On a
+        # process pool the closure is replaced by per-shard archive
+        # tasks (same call, replayed in the worker against the same
+        # bytes); timeout/degraded semantics are future-based and carry
+        # over unchanged.
+        if is_process_executor(executor):
+            fn, items = call_task, self._shard_tasks(
+                "search",
+                lambda i: (query, epsilon),
+                lambda i: {"verification": verification},
+            )
+        else:
+            fn, items = one, list(enumerate(self._shards))
         outcome = fan_out(
             executor,
-            one,
-            list(enumerate(self._shards)),
+            fn,
+            items,
             part="shard",
             timeout=timeout,
             degraded=degraded,
@@ -472,7 +534,18 @@ class ShardedTSIndex(SubsequenceIndex):
                     tree, query, epsilon, verification=verification
                 )
 
-        results = self._map(executor, one, list(enumerate(self._shards)))
+        if is_process_executor(executor):
+            results = self._map(
+                executor,
+                call_task,
+                self._shard_tasks(
+                    "prefix_search_part",
+                    lambda i: (query, epsilon),
+                    lambda i: {"verification": verification},
+                ),
+            )
+        else:
+            results = self._map(executor, one, list(enumerate(self._shards)))
         parts = list(zip(self._starts, results))
         tail = tail_positions(self._source, query.size)
         with trace.span("verify", tail=len(tail)):
@@ -507,6 +580,14 @@ class ShardedTSIndex(SubsequenceIndex):
         def one(tree: TSIndex) -> int:
             return tree.count(query, epsilon)
 
+        if is_process_executor(executor):
+            return sum(
+                self._map(
+                    executor,
+                    call_task,
+                    self._shard_tasks("count", lambda i: (query, epsilon)),
+                )
+            )
         return sum(self._map(executor, one, self._shards))
 
     def exists(self, query, epsilon: float) -> bool:
@@ -549,17 +630,39 @@ class ShardedTSIndex(SubsequenceIndex):
         query = prepare_values(self._source, query)
         exclude = normalize_exclude(exclude)
 
+        def local_exclude_for(start: int, tree) -> tuple[int, int] | None:
+            if exclude is None:
+                return None
+            lo = max(0, exclude[0] - start)
+            hi = min(tree.size, exclude[1] - start)
+            return (lo, hi) if lo < hi else None
+
         def one(args) -> SearchResult:
             start, tree = args
-            local_exclude = None
-            if exclude is not None:
-                lo = max(0, exclude[0] - start)
-                hi = min(tree.size, exclude[1] - start)
-                if lo < hi:
-                    local_exclude = (lo, hi)
-            return tree.knn(query, min(k, tree.size), exclude=local_exclude)
+            return tree.knn(
+                query,
+                min(k, tree.size),
+                exclude=local_exclude_for(start, tree),
+            )
 
-        results = self._map(executor, one, list(zip(self._starts, self._shards)))
+        if is_process_executor(executor):
+            results = self._map(
+                executor,
+                call_task,
+                self._shard_tasks(
+                    "knn",
+                    lambda i: (query, min(k, self._shards[i].size)),
+                    lambda i: {
+                        "exclude": local_exclude_for(
+                            self._starts[i], self._shards[i]
+                        )
+                    },
+                ),
+            )
+        else:
+            results = self._map(
+                executor, one, list(zip(self._starts, self._shards))
+            )
         return merge_knn(zip(self._starts, results), k)
 
     def search_batch(
@@ -643,6 +746,15 @@ class ShardedTSIndex(SubsequenceIndex):
                     zip(self._starts, (batch.results[i] for batch in per_shard))
                 )
                 for i in range(len(queries))
+            ]
+        elif is_process_executor(executor):
+            # Query closures cannot cross a process boundary; run the
+            # query loop here and fan each query's *shards* across the
+            # worker processes instead (identical results — same merge,
+            # same order).
+            results = [
+                self.search(query, epsilon, executor=executor, **search_options)
+                for query in queries
             ]
         else:
             def one(query) -> SearchResult:

@@ -46,9 +46,11 @@ import numpy as np
 from .._util import (
     FLOAT_DTYPE,
     POSITION_DTYPE,
+    call_task,
     check_non_negative,
     check_positive_int,
     fan_out,
+    is_process_executor,
     map_with_executor,
 )
 from ..core.batch import BatchResult
@@ -109,6 +111,11 @@ DEFAULT_MAX_SEGMENTS = 8
 
 #: Journal file name inside a live directory.
 WAL_NAME = "wal.log"
+
+#: Segment archive name suffix per on-disk container format:
+#: ``npz`` writes one compressed file, ``raw`` an uncompressed
+#: mmap-able directory (see :mod:`repro.persistence.serializer`).
+SEGMENT_SUFFIXES = {"npz": ".npz", "raw": ".rts"}
 
 _log = get_logger("repro.live")
 
@@ -216,6 +223,7 @@ class LiveTwinIndex(SubsequenceIndex):
         background_compaction: bool = True,
         _directory=None,
         _wal: WriteAheadLog | None = None,
+        _archive_format: str = "npz",
     ):
         self._init_config(
             length,
@@ -227,6 +235,7 @@ class LiveTwinIndex(SubsequenceIndex):
             directory=_directory,
             wal=_wal,
             fsync=_wal.fsync if _wal is not None else False,
+            archive_format=_archive_format,
         )
         values = _coerce_readings(initial_values, allow_empty=True)
         self._init_buffer(values)
@@ -245,7 +254,14 @@ class LiveTwinIndex(SubsequenceIndex):
         directory,
         wal,
         fsync,
+        archive_format: str = "npz",
     ) -> None:
+        if archive_format not in SEGMENT_SUFFIXES:
+            raise InvalidParameterError(
+                f"unknown archive format {archive_format!r}; expected one "
+                f"of {tuple(SEGMENT_SUFFIXES)}"
+            )
+        self._archive_format = archive_format
         self._length = check_positive_int(length, name="length")
         self._normalization = Normalization.coerce(normalization)
         if self._normalization is Normalization.GLOBAL:
@@ -340,15 +356,19 @@ class LiveTwinIndex(SubsequenceIndex):
         max_segments: int = DEFAULT_MAX_SEGMENTS,
         background_compaction: bool = True,
         fsync: bool = False,
+        archive_format: str = "npz",
     ) -> "LiveTwinIndex":
         """Initialize a **durable** live plane under directory ``path``.
 
         Every subsequent :meth:`append` is journaled to the write-ahead
-        log before it is indexed; sealed segments are archived as
-        ``.npz`` files and committed to the manifest. ``fsync=True``
-        additionally fsyncs each journal write (crash-safe against
-        power loss, at a heavy per-append cost; the default survives
-        process crashes).
+        log before it is indexed; sealed segments are archived
+        (``archive_format="npz"`` — compressed single files, the
+        default — or ``"raw"`` — uncompressed mmap-able directories
+        that recover in O(metadata) and support process fan-out with a
+        single page-cache copy) and committed to the manifest.
+        ``fsync=True`` additionally fsyncs each journal write
+        (crash-safe against power loss, at a heavy per-append cost;
+        the default survives process crashes).
         """
         path = os.fspath(path)
         os.makedirs(path, exist_ok=True)
@@ -373,6 +393,7 @@ class LiveTwinIndex(SubsequenceIndex):
             background_compaction=background_compaction,
             _directory=path,
             _wal=wal,
+            _archive_format=archive_format,
         )
         with index._lock:
             index._write_manifest_locked()
@@ -431,6 +452,11 @@ class LiveTwinIndex(SubsequenceIndex):
             if seal_threshold is not None:
                 seal_threshold = int(seal_threshold)
             max_segments = int(manifest.get("max_segments", DEFAULT_MAX_SEGMENTS))
+            archive_format = str(manifest.get("archive_format", "npz"))
+            if archive_format not in SEGMENT_SUFFIXES:
+                raise ValueError(
+                    f"unknown archive_format {archive_format!r}"
+                )
         except (TypeError, ValueError, InvalidParameterError) as exc:
             raise SerializationError(
                 f"live manifest in {path!r} holds invalid configuration: {exc}"
@@ -541,6 +567,7 @@ class LiveTwinIndex(SubsequenceIndex):
             directory=path,
             wal=None,
             fsync=fsync,
+            archive_format=archive_format,
         )
         index._init_buffer(series)
         with index._lock:
@@ -559,7 +586,11 @@ class LiveTwinIndex(SubsequenceIndex):
                             detached,
                             params,
                             dataclasses.replace(archive.build_stats),
-                            archive.arrays(),
+                            # Timestamp-major form: the re-sourced
+                            # segment adopts the loaded envelopes
+                            # (mmap views for raw archives) without a
+                            # transpose copy per segment.
+                            archive.raw_arrays(),
                         ),
                         file=file,
                     )
@@ -587,13 +618,10 @@ class LiveTwinIndex(SubsequenceIndex):
             for name in os.listdir(path):
                 if (
                     name.startswith("seg-")
-                    and name.endswith(".npz")
+                    and name.endswith(tuple(SEGMENT_SUFFIXES.values()))
                     and name not in referenced
                 ):
-                    try:
-                        os.unlink(os.path.join(path, name))
-                    except OSError:
-                        pass
+                    _remove_archive(os.path.join(path, name))
         _metrics()["recoveries"].inc()
         _log.info(
             "recovered live plane at %r: %d segments, %d journal "
@@ -748,6 +776,7 @@ class LiveTwinIndex(SubsequenceIndex):
                 "mutations": self._mutations,
                 "durable": self._directory is not None,
                 "directory": self._directory,
+                "archive_format": self._archive_format,
                 "quarantined_files": list(self._quarantined),
                 "compaction": self._compactor.stats(),
                 "segment_stats": [
@@ -1007,7 +1036,7 @@ class LiveTwinIndex(SubsequenceIndex):
             )
             segment = Segment(start=self._delta_start, index=frozen)
             if self._directory is not None:
-                segment.file = f"seg-{segment.start:012d}-{stop:012d}.npz"
+                segment.file = self._segment_file(segment.start, stop)
                 self._save_segment_archive(frozen, segment.file)
             self._segments.append(segment)
             self._delta = None
@@ -1053,9 +1082,7 @@ class LiveTwinIndex(SubsequenceIndex):
             with metrics["compaction_seconds"].time():
                 merged = merge_segments(first, second, self._params)
             if self._directory is not None:
-                merged.file = (
-                    f"seg-{merged.start:012d}-{merged.stop:012d}.npz"
-                )
+                merged.file = self._segment_file(merged.start, merged.stop)
                 self._save_segment_archive(merged.index, merged.file)
             with self._lock:
                 if self._closed:
@@ -1090,27 +1117,35 @@ class LiveTwinIndex(SubsequenceIndex):
                     self._write_manifest_locked()
                     for stale in (first.file, second.file):
                         if stale and stale != merged.file:
-                            try:
-                                os.unlink(
-                                    os.path.join(self._directory, stale)
-                                )
-                            except OSError:
-                                pass
+                            _remove_archive(
+                                os.path.join(self._directory, stale)
+                            )
+
+    def _segment_file(self, start: int, stop: int) -> str:
+        """Archive name for the segment spanning ``[start, stop)``."""
+        suffix = SEGMENT_SUFFIXES[self._archive_format]
+        return f"seg-{start:012d}-{stop:012d}{suffix}"
 
     def _save_segment_archive(self, frozen: FrozenTSIndex, file: str) -> None:
         """Write one segment archive; in fsync mode the data (and its
         directory entry) must be durable *before* the manifest commits a
         reference to it — otherwise a power loss could leave a manifest
-        pointing at a torn archive after the WAL was truncated."""
+        pointing at a torn archive after the WAL was truncated. (Raw
+        archives fsync-and-rename internally; their commit marker is
+        ``meta.json``, written last.)"""
         from ..persistence import save_index  # lazy: avoids import cost
         from .wal import fsync_directory, fsync_file
 
         path = os.path.join(self._directory, file)
         with wrap_os_errors("segment write", path):
             failpoint("segment.write", file=file)
-            save_index(frozen, path)
+            if self._archive_format == "raw":
+                save_index(frozen, path, format="raw", fsync=self._fsync)
+            else:
+                save_index(frozen, path)
         if self._fsync:
-            fsync_file(path)
+            if self._archive_format != "raw":
+                fsync_file(path)
             fsync_directory(self._directory)
 
     def _write_manifest_locked(self) -> None:
@@ -1128,6 +1163,7 @@ class LiveTwinIndex(SubsequenceIndex):
                 "seal_threshold": self._seal_threshold,
                 "max_segments": self._max_segments,
                 "fsync": self._fsync,
+                "archive_format": self._archive_format,
                 "wal_offset": self._delta_start,
                 "segments": [
                     {
@@ -1143,6 +1179,34 @@ class LiveTwinIndex(SubsequenceIndex):
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def _segment_tasks(
+        self, segments, call: str, args: tuple, kwargs_for=None
+    ) -> list | None:
+        """Picklable per-segment archive tasks for process fan-out, or
+        ``None`` when the snapshot cannot be served by path (in-memory
+        plane, or a segment without an archive) — the caller then keeps
+        its closure path and :func:`~repro._util.fan_out` degrades a
+        process pool to the serial loop, byte-identical either way.
+        Workers replay the thread closure's exact call against the
+        segment archive, whose embedded rolling statistics (per-window
+        regime) keep the standalone reload bitwise equal to the
+        in-memory segment."""
+        if self._directory is None or any(
+            segment.file is None for segment in segments
+        ):
+            return None
+        from ..engine.procpool import ArchiveTask  # lazy: process mode only
+
+        return [
+            ArchiveTask(
+                os.path.join(self._directory, segment.file),
+                call,
+                args=args,
+                kwargs=kwargs_for(segment) if kwargs_for is not None else {},
+            )
+            for segment in segments
+        ]
+
     def search(
         self,
         query,
@@ -1199,10 +1263,20 @@ class LiveTwinIndex(SubsequenceIndex):
                     prepared, epsilon, verification=verification
                 )
 
+        fn, items = one, segments
+        if is_process_executor(executor):
+            tasks = self._segment_tasks(
+                segments,
+                "search",
+                (prepared, epsilon),
+                lambda segment: {"verification": verification},
+            )
+            if tasks is not None:
+                fn, items = call_task, tasks
         outcome = fan_out(
             executor,
-            one,
-            segments,
+            fn,
+            items,
             labels=[segment.start for segment in segments],
             part="segment",
             timeout=timeout,
@@ -1283,7 +1357,17 @@ class LiveTwinIndex(SubsequenceIndex):
                 segment.index, query, epsilon, verification=verification
             )
 
-        results = map_with_executor(executor, one, segments)
+        fn, items = one, segments
+        if is_process_executor(executor):
+            tasks = self._segment_tasks(
+                segments,
+                "prefix_search_part",
+                (query, epsilon),
+                lambda segment: {"verification": verification},
+            )
+            if tasks is not None:
+                fn, items = call_task, tasks
+        results = map_with_executor(executor, fn, items)
         parts = [
             (segment.start, result)
             for segment, result in zip(segments, results)
@@ -1330,7 +1414,12 @@ class LiveTwinIndex(SubsequenceIndex):
         def one(segment) -> int:
             return segment.index.count(prepared, epsilon)
 
-        return total + sum(map_with_executor(executor, one, segments))
+        fn, items = one, segments
+        if is_process_executor(executor):
+            tasks = self._segment_tasks(segments, "count", (prepared, epsilon))
+            if tasks is not None:
+                fn, items = call_task, tasks
+        return total + sum(map_with_executor(executor, fn, items))
 
     def knn(
         self,
@@ -1373,7 +1462,22 @@ class LiveTwinIndex(SubsequenceIndex):
                 exclude=_local_exclude(exclude, segment.start, segment.size),
             )
 
-        results = map_with_executor(executor, one, segments)
+        fn, items = one, segments
+        if is_process_executor(executor):
+            tasks = self._segment_tasks(
+                segments,
+                "knn",
+                (prepared,),
+                lambda segment: {
+                    "k": min(k, segment.size),
+                    "exclude": _local_exclude(
+                        exclude, segment.start, segment.size
+                    ),
+                },
+            )
+            if tasks is not None:
+                fn, items = call_task, tasks
+        results = map_with_executor(executor, fn, items)
         parts = [
             (segment.start, result)
             for segment, result in zip(segments, results)
@@ -1437,6 +1541,16 @@ class LiveTwinIndex(SubsequenceIndex):
         epsilon = check_non_negative(epsilon, name="epsilon")
         queries = list(queries)
 
+        if is_process_executor(executor):
+            # Query closures cannot cross a process boundary; run the
+            # query loop here and fan each query's *segments* across
+            # the worker processes instead (identical results).
+            results = [
+                self.search(query, epsilon, executor=executor, **search_options)
+                for query in queries
+            ]
+            return batch_result(results, epsilon)
+
         def one(query) -> SearchResult:
             return self.search(query, epsilon, **search_options)
 
@@ -1460,6 +1574,21 @@ def _coerce_readings(readings, *, allow_empty: bool) -> np.ndarray:
     if not np.all(np.isfinite(array)):
         raise InvalidParameterError("readings contain NaN or infinity")
     return array
+
+
+def _remove_archive(path: str) -> None:
+    """Best-effort removal of a segment archive — a compressed file or
+    a raw archive directory (stale-file cleanup must never fail a
+    recovery or compaction commit)."""
+    import shutil
+
+    try:
+        if os.path.isdir(path):
+            shutil.rmtree(path)
+        else:
+            os.unlink(path)
+    except OSError:
+        pass
 
 
 def _quarantine_files(directory, names, *, reason) -> None:

@@ -1,17 +1,40 @@
 """Save/load support for every index (extension).
 
 The paper keeps indices in memory; real deployments want to build once
-and reuse. Each index serializes to a single ``.npz`` archive holding
-the raw series, the construction parameters and the method-specific
-structure (flattened with explicit child offsets, so reload is O(size)
-with no recursion). Loaded indices answer queries identically to the
-originals — enforced by round-trip tests.
+and reuse. Two on-disk containers share one logical payload (the raw
+series, the construction parameters and the method-specific structure,
+flattened with explicit child offsets so reload is O(size) with no
+recursion):
+
+* ``format="npz"`` (default, and the only pre-existing format) — a
+  single compressed ``.npz`` archive. Compact, but every byte is
+  decompressed into private memory at load.
+* ``format="raw"`` — a *directory* of uncompressed per-array ``.npy``
+  files plus a ``meta.json``, opened with ``mmap_mode="r"``. Loading
+  maps the files instead of reading them: cold starts are O(metadata),
+  the page cache holds one shared copy of the arrays across every
+  process serving the archive, and frozen envelopes are stored in their
+  resident timestamp-major layout so not a single element is copied or
+  transposed on the way in. The directory commits atomically:
+  ``meta.json`` is written last via tmp-file + fsync + rename (the same
+  protocol as the live plane's ``MANIFEST.json``), so a crash
+  mid-write leaves a directory without valid metadata — which
+  :func:`load_index` rejects loudly — never a half-written archive
+  that mmap would happily map.
+
+Loaded indices answer queries identically to the originals — enforced
+by round-trip tests.
 
 Frozen indexes (:class:`~repro.core.frozen.FrozenTSIndex`, standalone
 or as shards of a sharded engine) round-trip their flat arrays
 *natively*: the archive stores the structure-of-arrays form verbatim
 and loading is pure array reads — no node objects are rebuilt and no
-windows are re-inserted.
+windows are re-inserted. Standalone frozen dumps of per-window sources
+additionally embed the source's rolling window statistics
+(``win_means`` / ``win_stds``): those are block-computed over the
+*monolithic* series, so an archive of a detached chunk (a live sealed
+segment) reloaded in another process stays bitwise identical to the
+parent's in-memory segment.
 """
 
 from __future__ import annotations
@@ -19,62 +42,195 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import time
 
 import numpy as np
 
 from .._util import POSITION_DTYPE
-from ..core.frozen import ARRAY_FIELDS, FrozenTSIndex
+from ..core.frozen import ARRAY_FIELDS, RAW_ARRAY_FIELDS, FrozenTSIndex
 from ..core.mbts import MBTS
 from ..core.normalization import Normalization
 from ..core.stats import BuildStats
 from ..core.tsindex import TSIndex, TSIndexParams, _Node
-from ..core.windows import WindowSource
-from ..exceptions import SerializationError
+from ..core.windows import WindowSource, assemble_source
+from ..exceptions import InvalidParameterError, SerializationError
 from ..indices.isax import ISAXIndex, ISAXParams, _ISAXNode
 from ..indices.kvindex import KVIndex, KVIndexParams
 from ..indices.sax import SAXAlphabet
 from ..indices.sweepline import SweeplineSearch
+from ..obs.metrics import HandleCache
 
 #: Format marker written into every archive.
 FORMAT_VERSION = 1
 
+#: The on-disk containers :func:`save_index` can write.
+ARCHIVE_FORMATS = ("npz", "raw")
 
-def save_index(index, path) -> None:
-    """Serialize ``index`` to ``path`` (a ``.npz`` archive)."""
+#: Commit marker of a raw archive directory (written last, atomically).
+RAW_META_NAME = "meta.json"
+
+_load_metrics = HandleCache(
+    lambda registry: registry.histogram(
+        "repro_archive_load_seconds",
+        "Index archive open latency by on-disk container format, in "
+        "seconds (raw archives are mmapped, so this excludes the lazy "
+        "page-in of the array data).",
+        labels=("format",),
+    )
+)
+
+
+def _payload_for(index, *, raw: bool) -> dict:
     from ..engine.sharding import ShardedTSIndex  # lazy: engine imports us
 
-    path = os.fspath(path)
     if isinstance(index, ShardedTSIndex):
-        payload = _dump_sharded(index)
-    elif isinstance(index, FrozenTSIndex):
-        payload = _dump_frozen(index)
-    elif isinstance(index, TSIndex):
-        payload = _dump_tsindex(index)
-    elif isinstance(index, KVIndex):
-        payload = _dump_kvindex(index)
-    elif isinstance(index, ISAXIndex):
-        payload = _dump_isax(index)
-    elif isinstance(index, SweeplineSearch):
-        payload = _dump_sweepline(index)
-    else:
-        raise SerializationError(
-            f"cannot serialize object of type {type(index).__name__}"
+        return _dump_sharded(index, raw=raw)
+    if isinstance(index, FrozenTSIndex):
+        return _dump_frozen(index, raw=raw)
+    if isinstance(index, TSIndex):
+        return _dump_tsindex(index)
+    if isinstance(index, KVIndex):
+        return _dump_kvindex(index)
+    if isinstance(index, ISAXIndex):
+        return _dump_isax(index)
+    if isinstance(index, SweeplineSearch):
+        return _dump_sweepline(index)
+    raise SerializationError(
+        f"cannot serialize object of type {type(index).__name__}"
+    )
+
+
+def save_index(index, path, *, format: str = "npz", fsync: bool = True) -> None:
+    """Serialize ``index`` to ``path``.
+
+    ``format="npz"`` writes a single compressed archive file;
+    ``format="raw"`` writes an uncompressed, mmap-able archive
+    *directory* (committed atomically; ``fsync=False`` skips the
+    durability syncs for throwaway archives such as test fixtures).
+    """
+    if format not in ARCHIVE_FORMATS:
+        raise InvalidParameterError(
+            f"unknown archive format {format!r}; expected one of "
+            f"{ARCHIVE_FORMATS}"
         )
-    np.savez_compressed(path, **payload)
-
-
-def load_index(path):
-    """Restore an index previously written by :func:`save_index`."""
     path = os.fspath(path)
-    try:
-        with np.load(path, allow_pickle=False) as archive:
-            data = {key: archive[key] for key in archive.files}
-    except (OSError, ValueError) as exc:
-        raise SerializationError(f"cannot read archive {path!r}: {exc}") from exc
-    try:
-        meta = json.loads(str(data["meta"][()]))
-    except (KeyError, json.JSONDecodeError) as exc:
-        raise SerializationError(f"archive {path!r} has no valid metadata") from exc
+    payload = _payload_for(index, raw=(format == "raw"))
+    if format == "npz":
+        np.savez_compressed(path, **payload)
+    else:
+        _write_raw(path, payload, fsync=fsync)
+
+
+class _RawArchive:
+    """Lazy mapping view over a raw archive directory: ``data[field]``
+    opens ``<dir>/<field>.npy`` with ``mmap_mode`` (read-only pages
+    shared through the OS page cache). Quacks like the dict the npz
+    path builds, so every ``_load_*`` works on both containers."""
+
+    __slots__ = ("_path", "_mmap_mode")
+
+    def __init__(self, path: str, mmap_mode: str | None):
+        self._path = path
+        self._mmap_mode = mmap_mode
+
+    def _file(self, key: str) -> str:
+        return os.path.join(self._path, f"{key}.npy")
+
+    def __contains__(self, key) -> bool:
+        return os.path.exists(self._file(key))
+
+    def __getitem__(self, key) -> np.ndarray:
+        try:
+            return np.load(
+                self._file(key), mmap_mode=self._mmap_mode, allow_pickle=False
+            )
+        except (OSError, ValueError) as exc:
+            raise SerializationError(
+                f"cannot read array {key!r} of raw archive "
+                f"{self._path!r}: {exc}"
+            ) from exc
+
+
+def _write_raw(path: str, payload: dict, *, fsync: bool = True) -> None:
+    """Write ``payload`` as an atomically committed raw archive
+    directory: metadata is removed first (readers of a half-rewritten
+    directory fail loudly, not silently stale), each array is written
+    to a tmp name, fsynced and renamed into place, and ``meta.json``
+    commits the archive last — the exact protocol of the live plane's
+    manifest writes."""
+    from ..live.wal import fsync_directory  # lazy: avoids cycle
+
+    meta_text = str(np.asarray(payload["meta"])[()])
+    os.makedirs(path, exist_ok=True)
+    meta_file = os.path.join(path, RAW_META_NAME)
+    if os.path.exists(meta_file):
+        os.unlink(meta_file)
+    for name in os.listdir(path):
+        if name.endswith(".npy") or name.endswith(".tmp"):
+            os.unlink(os.path.join(path, name))
+    for key, value in payload.items():
+        if key == "meta":
+            continue
+        target = os.path.join(path, f"{key}.npy")
+        tmp = target + ".tmp"
+        with open(tmp, "wb") as handle:
+            np.save(handle, np.ascontiguousarray(value))
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    tmp = meta_file + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(meta_text)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    os.replace(tmp, meta_file)
+    if fsync:
+        fsync_directory(path)
+
+
+def load_index(path, *, mmap: bool = True):
+    """Restore an index previously written by :func:`save_index`.
+
+    A directory is opened as a raw archive (``mmap=True`` maps the
+    array files zero-copy; ``mmap=False`` reads them into private
+    memory); a file is read as a compressed ``.npz`` archive — legacy
+    archives keep loading unchanged. Sharded engines remember the
+    archive they came from (see
+    :meth:`~repro.engine.sharding.ShardedTSIndex.attach_archive`), so
+    process-pool fan-out can reopen the same archive by path inside
+    each worker.
+    """
+    path = os.fspath(path)
+    started = time.perf_counter()
+    if os.path.isdir(path):
+        container = "raw"
+        data = _RawArchive(path, "r" if mmap else None)
+        meta_file = os.path.join(path, RAW_META_NAME)
+        try:
+            with open(meta_file, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"archive {path!r} has no valid metadata "
+                "(uncommitted or torn raw archive?)"
+            ) from exc
+    else:
+        container = "npz"
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                data = {key: archive[key] for key in archive.files}
+        except (OSError, ValueError) as exc:
+            raise SerializationError(
+                f"cannot read archive {path!r}: {exc}"
+            ) from exc
+        try:
+            meta = json.loads(str(data["meta"][()]))
+        except (KeyError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"archive {path!r} has no valid metadata"
+            ) from exc
     if meta.get("format") != FORMAT_VERSION:
         raise SerializationError(
             f"unsupported archive format {meta.get('format')!r}"
@@ -89,7 +245,13 @@ def load_index(path):
     }
     if method not in loaders:
         raise SerializationError(f"unknown method {method!r} in archive")
-    return loaders[method](meta, data)
+    index = loaders[method](meta, data)
+    _load_metrics().labels(format=container).observe(
+        time.perf_counter() - started
+    )
+    if hasattr(index, "attach_archive"):
+        index.attach_archive(path)
+    return index
 
 
 # ----------------------------------------------------------------------
@@ -113,10 +275,25 @@ def _meta_for(index, method: str, extra: dict | None = None) -> str:
 def _source_from(meta: dict, data: dict) -> WindowSource:
     from ..core.series import TimeSeries
 
-    series = TimeSeries(data["series"], name=meta.get("series_name", ""))
-    return WindowSource(
-        series, int(meta["length"]), Normalization(meta["normalization"])
-    )
+    name = meta.get("series_name", "")
+    length = int(meta["length"])
+    normalization = Normalization(meta["normalization"])
+    if "win_means" in data:
+        # The archive carries the source's rolling statistics verbatim
+        # (a per-window source over a *detached chunk*, e.g. a live
+        # sealed segment: recomputing them standalone would move the
+        # block boundaries of the blocked rolling std and break bitwise
+        # identity with the parent plane).
+        return assemble_source(
+            np.asarray(data["series"]),
+            length,
+            normalization,
+            means=np.asarray(data["win_means"]),
+            stds=np.asarray(data["win_stds"]),
+            name=name,
+        )
+    series = TimeSeries(data["series"], name=name)
+    return WindowSource(series, length, normalization)
 
 
 def _build_stats_from(meta: dict) -> BuildStats:
@@ -235,12 +412,15 @@ def _load_tsindex(meta: dict, data: dict) -> TSIndex | FrozenTSIndex:
     params = TSIndexParams(**meta["params"])
     if meta.get("frozen"):
         # Frozen archives hold the flat arrays natively; loading is
-        # pure array reads — no node objects, no re-insertion.
+        # pure array reads — no node objects, no re-insertion. Raw
+        # archives store the envelopes timestamp-major (``uppers_t``):
+        # those views (mmaps) are adopted as-is, zero-copy.
+        fields = RAW_ARRAY_FIELDS if "uppers_t" in data else ARRAY_FIELDS
         return FrozenTSIndex.from_arrays(
             source,
             params,
             _build_stats_from(meta),
-            {field: data[field] for field in ARRAY_FIELDS},
+            {field: data[field] for field in fields},
         )
     root = _tree_from_arrays(data)
     index = TSIndex._from_prebuilt_root(
@@ -249,8 +429,10 @@ def _load_tsindex(meta: dict, data: dict) -> TSIndex | FrozenTSIndex:
     return index
 
 
-def _dump_frozen(index: FrozenTSIndex) -> dict:
-    """Frozen indexes serialize their flat arrays verbatim."""
+def _dump_frozen(index: FrozenTSIndex, *, raw: bool = False) -> dict:
+    """Frozen indexes serialize their flat arrays verbatim (the raw
+    container keeps the envelopes timestamp-major, so neither save nor
+    load ever transposes them)."""
     payload = {
         "meta": np.asarray(
             _meta_for(
@@ -264,7 +446,11 @@ def _dump_frozen(index: FrozenTSIndex) -> dict:
         ),
         "series": index.source.series.values,
     }
-    payload.update(index.arrays())
+    source = index.source
+    if source._means is not None:
+        payload["win_means"] = source._means
+        payload["win_stds"] = source._stds
+    payload.update(index.raw_arrays() if raw else index.arrays())
     return payload
 
 
@@ -423,7 +609,7 @@ def _load_isax(meta: dict, data: dict) -> ISAXIndex:
 # ----------------------------------------------------------------------
 # Sharded TS-Index: per-shard trees flattened under prefixed keys
 # ----------------------------------------------------------------------
-def _dump_sharded(engine) -> dict:
+def _dump_sharded(engine, *, raw: bool = False) -> dict:
     """One archive holding the full series plus every shard tree.
 
     Shard window sources are zero-copy views of the monolithic source,
@@ -434,7 +620,7 @@ def _dump_sharded(engine) -> dict:
     payload: dict = {"series": engine.source.series.values}
     for i, ((start, stop), tree) in enumerate(zip(engine.spans, engine.shards)):
         if isinstance(tree, FrozenTSIndex):
-            arrays = tree.arrays()
+            arrays = tree.raw_arrays() if raw else tree.arrays()
             frozen = True
         else:
             if tree._root is None:
@@ -476,6 +662,11 @@ def _load_sharded(meta: dict, data: dict):
         shard_source = source.shard(start, stop)
         build_stats = BuildStats(**shard.get("build_stats", {}))
         if shard.get("frozen"):
+            fields = (
+                RAW_ARRAY_FIELDS
+                if f"s{i}_uppers_t" in data
+                else ARRAY_FIELDS
+            )
             trees.append(
                 FrozenTSIndex.from_arrays(
                     shard_source,
@@ -483,7 +674,7 @@ def _load_sharded(meta: dict, data: dict):
                     build_stats,
                     {
                         field: data[f"s{i}_{field}"]
-                        for field in ARRAY_FIELDS
+                        for field in fields
                     },
                 )
             )

@@ -273,6 +273,27 @@ class TestArtifactEnvelope:
         assert loaded["meta"] == {}
         assert loaded["gate"]["overhead_pct"] == 1.0
 
+    def test_scaling_artifact_kind_and_compare(self, tmp_path):
+        """The fan-out scaling artifact reads through the shared
+        envelope: filename-inferred kind for legacy files, and its
+        curve rows gate as compare metrics like any other artifact."""
+        legacy = tmp_path / "BENCH_scaling.json"
+        legacy.write_text(json.dumps(
+            {"curve": [{"executor": "process", "workers": 2,
+                        "seconds": 0.5, "ms_per_query": 10.0}]}
+        ))
+        loaded = read_artifact(legacy)
+        assert loaded["schema"] == LEGACY_SCHEMA
+        assert loaded["kind"] == "scaling"
+        current = make_artifact(
+            {"curve": [{"executor": "process", "workers": 2,
+                        "seconds": 0.52, "ms_per_query": 10.4}]},
+            kind="scaling",
+        )
+        comparison = compare_artifacts(current, loaded)
+        assert comparison["compared"] == 2  # the time leaves gate
+        assert comparison["passed"]  # 4% slower: within tolerance
+
     def test_reserved_keys_rejected(self):
         with pytest.raises(InvalidParameterError):
             make_artifact({"meta": {}}, kind="demo")
