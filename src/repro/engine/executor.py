@@ -155,7 +155,7 @@ class QueryEngine:
         self._queries = 0
         self._queries_by_mode = {mode: 0 for mode in MODES}
         self._query_stats = QueryStats()
-        self._started = time.time()
+        self._started = time.perf_counter()
         # ``metrics``: None/True -> the process default registry, False
         # -> the shared no-op registry (instrumentation off), or an
         # explicit MetricsRegistry. Metric handles are resolved once
@@ -212,7 +212,7 @@ class QueryEngine:
     def _qps(self) -> float:
         with self._lock:
             queries = self._queries
-        return queries / max(1e-9, time.time() - self._started)
+        return queries / max(1e-9, time.perf_counter() - self._started)
 
     # ------------------------------------------------------------------
     # Lifecycle

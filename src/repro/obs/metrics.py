@@ -356,7 +356,7 @@ class MetricsRegistry:
         self.name = str(name)
         self._lock = threading.Lock()
         self._metrics: dict[str, _Metric] = {}
-        self._created = time.time()
+        self._created = time.perf_counter()
 
     # ------------------------------------------------------------------
     def _get_or_create(self, cls, name, help, labels, **kwargs) -> _Metric:
@@ -452,7 +452,7 @@ class MetricsRegistry:
     def age_seconds(self) -> float:
         """Seconds since this registry was created (used by exports to
         derive rates such as QPS)."""
-        return max(1e-9, time.time() - self._created)
+        return max(1e-9, time.perf_counter() - self._created)
 
     def __contains__(self, name) -> bool:
         with self._lock:

@@ -111,6 +111,19 @@ class TestLifecycleAndStats:
         assert row["queries"] == 3
         assert row["cache"]["hits"] == 1
 
+    def test_lifetime_qps_survives_wall_clock_steps(self, engine, monkeypatch):
+        """Regression: lifetime QPS derives from the monotonic clock —
+        a wall-clock step backwards (NTP) must not divide the query
+        count by ~1e-9 and report a billion QPS."""
+        import time as time_module
+
+        source = engine.registry.get("demo").source
+        engine.query("demo", source.window(1), 0.3)
+        real_time = time_module.time
+        monkeypatch.setattr(time_module, "time", lambda: real_time() - 3600)
+        qps = engine._qps()
+        assert 0.0 < qps < 1e6
+
     def test_rebuild_overwrite_invalidates_cache(self, engine):
         """A rebuilt name must never serve the old index's results."""
         other = np.cumsum(np.random.default_rng(99).normal(size=1500))

@@ -200,6 +200,22 @@ class TestRegistry:
         registry.clear()
         assert len(registry) == 0
 
+    def test_age_survives_wall_clock_steps(self, registry, monkeypatch):
+        """Regression: age_seconds (the denominator of every exported
+        rate) derives from the monotonic clock, so an NTP wall-clock
+        step can neither zero it nor inflate it by hours."""
+        import time as time_module
+
+        before = registry.age_seconds
+        # Step the wall clock an hour backwards, then forwards a day.
+        real_time = time_module.time
+        monkeypatch.setattr(time_module, "time", lambda: real_time() - 3600)
+        stepped_back = registry.age_seconds
+        monkeypatch.setattr(time_module, "time", lambda: real_time() + 86400)
+        stepped_forward = registry.age_seconds
+        assert before <= stepped_back <= stepped_forward
+        assert stepped_forward < 60  # not the +86400 wall-clock jump
+
 
 class TestNullObjects:
     def test_null_registry_metrics_are_noops(self):
