@@ -70,7 +70,7 @@ def make_meta(*, seed=None) -> dict:
     """The envelope ``meta`` block: where, when and from what this
     artifact was generated."""
     meta = {
-        "generated_unix": round(time.time(), 3),
+        "generated_unix": round(time.time(), 3),  # lint: disable=wall-clock epoch timestamp, not a duration
         "cpu_count": available_cpu_count(),
         "python": platform.python_version(),
         "git_rev": git_revision(),

@@ -48,6 +48,15 @@ loops and fault storms with byte-exact recovery checks::
 
     python -m repro.cli chaos kill --loops 10
     python -m repro.cli chaos storm --mode enospc --probability 0.2
+
+Audit the source tree against the project's own invariants
+(:mod:`repro.lint`) — failpoint registry, crash-safety, lock
+discipline, layering, public-API hygiene::
+
+    python -m repro.cli lint
+    python -m repro.cli lint --check single-call-site --check wall-clock
+    python -m repro.cli lint --format json
+    python -m repro.cli lint --list
 """
 
 from __future__ import annotations
@@ -66,7 +75,7 @@ FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8")
 COMMANDS = (
     ("table1", "table2", "intro", "all")
     + FIGURES
-    + ("engine", "live", "obs", "chaos", "sweep")
+    + ("engine", "live", "obs", "chaos", "sweep", "lint")
 )
 
 
@@ -866,6 +875,72 @@ def run_sweep_cli(argv) -> int:
         raise SystemExit(f"error: {exc}") from exc
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Parser for the ``lint`` command (project-invariant static
+    analysis over :mod:`repro.lint`)."""
+    from .lint import CHECKERS
+
+    parser = argparse.ArgumentParser(
+        prog="repro-twin lint",
+        description="Audit the repro source tree against the project's "
+        "own invariants (failpoint registry, crash safety, lock "
+        "discipline, layering, public-API hygiene). Exits 1 when any "
+        "violation is found.",
+        epilog="checkers: " + ", ".join(sorted(CHECKERS)),
+    )
+    parser.add_argument(
+        "--check",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only this checker (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="package root to audit (default: the installed repro "
+        "package itself)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_checks",
+        help="list the available checkers and exit",
+    )
+    return parser
+
+
+def run_lint_cli(argv) -> int:
+    """Execute the ``lint`` command; returns an exit code (0 clean,
+    non-zero when violations were found)."""
+    from .exceptions import ReproError
+    from .lint import CHECKERS, run_lint
+
+    args = build_lint_parser().parse_args(argv)
+    if args.list_checks:
+        width = max(len(name) for name in CHECKERS)
+        for name, checker in sorted(CHECKERS.items()):
+            print(f"{name:<{width}}  {checker.description}")
+        return 0
+    try:
+        report = run_lint(args.root, checks=args.check)
+    except ReproError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.format == "json":
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return report.exit_code
+
+
 def run_engine(argv) -> int:
     """Execute one ``engine`` subcommand; returns an exit code.
 
@@ -938,8 +1013,10 @@ def main(argv=None) -> int:
         return run_chaos(argv[1:])
     if argv and argv[0] == "sweep":
         return run_sweep_cli(argv[1:])
+    if argv and argv[0] == "lint":
+        return run_lint_cli(argv[1:])
     args = build_parser().parse_args(argv)
-    if args.command in ("engine", "live", "obs", "chaos", "sweep"):
+    if args.command in ("engine", "live", "obs", "chaos", "sweep", "lint"):
         # Reached only when the subsystem word was not the first
         # argument (main dispatches argv[0] before this parser runs).
         raise SystemExit(

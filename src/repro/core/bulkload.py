@@ -24,6 +24,7 @@ and query time across orderings and against sequential insertion.
 from __future__ import annotations
 
 import time
+from typing import Any
 
 import numpy as np
 
@@ -35,6 +36,8 @@ from .stats import BuildStats
 from .tsindex import TSIndex, TSIndexParams, _Node, _union_of
 from .windows import WindowSource
 
+__all__ = ["BULK_ORDERINGS", "bulk_load", "bulk_load_source"]
+
 #: Supported orderings.
 BULK_ORDERINGS = ("position", "mean", "paa")
 
@@ -44,10 +47,10 @@ DEFAULT_FILL_FRACTION = 0.75
 
 
 def bulk_load(
-    series,
+    series: Any,
     length: int,
     *,
-    normalization=Normalization.GLOBAL,
+    normalization: Any = Normalization.GLOBAL,
     params: TSIndexParams | None = None,
     ordering: str = "position",
     paa_segments: int = 5,

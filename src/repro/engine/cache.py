@@ -20,6 +20,7 @@ import dataclasses
 import hashlib
 import threading
 from collections import OrderedDict
+from typing import Any
 
 import numpy as np
 
@@ -58,7 +59,7 @@ class CacheStats:
         return row
 
 
-def query_key(query, epsilon: float, **options) -> tuple:
+def query_key(query: Any, epsilon: float, **options: Any) -> tuple:
     """The canonical cache key for a twin query.
 
     The query is digested from its float64 byte representation
@@ -94,11 +95,11 @@ class QueryCache:
 
     def __init__(self, capacity: int = 256):
         self._capacity = check_positive_int(capacity, name="capacity")
-        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._entries: OrderedDict[tuple, object] = OrderedDict()  # lint: guarded-by(_lock)
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits = 0  # lint: guarded-by(_lock)
+        self._misses = 0  # lint: guarded-by(_lock)
+        self._evictions = 0  # lint: guarded-by(_lock)
 
     @property
     def capacity(self) -> int:
@@ -113,7 +114,7 @@ class QueryCache:
         with self._lock:
             return key in self._entries
 
-    def get(self, key, default=None):
+    def get(self, key: Any, default: Any = None) -> Any:
         """The cached value for ``key`` (marking it most recent), or
         ``default``. Counts a hit or a miss."""
         with self._lock:
@@ -125,7 +126,7 @@ class QueryCache:
             self._hits += 1
             return value
 
-    def put(self, key, value) -> None:
+    def put(self, key: Any, value: Any) -> None:
         """Insert (or refresh) ``key``; evicts the least recently used
         entry when full."""
         with self._lock:
@@ -138,7 +139,7 @@ class QueryCache:
                 self._evictions += 1
             self._entries[key] = value
 
-    def get_or_compute(self, key, compute):
+    def get_or_compute(self, key: Any, compute: Any) -> Any:
         """The cached value for ``key``, computing and caching on miss.
 
         ``compute`` runs *outside* the lock (twin searches are slow), so

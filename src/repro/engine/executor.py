@@ -45,6 +45,7 @@ import shutil
 import tempfile
 import threading
 import time
+from typing import Any
 
 from .._util import available_cpu_count
 from ..core.batch import BatchResult
@@ -124,7 +125,7 @@ class QueryEngine:
         cache_capacity: int = 256,
         max_workers: int | None = None,
         executor: str = "thread",
-        metrics=None,
+        metrics: Any = None,
         trace_capacity: int = DEFAULT_TRACE_CAPACITY,
         trace_sample: float = 1.0,
     ):
@@ -143,8 +144,8 @@ class QueryEngine:
         # Planes built in memory have no archive for workers to open;
         # process mode spools them to raw (mmap) archives here, once
         # per (name, generation), and removes the tree on close().
-        self._spool: str | None = None
-        self._spool_seq = 0
+        self._spool: str | None = None  # lint: guarded-by(_spool_lock)
+        self._spool_seq = 0  # lint: guarded-by(_spool_lock)
         self._spool_lock = threading.Lock()
         if executor == "process":
             self._fanout_workers = max_workers or available_cpu_count()
@@ -152,9 +153,11 @@ class QueryEngine:
                 max_workers=self._fanout_workers
             )
         self._lock = threading.Lock()
-        self._queries = 0
-        self._queries_by_mode = {mode: 0 for mode in MODES}
-        self._query_stats = QueryStats()
+        self._queries = 0  # lint: guarded-by(_lock)
+        self._queries_by_mode = {mode: 0 for mode in MODES}  # lint: guarded-by(_lock)
+        self._query_stats = QueryStats()  # lint: guarded-by(_lock)
+        # Monotonic origin for lifetime QPS: a wall-clock step (NTP)
+        # must not inflate or zero the exported rate.
         self._started = time.perf_counter()
         # ``metrics``: None/True -> the process default registry, False
         # -> the shared no-op registry (instrumentation off), or an
@@ -247,7 +250,7 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Index management (delegates to the registry)
     # ------------------------------------------------------------------
-    def build(self, name: str, series, length: int, **build_options) -> SubsequenceIndex:
+    def build(self, name: str, series: Any, length: int, **build_options: Any) -> SubsequenceIndex:
         """Build and register a query plane (see
         :meth:`IndexRegistry.build`; the default ``method="sharded"``
         builds a fan-out sharded index with shards frozen into flat
@@ -269,7 +272,7 @@ class QueryEngine:
             self._clear_cache(f"rebuild of {name!r}")
         return index
 
-    def add(self, name: str, index, *, overwrite: bool = False):
+    def add(self, name: str, index: Any, *, overwrite: bool = False) -> Any:
         """Register a plane built elsewhere (any
         :class:`~repro.indices.base.SubsequenceIndex`), invalidating
         the cache when it may replace an existing name."""
@@ -278,7 +281,7 @@ class QueryEngine:
             self._clear_cache(f"re-registration of {name!r}")
         return index
 
-    def add_live(self, name: str, index, *, overwrite: bool = False):
+    def add_live(self, name: str, index: Any, *, overwrite: bool = False) -> Any:
         """Register a :class:`~repro.live.LiveTwinIndex` ingestion plane
         for serving (see :meth:`IndexRegistry.add_live`).
 
@@ -294,7 +297,7 @@ class QueryEngine:
             self._clear_cache(f"live re-registration of {name!r}")
         return index
 
-    def append(self, name: str, readings) -> int:
+    def append(self, name: str, readings: Any) -> int:
         """Append readings to the live plane registered under ``name``;
         returns the number of newly indexed windows.
 
@@ -312,7 +315,7 @@ class QueryEngine:
             )
         return append(readings)
 
-    def load(self, name: str, path, *, overwrite: bool = False) -> ShardedTSIndex:
+    def load(self, name: str, path: Any, *, overwrite: bool = False) -> ShardedTSIndex:
         """Restore an index from disk and register it (see
         :meth:`IndexRegistry.load`), invalidating the cache when it
         may replace an existing name."""
@@ -385,7 +388,7 @@ class QueryEngine:
     def query(
         self,
         name: str,
-        query,
+        query: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -467,7 +470,7 @@ class QueryEngine:
                 deactivate_trace(token)
             self._tracer.finish(trace)
 
-    def knn(self, name: str, query, k: int, *, exclude=None) -> SearchResult:
+    def knn(self, name: str, query: Any, k: int, *, exclude: Any = None) -> SearchResult:
         """k-NN twin query against the named plane (never cached: the
         result depends on ``k`` and ``exclude``, and k-NN traffic rarely
         repeats exactly). Planes without a native k-NN kernel are
@@ -481,7 +484,7 @@ class QueryEngine:
 
         return self._serve("knn", name, run)
 
-    def exists(self, name: str, query, epsilon: float) -> bool:
+    def exists(self, name: str, query: Any, epsilon: float) -> bool:
         """Whether the named plane holds any twin of ``query`` within
         ``epsilon`` (early-exit on planes with a native ``exists``)."""
         def run() -> bool:
@@ -491,7 +494,7 @@ class QueryEngine:
 
         return self._serve("exists", name, run)
 
-    def count(self, name: str, query, epsilon: float) -> int:
+    def count(self, name: str, query: Any, epsilon: float) -> int:
         """Number of twins in the named plane (non-materializing where
         the plane or the planner supports it)."""
         def run() -> int:
@@ -504,11 +507,11 @@ class QueryEngine:
     def batch(
         self,
         name: str,
-        queries,
+        queries: Any,
         epsilon: float,
         *,
         use_cache: bool = True,
-        **search_options,
+        **search_options: Any,
     ) -> BatchResult:
         """A whole workload against the named plane.
 
@@ -624,14 +627,14 @@ class QueryEngine:
             queries_by_mode=queries_by_mode,
         )
 
-    def metrics(self):
+    def metrics(self) -> Any:
         """The :class:`~repro.obs.MetricsRegistry` this engine records
         into (export it with :func:`repro.obs.to_prometheus` or
         :func:`repro.obs.to_json`)."""
         return self._metrics
 
     @property
-    def tracer(self):
+    def tracer(self) -> Any:
         """The engine's :class:`~repro.obs.Tracer` (sampling policy +
         ring buffer of recent traces)."""
         return self._tracer

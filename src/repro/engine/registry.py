@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Any
 
 from ..core.normalization import Normalization
 from ..core.tsindex import TSIndexParams
@@ -56,13 +57,13 @@ class IndexRegistry:
 
     def __init__(self):
         # ShardedTSIndex engines and LiveTwinIndex planes, by name.
-        self._engines: dict[str, object] = {}
-        self._built_at: dict[str, float] = {}
+        self._engines: dict[str, object] = {}  # lint: guarded-by(_lock)
+        self._built_at: dict[str, float] = {}  # lint: guarded-by(_lock)
         # Monotonic per-name registration counter. Callers that cache
         # results key on (name, generation) so an in-flight computation
         # against a replaced index can never be served for its
         # successor (see QueryEngine).
-        self._generations: dict[str, int] = {}
+        self._generations: dict[str, int] = {}  # lint: guarded-by(_lock)
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -71,17 +72,17 @@ class IndexRegistry:
     def build(
         self,
         name: str,
-        series,
+        series: Any,
         length: int,
         *,
         method: str = "sharded",
-        normalization=Normalization.GLOBAL,
+        normalization: Any = Normalization.GLOBAL,
         shards: int | None = None,
         params: TSIndexParams | None = None,
         max_workers: int | None = None,
         frozen: bool = True,
         overwrite: bool = False,
-        **method_options,
+        **method_options: Any,
     ) -> SubsequenceIndex:
         """Build a query plane and register it under ``name``.
 
@@ -156,7 +157,7 @@ class IndexRegistry:
             )
         self._register(name, engine, overwrite=overwrite)
 
-    def add_live(self, name: str, index, *, overwrite: bool = False) -> None:
+    def add_live(self, name: str, index: Any, *, overwrite: bool = False) -> None:
         """Register a mutable :class:`~repro.live.LiveTwinIndex` plane.
 
         Live entries serve the same query surface; their cache
@@ -180,7 +181,7 @@ class IndexRegistry:
                     f"index {name!r} already exists; pass overwrite=True"
                 )
             self._engines[name] = engine
-            self._built_at[name] = time.time()
+            self._built_at[name] = time.time()  # lint: disable=wall-clock epoch timestamp, not a duration
             self._generations[name] = self._generations.get(name, 0) + 1
 
     def get(self, name: str) -> ShardedTSIndex:
@@ -239,7 +240,7 @@ class IndexRegistry:
     # ------------------------------------------------------------------
     # Persistence (via repro.persistence)
     # ------------------------------------------------------------------
-    def save(self, name: str, path, *, format: str = "npz") -> None:
+    def save(self, name: str, path: Any, *, format: str = "npz") -> None:
         """Persist the plane under ``name`` — a compressed ``.npz``
         archive by default, or with ``format="raw"`` a directory of
         uncompressed per-array files that later loads open O(1) via
@@ -255,7 +256,7 @@ class IndexRegistry:
 
         save_index(engine, path, format=format)
 
-    def load(self, name: str, path, *, overwrite: bool = False) -> ShardedTSIndex:
+    def load(self, name: str, path: Any, *, overwrite: bool = False) -> ShardedTSIndex:
         """Restore an engine from ``path`` and register it as ``name``."""
         from ..persistence import load_index  # lazy: avoids import cycle
 

@@ -10,6 +10,20 @@ from __future__ import annotations
 
 import contextlib
 
+__all__ = [
+    "IncompatibleQueryError",
+    "IndexNotBuiltError",
+    "InvalidParameterError",
+    "ReproError",
+    "SerializationError",
+    "ShardTimeoutError",
+    "SimulatedCrashError",
+    "StorageError",
+    "UnsupportedCapabilityError",
+    "UnsupportedNormalizationError",
+    "wrap_os_errors",
+]
+
 
 class ReproError(Exception):
     """Base class for all library-specific errors."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Any
 
 import numpy as np
 
@@ -107,7 +108,7 @@ class _QueryLoad(threading.Thread):
     background thread searching random windows until stopped. Fault-era
     errors are tolerated and counted, never raised."""
 
-    def __init__(self, live: LiveTwinIndex, seed: int):
+    def __init__(self, live: LiveTwinIndex, seed: int) -> None:
         super().__init__(name="chaos-query-load", daemon=True)
         self._live = live
         self._rng = np.random.default_rng(seed)
@@ -138,7 +139,7 @@ class _QueryLoad(threading.Thread):
 
 
 def run_kill_recover(
-    directory,
+    directory: Any,
     *,
     loops: int = 25,
     length: int = 32,
@@ -262,7 +263,7 @@ def run_kill_recover(
 
 
 def run_storm(
-    directory,
+    directory: Any,
     *,
     mode: str = "enospc",
     appends: int = 300,

@@ -41,12 +41,14 @@ import errno as _errno
 import random
 import threading
 from contextlib import contextmanager
+from typing import Any, Iterator
 
 from ..exceptions import InvalidParameterError, SimulatedCrashError
 from ..obs.metrics import HandleCache
 
 __all__ = [
     "Failpoint",
+    "SITES",
     "arm",
     "armed",
     "disarm",
@@ -67,6 +69,29 @@ _metrics = HandleCache(
 
 #: Error-class shorthands accepted by :func:`arm` / :func:`make_error`.
 ERROR_CLASSES = ("io", "enospc", "crash")
+
+#: Canonical registry of every failpoint site in the library. The
+#: ``failpoint-sites`` checker (``repro lint``) enforces both directions
+#: of the contract: every ``failpoint("...")`` literal in the source
+#: tree names a registered site (so an armed chaos test can never
+#: silently no-op against a renamed call site), and every registered
+#: site still has a call site (so the registry never advertises dead
+#: arms). Adding a new site means adding its call *and* its entry here.
+SITES = frozenset(
+    {
+        "compaction.merge",
+        "fanout.task",
+        "live.seal",
+        "manifest.commit",
+        "segment.read",
+        "segment.search",
+        "segment.write",
+        "shard.search",
+        "wal.append",
+        "wal.fsync",
+        "wal.rewrite",
+    }
+)
 
 
 def make_error(kind: str) -> BaseException:
@@ -108,14 +133,14 @@ class Failpoint:
         self,
         name: str,
         *,
-        error=None,
+        error: Any = None,
         crash: bool = False,
-        payload=None,
+        payload: Any = None,
         on_hit: int | None = None,
         probability: float | None = None,
         seed: int = 0,
         times: int | None = None,
-    ):
+    ) -> None:
         if error is None and not crash and payload is None:
             raise InvalidParameterError(
                 f"failpoint {name!r} needs an action: error=, crash=True, "
@@ -194,7 +219,7 @@ _armed: dict[str, Failpoint] = {}
 _site_hits: dict[str, int] = {}
 
 
-def failpoint(name: str, **context):
+def failpoint(name: str, **context: Any) -> Any:
     """Declare a fault-injection site. Returns ``None`` when disarmed.
 
     When the site is armed and its trigger fires, either raises the
@@ -220,7 +245,7 @@ def failpoint(name: str, **context):
     return point.payload
 
 
-def arm(name: str, **config) -> Failpoint:
+def arm(name: str, **config: Any) -> Failpoint:
     """Arm (or re-arm, replacing) the site ``name``. See module docs
     for the trigger/action keywords."""
     point = Failpoint(name, **config)
@@ -250,7 +275,7 @@ def reset() -> None:
 
 
 @contextmanager
-def armed(name: str, **config):
+def armed(name: str, **config: Any) -> Iterator[Failpoint]:
     """Context manager: arm ``name`` on entry, restore the previous
     arming state (armed-or-not) on exit. Yields the :class:`Failpoint`."""
     global _armed

@@ -1,0 +1,47 @@
+"""repro.lint — project-invariant static analysis for the serving stack.
+
+The stack's exactness contract (byte-identical answers across planes,
+executors, and crash/recover cycles) rests on conventions that used to
+live in reviewers' memories and one grep-based test: failpoint site
+names must match the registry, nothing may swallow
+``SimulatedCrashError``, lock-guarded state stays behind its lock,
+``prepare_query`` keeps a single call site, and the public surface stays
+documented. This package codifies each of those as a named, AST-based,
+individually-suppressable checker.
+
+Run it as ``repro lint`` (CI gates on the exit code) or from code::
+
+    from repro.lint import run_lint
+
+    report = run_lint()              # the installed repro tree
+    assert report.ok, report.format_text()
+
+    report = run_lint(checks=["single-call-site"])
+
+Checker catalog, suppression syntax, and the recipe for adding a new
+invariant live in the README ("Static analysis & typing") and in
+:mod:`repro.lint.runner`.
+"""
+
+from __future__ import annotations
+
+from .model import (
+    SourceFile,
+    SourceTree,
+    Violation,
+    load_tree,
+    tree_from_sources,
+)
+from .runner import CHECKERS, Checker, LintReport, run_lint
+
+__all__ = [
+    "CHECKERS",
+    "Checker",
+    "LintReport",
+    "SourceFile",
+    "SourceTree",
+    "Violation",
+    "load_tree",
+    "run_lint",
+    "tree_from_sources",
+]

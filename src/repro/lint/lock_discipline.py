@@ -1,0 +1,190 @@
+"""``lock-discipline`` — guarded attributes stay behind their lock.
+
+Thread-shared state in the serving stack (metrics leaves, the engine's
+query counters, the live plane's buffer bookkeeping) is guarded by an
+instance lock; correctness depends on *every* mutation happening with
+the lock held, which nothing enforces when a new code path is added.
+This checker makes the guard declarative:
+
+* declare a guarded attribute with ``# lint: guarded-by(_lock)`` on its
+  assignment (typically in ``__init__``) or on a class-level annotation;
+* every other mutation of ``self.<attr>`` — assignment, augmented
+  assignment, item/field store, or a mutating method call
+  (``.append()``, ``.pop()``, ...) — must then sit lexically inside
+  ``with self._lock:`` (the declared lock);
+* a method whose *callers* hold the lock is annotated
+  ``# lint: holds(_lock)`` on its ``def`` line — the constructor-helper
+  and locked-private-method idiom;
+* ``__init__`` itself is exempt: the object is not yet shared.
+
+Lexical analysis cannot see every locking scheme (lock handoffs,
+ExitStack acquisition); annotate those methods with ``holds(...)`` or
+suppress single lines with ``# lint: disable=lock-discipline``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .model import SourceFile, SourceTree, Violation, self_attribute
+
+CHECKER = "lock-discipline"
+
+#: Method calls treated as mutations of the receiving attribute.
+MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+
+def _guarded_attributes(cls: ast.ClassDef, file: SourceFile) -> dict[str, str]:
+    """``{attribute: lock}`` declared via ``guarded-by`` in the class."""
+    guarded: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            continue
+        lock = file.guarded_by(node.lineno)
+        if lock is not None:
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = self_attribute(target)
+                if attr is not None:
+                    guarded[attr] = lock
+                elif isinstance(target, ast.Name):
+                    # Class-level annotated declaration.
+                    guarded[target.id] = lock
+    return guarded
+
+
+def _store_root(node: ast.AST) -> str | None:
+    """The ``self.<attr>`` root of a store target / call receiver.
+
+    ``self.x``, ``self.x[k]``, ``self.x.field`` and deeper chains all
+    resolve to ``x``; anything not rooted at ``self`` resolves to
+    ``None``.
+    """
+    current = node
+    while isinstance(current, (ast.Subscript, ast.Attribute)):
+        attr = self_attribute(current)
+        if attr is not None:
+            return attr
+        current = current.value
+    return None
+
+
+class _MethodAuditor(ast.NodeVisitor):
+    """Walk one method body tracking which locks are lexically held."""
+
+    def __init__(self, guarded: dict[str, str], held: frozenset[str]):
+        self.guarded = guarded
+        self.held = held
+        self.findings: list[tuple[int, str, str]] = []
+
+    def _check(self, node: ast.AST, attr: str | None) -> None:
+        if attr is None:
+            return
+        lock = self.guarded.get(attr)
+        if lock is not None and lock not in self.held:
+            self.findings.append((node.lineno, attr, lock))
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = set()
+        for item in node.items:
+            attr = self_attribute(item.context_expr)
+            if attr is not None:
+                acquired.add(attr)
+        if acquired:
+            inner = _MethodAuditor(self.guarded, self.held | acquired)
+            for statement in node.body:
+                inner.visit(statement)
+            self.findings.extend(inner.findings)
+        else:
+            self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(node, target)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node, node.target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node, node.target)
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check(node, _store_root(target))
+
+    def _check_target(self, node: ast.AST, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(node, element)
+            return
+        self._check(node, _store_root(target))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATORS:
+            self._check(node, _store_root(func.value))
+        self.generic_visit(node)
+
+
+def check(tree: SourceTree) -> list[Violation]:
+    """Run the lock-discipline audit over ``tree``."""
+    violations = []
+    for file in tree:
+        for cls in [
+            node for node in ast.walk(file.tree)
+            if isinstance(node, ast.ClassDef)
+        ]:
+            guarded = _guarded_attributes(cls, file)
+            if not guarded:
+                continue
+            for method in cls.body:
+                if not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                if method.name == "__init__":
+                    continue
+                held = file.holds(method.lineno)
+                auditor = _MethodAuditor(
+                    guarded,
+                    frozenset({held}) if held is not None else frozenset(),
+                )
+                for statement in method.body:
+                    auditor.visit(statement)
+                for lineno, attr, lock in auditor.findings:
+                    violations.append(
+                        Violation(
+                            CHECKER,
+                            file.rel,
+                            lineno,
+                            f"attribute {attr!r} is declared "
+                            f"guarded-by({lock}) but {method.name}() "
+                            f"mutates it without holding self.{lock}; "
+                            f"wrap the mutation in `with self.{lock}:` or "
+                            f"annotate the method `# lint: holds({lock})`",
+                        )
+                    )
+    return violations

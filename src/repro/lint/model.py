@@ -1,0 +1,168 @@
+"""Data model for the project linter: sources, violations, suppressions.
+
+The linter operates on a :class:`SourceTree` — every ``*.py`` file under
+one package root, parsed once into an AST and scanned once for the
+project's structured lint comments:
+
+* ``# lint: disable=<checker>[,<checker>...]`` on a line suppresses the
+  named checkers' violations anchored to that line (trailing prose after
+  the names is allowed and encouraged: say *why*);
+* ``# lint: guarded-by(<lock>)`` on an attribute assignment declares the
+  attribute lock-guarded (see :mod:`repro.lint.lock_discipline`);
+* ``# lint: holds(<lock>)`` on a ``def`` line declares that every caller
+  of the method already holds ``<lock>``.
+
+Checkers never read these comments directly — they ask the
+:class:`SourceFile` — so the comment grammar lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+
+#: ``# lint: disable=name-a,name-b  optional prose why``
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,-]+)")
+#: ``# lint: guarded-by(_lock)``
+_GUARDED_RE = re.compile(r"#\s*lint:\s*guarded-by\((\w+)\)")
+#: ``# lint: holds(_lock)``
+_HOLDS_RE = re.compile(r"#\s*lint:\s*holds\((\w+)\)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One checker finding, anchored to a file and line."""
+
+    #: Name of the checker that produced the finding.
+    checker: str
+    #: Path relative to the linted tree root (posix separators).
+    path: str
+    #: 1-based line number (0 for tree-level findings).
+    line: int
+    #: Human-readable description with the expected fix.
+    message: str
+
+    def format(self) -> str:
+        """``path:line: [checker] message`` — editor-clickable."""
+        return f"{self.path}:{self.line}: [{self.checker}] {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "checker": self.checker,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """One parsed source file plus its structured lint comments."""
+
+    def __init__(self, rel: str, text: str):
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=rel)
+        #: line -> frozenset of checker names disabled on that line.
+        self.disabled: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = _DISABLE_RE.search(line)
+            if match is not None:
+                names = frozenset(
+                    name.strip()
+                    for name in match.group(1).split(",")
+                    if name.strip()
+                )
+                self.disabled[number] = names
+
+    def line(self, number: int) -> str:
+        """The 1-based source line (empty string out of range)."""
+        if 1 <= number <= len(self.lines):
+            return self.lines[number - 1]
+        return ""
+
+    def suppressed(self, number: int, checker: str) -> bool:
+        """Whether ``checker`` is disabled on line ``number``."""
+        return checker in self.disabled.get(number, frozenset())
+
+    def guarded_by(self, number: int) -> str | None:
+        """The lock name declared by ``guarded-by(...)`` on the line."""
+        match = _GUARDED_RE.search(self.line(number))
+        return match.group(1) if match else None
+
+    def holds(self, number: int) -> str | None:
+        """The lock name declared by ``holds(...)`` on the line."""
+        match = _HOLDS_RE.search(self.line(number))
+        return match.group(1) if match else None
+
+    def __repr__(self) -> str:
+        return f"SourceFile({self.rel!r})"
+
+
+class SourceTree:
+    """Every parsed source file under one package root."""
+
+    def __init__(self, root: Path, files: list[SourceFile]):
+        self.root = root
+        self.files = sorted(files, key=lambda f: f.rel)
+        self._by_rel = {file.rel: file for file in self.files}
+
+    def get(self, rel: str) -> SourceFile | None:
+        """The file at tree-relative posix path ``rel``, or ``None``."""
+        return self._by_rel.get(rel)
+
+    def __iter__(self):
+        return iter(self.files)
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def __repr__(self) -> str:
+        return f"SourceTree({str(self.root)!r}, files={len(self)})"
+
+
+def load_tree(root: Path) -> SourceTree:
+    """Parse every ``*.py`` under ``root`` into a :class:`SourceTree`.
+
+    ``__pycache__`` directories are skipped; a file that fails to parse
+    raises its ``SyntaxError`` (a tree that does not parse cannot be
+    meaningfully linted).
+    """
+    root = Path(root).resolve()
+    files = []
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(root).as_posix()
+        files.append(SourceFile(rel, path.read_text()))
+    return SourceTree(root, files)
+
+
+def tree_from_sources(sources: dict[str, str]) -> SourceTree:
+    """Build an in-memory tree from ``{rel_path: code}`` (test fixtures)."""
+    files = [SourceFile(rel, text) for rel, text in sources.items()]
+    return SourceTree(Path("<memory>"), files)
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The called attribute/function name of ``node`` (``None`` when the
+    callee is not a plain name or attribute access)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def self_attribute(node: ast.AST) -> str | None:
+    """``X`` when ``node`` is the expression ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None

@@ -1,0 +1,207 @@
+"""``public-api`` — completeness of the package's public surface.
+
+Everything exported from the package root (``repro.__init__.__all__``)
+must be documented and have exactly one canonical home:
+
+* the root ``__all__`` holds no duplicates and only names the module
+  actually binds (imports or defines);
+* every exported name resolves to a definition somewhere in the package,
+  and at least one definition carries a docstring (constants bound by
+  assignment are exempt — they cannot carry one);
+* every exported name appears in **exactly one** non-root ``__all__`` —
+  its canonical home — unless it is defined in the root module itself.
+  Zero homes means the name is reachable only through the root import
+  (undiscoverable from its subsystem); two means two subsystems both
+  claim it and ``from repro.x import *`` surfaces become ambiguous.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .model import SourceFile, SourceTree, Violation
+
+CHECKER = "public-api"
+
+ROOT_MODULE = "__init__.py"
+
+_DUNDER_RE = re.compile(r"\A__\w+__\Z")
+
+
+def _module_all(file: SourceFile) -> tuple[list[str], int] | None:
+    """The module's literal ``__all__`` list and its line, if present."""
+    for node in file.tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple, ast.Set)) and all(
+            isinstance(element, ast.Constant) and isinstance(element.value, str)
+            for element in value.elts
+        ):
+            return [element.value for element in value.elts], node.lineno
+        return None
+    return None
+
+
+def _bound_names(file: SourceFile) -> set[str]:
+    """Top-level names the module binds (imports, defs, assignments)."""
+    names: set[str] = set()
+    for node in file.tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for element in ast.walk(target):
+                    if isinstance(element, ast.Name):
+                        names.add(element.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _definitions(tree: SourceTree) -> dict[str, list[tuple[str, int, bool, bool]]]:
+    """``name -> [(rel, line, documentable, has_docstring)]`` for every
+    top-level definition in the tree."""
+    definitions: dict[str, list[tuple[str, int, bool, bool]]] = {}
+    for file in tree:
+        for node in file.tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                definitions.setdefault(node.name, []).append(
+                    (file.rel, node.lineno, True, bool(ast.get_docstring(node)))
+                )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        definitions.setdefault(target.id, []).append(
+                            (file.rel, node.lineno, False, False)
+                        )
+    return definitions
+
+
+def check(tree: SourceTree) -> list[Violation]:
+    """Run the public-API completeness audit over ``tree``."""
+    violations = []
+    root = tree.get(ROOT_MODULE)
+    if root is None:
+        return [
+            Violation(
+                CHECKER, ROOT_MODULE, 0,
+                "no package root __init__.py in the tree; the public-API "
+                "audit cannot run",
+            )
+        ]
+    parsed = _module_all(root)
+    if parsed is None:
+        return [
+            Violation(
+                CHECKER, ROOT_MODULE, 1,
+                "package root must declare a literal `__all__` list for "
+                "the public-API audit",
+            )
+        ]
+    exported, all_line = parsed
+
+    seen: set[str] = set()
+    for name in exported:
+        if name in seen:
+            violations.append(
+                Violation(
+                    CHECKER, ROOT_MODULE, all_line,
+                    f"duplicate __all__ entry {name!r}",
+                )
+            )
+        seen.add(name)
+
+    bound = _bound_names(root)
+    definitions = _definitions(tree)
+    homes: dict[str, list[str]] = {}
+    for file in tree:
+        if file.rel == ROOT_MODULE:
+            continue
+        module_all = _module_all(file)
+        if module_all is None:
+            continue
+        for name in module_all[0]:
+            homes.setdefault(name, []).append(file.rel)
+
+    root_defined = {
+        name
+        for name, places in definitions.items()
+        if any(rel == ROOT_MODULE for rel, _, _, _ in places)
+    }
+
+    for name in sorted(seen):
+        if _DUNDER_RE.match(name):
+            continue
+        if name not in bound:
+            violations.append(
+                Violation(
+                    CHECKER, ROOT_MODULE, all_line,
+                    f"__all__ exports {name!r} but the root module never "
+                    "binds it (missing import?)",
+                )
+            )
+            continue
+        places = definitions.get(name, [])
+        if not places:
+            violations.append(
+                Violation(
+                    CHECKER, ROOT_MODULE, all_line,
+                    f"exported name {name!r} has no top-level definition "
+                    "anywhere in the package",
+                )
+            )
+            continue
+        documentable = [place for place in places if place[2]]
+        if documentable and not any(has_doc for _, _, _, has_doc in documentable):
+            rel, line, _, _ = documentable[0]
+            violations.append(
+                Violation(
+                    CHECKER, rel, line,
+                    f"public export {name!r} has no docstring",
+                )
+            )
+        name_homes = homes.get(name, [])
+        if name in root_defined:
+            continue
+        if len(name_homes) == 0:
+            violations.append(
+                Violation(
+                    CHECKER, ROOT_MODULE, all_line,
+                    f"exported name {name!r} appears in no module "
+                    "__all__; give it a canonical home (usually its "
+                    "subsystem's __init__)",
+                )
+            )
+        elif len(name_homes) > 1:
+            violations.append(
+                Violation(
+                    CHECKER, ROOT_MODULE, all_line,
+                    f"exported name {name!r} appears in "
+                    f"{len(name_homes)} module __all__ lists "
+                    f"({', '.join(sorted(name_homes))}); exactly one "
+                    "must be its canonical home",
+                )
+            )
+    return violations

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import threading
+from typing import Any
 
 from ..exceptions import SimulatedCrashError
 from ..faults.failpoints import failpoint
@@ -56,7 +57,7 @@ DEFAULT_BACKOFF = 0.05
 DEFAULT_BACKOFF_CAP = 2.0
 
 
-def select_adjacent_pair(segments) -> int:
+def select_adjacent_pair(segments: Any) -> int:
     """Index ``i`` such that merging ``segments[i]`` and
     ``segments[i + 1]`` costs least (smallest combined window count —
     ties resolve to the oldest pair, keeping the policy deterministic).
@@ -87,7 +88,7 @@ class Compactor:
 
     def __init__(
         self,
-        work,
+        work: Any,
         *,
         max_retries: int = DEFAULT_MAX_RETRIES,
         backoff: float = DEFAULT_BACKOFF,
@@ -97,16 +98,16 @@ class Compactor:
         self._max_retries = int(max_retries)
         self._backoff = float(backoff)
         self._backoff_cap = float(backoff_cap)
-        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
-        self._future: concurrent.futures.Future | None = None
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None  # lint: guarded-by(_lock)
+        self._future: concurrent.futures.Future | None = None  # lint: guarded-by(_lock)
         self._lock = threading.Lock()
-        self._shutdown = False
+        self._shutdown = False  # lint: guarded-by(_lock)
         #: Interrupts a backoff sleep when close() is called.
         self._wake = threading.Event()
-        self._retries = 0
-        self._failures = 0
-        self._last_error: BaseException | None = None
-        self._crashed = False
+        self._retries = 0  # lint: guarded-by(_lock)
+        self._failures = 0  # lint: guarded-by(_lock)
+        self._last_error: BaseException | None = None  # lint: guarded-by(_lock)
+        self._crashed = False  # lint: guarded-by(_lock)
 
     # ------------------------------------------------------------------
     @property

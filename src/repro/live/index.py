@@ -40,6 +40,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import threading
+from typing import Any
 
 import numpy as np
 
@@ -213,15 +214,15 @@ class LiveTwinIndex(SubsequenceIndex):
 
     def __init__(
         self,
-        initial_values=None,
+        initial_values: Any = None,
         length: int | None = None,
         *,
-        normalization=Normalization.NONE,
+        normalization: Any = Normalization.NONE,
         params: TSIndexParams | None = None,
         seal_threshold: int | None = DEFAULT_SEAL_THRESHOLD,
         max_segments: int = DEFAULT_MAX_SEGMENTS,
         background_compaction: bool = True,
-        _directory=None,
+        _directory: Any = None,
         _wal: WriteAheadLog | None = None,
         _archive_format: str = "npz",
     ):
@@ -242,7 +243,7 @@ class LiveTwinIndex(SubsequenceIndex):
         with self._lock:
             self._absorb(0)
 
-    def _init_config(
+    def _init_config(  # lint: holds(_lock) constructor helper, object not yet shared
         self,
         length,
         normalization,
@@ -290,28 +291,28 @@ class LiveTwinIndex(SubsequenceIndex):
         # _extend_window_stats): prefix-stability makes extending the
         # cached arrays bitwise identical to recomputing from scratch,
         # turning the per-append source refresh O(batch), not O(series).
-        self._csum: np.ndarray | None = None
-        self._csum_count = 0
-        self._win_means: np.ndarray | None = None
-        self._win_stds: np.ndarray | None = None
-        self._stats_count = 0
-        self._segments: list[Segment] = []
-        self._delta: TSIndex | None = None
-        self._delta_start = 0
-        self._delta_count = 0
-        self._source: WindowSource | None = None
-        self._mutations = 0
-        self._seals = 0
-        self._compactions = 0
-        self._closed = False
-        self._quarantined: tuple[str, ...] = ()
+        self._csum: np.ndarray | None = None  # lint: guarded-by(_lock)
+        self._csum_count = 0  # lint: guarded-by(_lock)
+        self._win_means: np.ndarray | None = None  # lint: guarded-by(_lock)
+        self._win_stds: np.ndarray | None = None  # lint: guarded-by(_lock)
+        self._stats_count = 0  # lint: guarded-by(_lock)
+        self._segments: list[Segment] = []  # lint: guarded-by(_lock)
+        self._delta: TSIndex | None = None  # lint: guarded-by(_lock)
+        self._delta_start = 0  # lint: guarded-by(_lock)
+        self._delta_count = 0  # lint: guarded-by(_lock)
+        self._source: WindowSource | None = None  # lint: guarded-by(_lock)
+        self._mutations = 0  # lint: guarded-by(_lock)
+        self._seals = 0  # lint: guarded-by(_lock)
+        self._compactions = 0  # lint: guarded-by(_lock)
+        self._closed = False  # lint: guarded-by(_lock)
+        self._quarantined: tuple[str, ...] = ()  # lint: guarded-by(_lock)
         self._compactor = Compactor(self._compact_loop)
 
-    def _init_buffer(self, values: np.ndarray) -> None:
+    def _init_buffer(self, values: np.ndarray) -> None:  # lint: holds(_lock) constructor helper, object not yet shared
         self._capacity = max(1024, int(values.size) * 2, self._length * 2)
-        self._buffer = np.empty(self._capacity, dtype=FLOAT_DTYPE)
+        self._buffer = np.empty(self._capacity, dtype=FLOAT_DTYPE)  # lint: guarded-by(_lock)
         self._buffer[: values.size] = values
-        self._size = int(values.size)
+        self._size = int(values.size)  # lint: guarded-by(_lock)
 
     # ------------------------------------------------------------------
     # Alternate constructors
@@ -346,11 +347,11 @@ class LiveTwinIndex(SubsequenceIndex):
     @classmethod
     def create(
         cls,
-        path,
-        initial_values=None,
+        path: Any,
+        initial_values: Any = None,
         *,
         length: int,
-        normalization=Normalization.NONE,
+        normalization: Any = Normalization.NONE,
         params: TSIndexParams | None = None,
         seal_threshold: int | None = DEFAULT_SEAL_THRESHOLD,
         max_segments: int = DEFAULT_MAX_SEGMENTS,
@@ -402,7 +403,7 @@ class LiveTwinIndex(SubsequenceIndex):
     @classmethod
     def recover(
         cls,
-        path,
+        path: Any,
         *,
         fsync: bool | None = None,
         background_compaction: bool = True,
@@ -796,7 +797,7 @@ class LiveTwinIndex(SubsequenceIndex):
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def append(self, readings) -> int:
+    def append(self, readings: Any) -> int:
         """Durably append one reading or a batch; returns the number of
         newly indexed windows.
 
@@ -903,7 +904,7 @@ class LiveTwinIndex(SubsequenceIndex):
     # ------------------------------------------------------------------
     # Internal lifecycle (all callers hold the lock)
     # ------------------------------------------------------------------
-    def _refresh_source(self) -> None:
+    def _refresh_source(self) -> None:  # lint: holds(_lock) called with the plane lock held
         """Point the monolithic source (and the delta's shard view) at
         the grown buffer. Already-extracted window values never change:
         the regime is raw or per-window, and the rolling statistics are
@@ -935,7 +936,7 @@ class LiveTwinIndex(SubsequenceIndex):
                 self._delta_start, self._source.count
             )
 
-    def _extend_window_stats(self) -> None:
+    def _extend_window_stats(self) -> None:  # lint: holds(_lock) called with the plane lock held
         """Extend the cached per-window rolling statistics to the
         current size — bitwise identical to recomputing
         ``rolling_mean``/``rolling_std`` over the full buffer, because
@@ -1005,7 +1006,7 @@ class LiveTwinIndex(SubsequenceIndex):
                 self._seal_locked()
         return total - previous_windows
 
-    def _insert_window(self, position: int) -> None:
+    def _insert_window(self, position: int) -> None:  # lint: holds(_lock) called with the plane lock held
         if self._delta is None:
             view = self._source.shard(self._delta_start, self._source.count)
             self._delta = TSIndex(view, self._params)
@@ -1013,7 +1014,7 @@ class LiveTwinIndex(SubsequenceIndex):
         self._delta._build_stats.windows += 1
         self._delta_count += 1
 
-    def _seal_locked(self) -> None:
+    def _seal_locked(self) -> None:  # lint: holds(_lock) called with the plane lock held
         """Flatten the delta into an immutable segment.
 
         The segment's source is **detached** (owns copies of its value
@@ -1209,11 +1210,11 @@ class LiveTwinIndex(SubsequenceIndex):
 
     def search(
         self,
-        query,
+        query: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
-        executor=None,
+        executor: Any = None,
         timeout: float | None = None,
         degraded: bool = False,
     ) -> SearchResult:
@@ -1307,11 +1308,11 @@ class LiveTwinIndex(SubsequenceIndex):
 
     def search_varlength(
         self,
-        query,
+        query: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
-        executor=None,
+        executor: Any = None,
     ) -> SearchResult:
         """All twins of a query of length ``m <= l`` over everything
         appended so far — including positions in the un-indexed series
@@ -1391,7 +1392,7 @@ class LiveTwinIndex(SubsequenceIndex):
         )
         return merge_offset_search(parts)
 
-    def count(self, query, epsilon: float, *, executor=None) -> int:
+    def count(self, query: Any, epsilon: float, *, executor: Any = None) -> int:
         """Number of twins — summed per part (delta + segments), so the
         merged result arrays are never materialized (shorter queries
         derive from :meth:`search_varlength`)."""
@@ -1423,11 +1424,11 @@ class LiveTwinIndex(SubsequenceIndex):
 
     def knn(
         self,
-        query,
+        query: Any,
         k: int,
         *,
         exclude: tuple[int, int] | None = None,
-        executor=None,
+        executor: Any = None,
     ) -> SearchResult:
         """The ``k`` globally nearest windows, merged across delta and
         segments by ``(distance, position)`` — the library-wide k-NN
@@ -1507,7 +1508,7 @@ class LiveTwinIndex(SubsequenceIndex):
         )
         return scan_prefix_knn(snapshot, query, k, exclude=exclude)
 
-    def exists(self, query, epsilon: float) -> bool:
+    def exists(self, query: Any, epsilon: float) -> bool:
         """Whether the pattern has occurred anywhere so far (early
         exit; the delta — the freshest data — is probed first; shorter
         queries derive from :meth:`search_varlength`)."""
@@ -1529,11 +1530,11 @@ class LiveTwinIndex(SubsequenceIndex):
 
     def search_batch(
         self,
-        queries,
+        queries: Any,
         epsilon: float,
         *,
-        executor=None,
-        **search_options,
+        executor: Any = None,
+        **search_options: Any,
     ) -> BatchResult:
         """Run every query of ``queries`` at ``epsilon`` (queries fan
         out across ``executor`` when one is given); result order matches
@@ -1587,7 +1588,7 @@ def _remove_archive(path: str) -> None:
             shutil.rmtree(path)
         else:
             os.unlink(path)
-    except OSError:
+    except OSError:  # lint: disable=crash-safety best-effort removal of an already-stale file
         pass
 
 

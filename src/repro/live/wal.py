@@ -31,6 +31,7 @@ import json
 import os
 import struct
 import zlib
+from typing import Any
 
 import numpy as np
 
@@ -97,7 +98,7 @@ class WriteAheadLog:
     (0, [1.0, 2.0, 3.0], True)
     """
 
-    def __init__(self, path, *, fsync: bool = False):
+    def __init__(self, path: Any, *, fsync: bool = False):
         self._path = os.fspath(path)
         self._fsync = bool(fsync)
         self._file = None
@@ -114,7 +115,7 @@ class WriteAheadLog:
         return self._fsync
 
     @classmethod
-    def create(cls, path, *, start: int = 0, fsync: bool = False) -> "WriteAheadLog":
+    def create(cls, path: Any, *, start: int = 0, fsync: bool = False) -> "WriteAheadLog":
         """Create a fresh journal whose first reading will be the global
         value index ``start``; truncates any existing file."""
         wal = cls(path, fsync=fsync)
@@ -125,7 +126,7 @@ class WriteAheadLog:
         return wal
 
     @classmethod
-    def open(cls, path, *, fsync: bool = False) -> "WriteAheadLog":
+    def open(cls, path: Any, *, fsync: bool = False) -> "WriteAheadLog":
         """Open an existing journal for appending (no replay; callers
         replay first, then open)."""
         wal = cls(path, fsync=fsync)
@@ -134,7 +135,7 @@ class WriteAheadLog:
         return wal
 
     # ------------------------------------------------------------------
-    def append(self, values) -> None:
+    def append(self, values: Any) -> None:
         """Durably journal one batch of readings (before indexing).
 
         A failed write (disk full, I/O error) is rolled back by
@@ -199,7 +200,7 @@ class WriteAheadLog:
             return
         try:
             self._file.flush()
-        except OSError:
+        except OSError:  # lint: disable=crash-safety flush is advisory before the rollback truncate
             pass
         try:
             self._file.truncate(durable)
@@ -210,7 +211,7 @@ class WriteAheadLog:
                 self._path, exc,
             )
 
-    def rewrite(self, *, start: int, values) -> None:
+    def rewrite(self, *, start: int, values: Any) -> None:
         """Atomically replace the journal with one holding ``values``
         from global offset ``start`` (the post-seal truncation)."""
         failpoint("wal.rewrite", path=self._path, start=int(start))
@@ -257,7 +258,7 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def replay(path) -> tuple[int, np.ndarray, bool]:
+    def replay(path: Any) -> tuple[int, np.ndarray, bool]:
         """Read ``(start_offset, readings, clean)`` from a journal.
 
         ``readings`` holds every fully durable reading in order;
@@ -313,7 +314,7 @@ class WriteAheadLog:
 # ----------------------------------------------------------------------
 # Segment manifest
 # ----------------------------------------------------------------------
-def fsync_directory(directory) -> None:
+def fsync_directory(directory: Any) -> None:
     """fsync a directory so renames/creations inside it are durable
     (best-effort: some filesystems refuse directory fds)."""
     try:
@@ -322,13 +323,13 @@ def fsync_directory(directory) -> None:
         return
     try:
         os.fsync(fd)
-    except OSError:
+    except OSError:  # lint: disable=crash-safety some filesystems refuse fsync on a directory fd
         pass
     finally:
         os.close(fd)
 
 
-def fsync_file(path) -> None:
+def fsync_file(path: Any) -> None:
     """fsync an already-written file's contents to disk."""
     with wrap_os_errors("fsync", path):
         fd = os.open(os.fspath(path), os.O_RDONLY)
@@ -338,12 +339,12 @@ def fsync_file(path) -> None:
             os.close(fd)
 
 
-def manifest_path(directory) -> str:
+def manifest_path(directory: Any) -> str:
     """The manifest file path inside a live directory."""
     return os.path.join(os.fspath(directory), MANIFEST_NAME)
 
 
-def save_manifest(directory, manifest: dict) -> None:
+def save_manifest(directory: Any, manifest: dict) -> None:
     """Atomically write ``manifest`` (tmp file + fsync + rename + dir
     fsync, so a crash leaves either the old or the new manifest, never
     a torn one — and the rename itself is durable). Manifest writes
@@ -370,7 +371,7 @@ def save_manifest(directory, manifest: dict) -> None:
         fsync_directory(directory)
 
 
-def load_manifest(directory) -> dict:
+def load_manifest(directory: Any) -> dict:
     """Read and validate a live directory's manifest.
 
     Every failure mode — missing file, invalid JSON, wrong format

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import time
+from typing import Any
 
 _INF = float("inf")
 
@@ -48,7 +49,7 @@ def _escape_help(value: str) -> str:
     return str(value).replace("\\", r"\\").replace("\n", r"\n")
 
 
-def _label_str(names, values, extra: str = "") -> str:
+def _label_str(names: Any, values: Any, extra: str = "") -> str:
     parts = [
         f'{name}="{_escape_label(value)}"'
         for name, value in zip(names, values)
@@ -58,7 +59,7 @@ def _label_str(names, values, extra: str = "") -> str:
     return "{" + ",".join(parts) + "}" if parts else ""
 
 
-def to_prometheus(registry) -> str:
+def to_prometheus(registry: Any) -> str:
     """Render ``registry`` in the Prometheus text exposition format
     (version 0.0.4). Returns a string ending in a newline; an empty
     registry renders to an empty string."""
@@ -104,7 +105,7 @@ def to_prometheus(registry) -> str:
     return "\n".join(lines) + "\n"
 
 
-def json_snapshot(registry) -> dict:
+def json_snapshot(registry: Any) -> dict:
     """``registry`` as a JSON-ready dict: metadata plus one entry per
     metric. Histogram entries include bucket bounds/counts and derived
     p50/p90/p99."""
@@ -138,13 +139,13 @@ def json_snapshot(registry) -> dict:
         metrics.append(entry)
     return {
         "registry": registry.name,
-        "exported_unix": time.time(),
+        "exported_unix": time.time(),  # lint: disable=wall-clock epoch timestamp, not a duration
         "age_seconds": registry.age_seconds,
         "metrics": metrics,
     }
 
 
-def to_json(registry, indent: int = 2) -> str:
+def to_json(registry: Any, indent: int = 2) -> str:
     """:func:`json_snapshot` serialized with sorted keys (stable
     output for golden tests and diffs)."""
     return json.dumps(

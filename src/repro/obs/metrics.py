@@ -55,6 +55,7 @@ from __future__ import annotations
 import bisect
 import threading
 import time
+from typing import Any
 
 from ..exceptions import InvalidParameterError
 
@@ -84,14 +85,14 @@ class _Timer:
 
     __slots__ = ("_metric", "_started")
 
-    def __init__(self, metric):
+    def __init__(self, metric: Any) -> None:
         self._metric = metric
 
     def __enter__(self) -> "_Timer":
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self._metric.observe(time.perf_counter() - self._started)
 
 
@@ -100,19 +101,19 @@ class _Metric:
 
     kind = "untyped"
 
-    def __init__(self, name: str, help: str, labels: tuple = ()):
+    def __init__(self, name: str, help: str, labels: tuple = ()) -> None:
         self.name = _check_name(name)
         self.help = str(help)
         self.label_names = tuple(str(label) for label in labels)
         self._lock = threading.Lock()
-        self._children: dict[tuple, "_Metric"] = {}
+        self._children: dict[tuple, "_Metric"] = {}  # lint: guarded-by(_lock)
         self._init_value()
 
-    def _init_value(self) -> None:
-        self._value = 0.0
+    def _init_value(self) -> None:  # lint: holds(_lock) constructor helper, object not yet shared
+        self._value = 0.0  # lint: guarded-by(_lock)
 
     # ------------------------------------------------------------------
-    def labels(self, **label_values) -> "_Metric":
+    def labels(self, **label_values: Any) -> "_Metric":
         """The child metric for one label-value combination (created on
         first use, cached after)."""
         if not self.label_names:
@@ -177,6 +178,8 @@ class Counter(_Metric):
 
     kind = "counter"
 
+    _value: float  # lint: guarded-by(_lock)
+
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         self._check_leaf()
@@ -198,9 +201,9 @@ class Gauge(_Metric):
 
     kind = "gauge"
 
-    def _init_value(self) -> None:
-        self._value = 0.0
-        self._function = None
+    def _init_value(self) -> None:  # lint: holds(_lock) constructor helper, object not yet shared
+        self._value = 0.0  # lint: guarded-by(_lock)
+        self._function = None  # lint: guarded-by(_lock)
 
     def set(self, value: float) -> None:
         """Set the gauge to ``value`` (clears any read-time callback)."""
@@ -219,7 +222,7 @@ class Gauge(_Metric):
         """Subtract ``amount``."""
         self.inc(-amount)
 
-    def set_function(self, function) -> None:
+    def set_function(self, function: Any) -> None:
         """Compute the gauge lazily: ``function()`` runs at every read
         (exports observe live state without per-update bookkeeping)."""
         self._check_leaf()
@@ -253,8 +256,8 @@ class Histogram(_Metric):
         name: str,
         help: str,
         labels: tuple = (),
-        buckets=DEFAULT_BUCKETS,
-    ):
+        buckets: Any = DEFAULT_BUCKETS,
+    ) -> None:
         bounds = tuple(float(bound) for bound in buckets)
         if not bounds or any(
             b <= a for a, b in zip(bounds, bounds[1:])
@@ -266,10 +269,10 @@ class Histogram(_Metric):
         self.buckets = bounds
         super().__init__(name, help, labels)
 
-    def _init_value(self) -> None:
-        self._counts = [0] * (len(self.buckets) + 1)
-        self._sum = 0.0
-        self._count = 0
+    def _init_value(self) -> None:  # lint: holds(_lock) constructor helper, object not yet shared
+        self._counts = [0] * (len(self.buckets) + 1)  # lint: guarded-by(_lock)
+        self._sum = 0.0  # lint: guarded-by(_lock)
+        self._count = 0  # lint: guarded-by(_lock)
 
     def _copy_config(self, parent: "_Metric") -> None:
         self.buckets = parent.buckets
@@ -352,14 +355,19 @@ class MetricsRegistry:
     conflicting schemas.
     """
 
-    def __init__(self, name: str = "repro"):
+    def __init__(self, name: str = "repro") -> None:
         self.name = str(name)
         self._lock = threading.Lock()
-        self._metrics: dict[str, _Metric] = {}
+        self._metrics: dict[str, _Metric] = {}  # lint: guarded-by(_lock)
+        # Monotonic origin: ages derived from it survive wall-clock
+        # steps (NTP), which would otherwise corrupt every rate that
+        # divides by the registry's age.
         self._created = time.perf_counter()
 
     # ------------------------------------------------------------------
-    def _get_or_create(self, cls, name, help, labels, **kwargs) -> _Metric:
+    def _get_or_create(
+        self, cls: Any, name: str, help: str, labels: Any, **kwargs: Any
+    ) -> _Metric:
         labels = tuple(str(label) for label in labels)
         with self._lock:
             existing = self._metrics.get(name)
@@ -376,16 +384,20 @@ class MetricsRegistry:
             self._metrics[name] = metric
             return metric
 
-    def counter(self, name: str, help: str = "", labels=()) -> Counter:
+    def counter(self, name: str, help: str = "", labels: Any = ()) -> Counter:
         """Get or create a :class:`Counter`."""
         return self._get_or_create(Counter, name, help, labels)
 
-    def gauge(self, name: str, help: str = "", labels=()) -> Gauge:
+    def gauge(self, name: str, help: str = "", labels: Any = ()) -> Gauge:
         """Get or create a :class:`Gauge`."""
         return self._get_or_create(Gauge, name, help, labels)
 
     def histogram(
-        self, name: str, help: str = "", labels=(), buckets=DEFAULT_BUCKETS
+        self,
+        name: str,
+        help: str = "",
+        labels: Any = (),
+        buckets: Any = DEFAULT_BUCKETS,
     ) -> Histogram:
         """Get or create a :class:`Histogram`."""
         return self._get_or_create(
@@ -451,10 +463,11 @@ class MetricsRegistry:
     @property
     def age_seconds(self) -> float:
         """Seconds since this registry was created (used by exports to
-        derive rates such as QPS)."""
+        derive rates such as QPS). Monotonic: immune to wall-clock
+        steps."""
         return max(1e-9, time.perf_counter() - self._created)
 
-    def __contains__(self, name) -> bool:
+    def __contains__(self, name: Any) -> bool:
         with self._lock:
             return name in self._metrics
 
@@ -475,7 +488,7 @@ class _NullTimer:
     def __enter__(self) -> "_NullTimer":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         pass
 
 
@@ -493,7 +506,7 @@ class _NullMetric:
     label_names = ()
     buckets = DEFAULT_BUCKETS
 
-    def labels(self, **label_values) -> "_NullMetric":
+    def labels(self, **label_values: Any) -> "_NullMetric":
         return self
 
     def inc(self, amount: float = 1.0) -> None:
@@ -505,7 +518,7 @@ class _NullMetric:
     def set(self, value: float) -> None:
         pass
 
-    def set_function(self, function) -> None:
+    def set_function(self, function: Any) -> None:
         pass
 
     def observe(self, value: float) -> None:
@@ -526,7 +539,7 @@ class _NullMetric:
     def sum(self) -> float:
         return 0.0
 
-    def snapshot(self):
+    def snapshot(self) -> tuple[list[int], float, int]:
         return [0] * (len(DEFAULT_BUCKETS) + 1), 0.0, 0
 
     def quantile(self, q: float) -> float:
@@ -549,18 +562,22 @@ class NullRegistry:
     name = "null"
     age_seconds = 1e-9
 
-    def counter(self, name: str, help: str = "", labels=()) -> _NullMetric:
+    def counter(self, name: str, help: str = "", labels: Any = ()) -> _NullMetric:
         return _NULL_METRIC
 
-    def gauge(self, name: str, help: str = "", labels=()) -> _NullMetric:
+    def gauge(self, name: str, help: str = "", labels: Any = ()) -> _NullMetric:
         return _NULL_METRIC
 
     def histogram(
-        self, name: str, help: str = "", labels=(), buckets=DEFAULT_BUCKETS
+        self,
+        name: str,
+        help: str = "",
+        labels: Any = (),
+        buckets: Any = DEFAULT_BUCKETS,
     ) -> _NullMetric:
         return _NULL_METRIC
 
-    def get(self, name: str):
+    def get(self, name: str) -> None:
         return None
 
     def unregister(self, name: str) -> None:
@@ -575,7 +592,7 @@ class NullRegistry:
     def snapshot(self) -> dict:
         return {}
 
-    def __contains__(self, name) -> bool:
+    def __contains__(self, name: Any) -> bool:
         return False
 
     def __len__(self) -> int:
@@ -601,7 +618,7 @@ def default_registry() -> MetricsRegistry:
         return _default_registry
 
 
-def set_default_registry(registry) -> MetricsRegistry:
+def set_default_registry(registry: Any) -> MetricsRegistry:
     """Swap the process default registry (pass :data:`NULL_REGISTRY` to
     disable library-level instrumentation); returns the previous one."""
     global _default_registry
@@ -626,12 +643,12 @@ class HandleCache:
 
     __slots__ = ("_builder", "_registry", "_handles")
 
-    def __init__(self, builder):
+    def __init__(self, builder: Any) -> None:
         self._builder = builder
         self._registry = None
         self._handles = None
 
-    def __call__(self):
+    def __call__(self) -> Any:
         registry = default_registry()
         if registry is not self._registry:
             self._handles = self._builder(registry)
@@ -639,7 +656,7 @@ class HandleCache:
         return self._handles
 
 
-def resolve_registry(metrics) -> MetricsRegistry:
+def resolve_registry(metrics: Any) -> MetricsRegistry:
     """Normalize a ``metrics=`` constructor argument: ``None``/``True``
     → the process default registry, ``False`` → :data:`NULL_REGISTRY`,
     a registry instance → itself."""

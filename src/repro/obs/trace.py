@@ -39,6 +39,7 @@ import contextvars
 import threading
 import time
 from collections import deque
+from typing import Any
 
 from ..exceptions import InvalidParameterError
 
@@ -51,7 +52,7 @@ class Span:
 
     __slots__ = ("name", "start", "duration", "meta")
 
-    def __init__(self, name: str, start: float, meta: dict | None = None):
+    def __init__(self, name: str, start: float, meta: dict | None = None) -> None:
         self.name = name
         self.start = start
         self.duration = 0.0
@@ -77,14 +78,14 @@ class _SpanTimer:
 
     __slots__ = ("_trace", "_span")
 
-    def __init__(self, trace: "QueryTrace", span: Span):
+    def __init__(self, trace: "QueryTrace", span: Span) -> None:
         self._trace = trace
         self._span = span
 
     def __enter__(self) -> Span:
         return self._span
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         self._trace._close(self._span)
 
 
@@ -99,16 +100,16 @@ class QueryTrace:
     __slots__ = ("mode", "meta", "started", "duration", "_origin",
                  "spans", "_lock")
 
-    def __init__(self, mode: str, **meta):
+    def __init__(self, mode: str, **meta: Any) -> None:
         self.mode = mode
         self.meta = meta
-        self.started = time.time()
+        self.started = time.time()  # lint: disable=wall-clock epoch timestamp; spans use _origin below
         self.duration = 0.0
         self._origin = time.perf_counter()
         self.spans: list[Span] = []
         self._lock = threading.Lock()
 
-    def span(self, name: str, **meta) -> _SpanTimer:
+    def span(self, name: str, **meta: Any) -> _SpanTimer:
         """Open a named span; close it by exiting the returned context
         manager."""
         span = Span(
@@ -150,10 +151,10 @@ class QueryTrace:
 class _NullSpanTimer:
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         pass
 
 
@@ -171,7 +172,7 @@ class NullTrace:
     duration = 0.0
     spans: list = []
 
-    def span(self, name: str, **meta) -> _NullSpanTimer:
+    def span(self, name: str, **meta: Any) -> _NullSpanTimer:
         return _NULL_SPAN_TIMER
 
     def finish(self) -> None:
@@ -200,14 +201,14 @@ _current: contextvars.ContextVar = contextvars.ContextVar(
 )
 
 
-def current_trace():
+def current_trace() -> Any:
     """The trace active in this execution context (:data:`NULL_TRACE`
     when none is). Worker threads of an executor pool do not inherit
     it — capture the trace in the submitted closure instead."""
     return _current.get()
 
 
-def activate_trace(trace) -> contextvars.Token:
+def activate_trace(trace: Any) -> contextvars.Token:
     """Make ``trace`` the current trace; pass the returned token to
     :func:`deactivate_trace` to restore the previous one."""
     return _current.set(trace)
@@ -232,7 +233,7 @@ class Tracer:
         self,
         capacity: int = DEFAULT_TRACE_CAPACITY,
         sample: float = 1.0,
-    ):
+    ) -> None:
         capacity = int(capacity)
         if capacity < 1:
             raise InvalidParameterError(
@@ -249,7 +250,7 @@ class Tracer:
         self._ring: deque = deque(maxlen=capacity)
         self._lock = threading.Lock()
 
-    def start(self, mode: str, **meta):
+    def start(self, mode: str, **meta: Any) -> Any:
         """A new :class:`QueryTrace` when this query is sampled, else
         :data:`NULL_TRACE`."""
         if self._interval == 0:
@@ -261,7 +262,7 @@ class Tracer:
             return NULL_TRACE
         return QueryTrace(mode, **meta)
 
-    def finish(self, trace) -> None:
+    def finish(self, trace: Any) -> None:
         """Close ``trace`` and retain it (no-op for the null trace)."""
         if trace is NULL_TRACE or trace is None:
             return

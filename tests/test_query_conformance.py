@@ -20,7 +20,6 @@ direct call. This module is that promise as a parametrized suite:
 """
 
 import concurrent.futures
-import pathlib
 
 import numpy as np
 import pytest
@@ -344,18 +343,12 @@ class TestRawDomainMapping:
 
 class TestSinglePreparationImplementation:
     def test_no_prepare_query_call_sites_outside_repro_query(self):
-        """Grep-enforced acceptance criterion: the only ``prepare_query``
-        call site in the library is :func:`repro.query.spec.prepare_values`
-        (plus the definition in ``core/windows.py``)."""
-        root = pathlib.Path(__file__).resolve().parent.parent / "src/repro"
-        offenders = []
-        for path in root.rglob("*.py"):
-            relative = path.relative_to(root).as_posix()
-            if relative.startswith("query/") or relative == "core/windows.py":
-                continue
-            for number, line in enumerate(
-                path.read_text().splitlines(), start=1
-            ):
-                if ".prepare_query(" in line:
-                    offenders.append(f"{relative}:{number}: {line.strip()}")
-        assert not offenders, "\n".join(offenders)
+        """AST-enforced acceptance criterion: the only ``prepare_query``
+        call sites in the library are :func:`repro.query.spec.prepare_values`
+        and the definition module ``core/windows.py`` — checked by the
+        project's own ``single-call-site`` linter (immune to the string
+        tricks and comments a grep would trip over)."""
+        from repro.lint import run_lint
+
+        report = run_lint(checks=["single-call-site"])
+        assert report.ok, report.format_text()
