@@ -32,7 +32,6 @@ import os
 import shutil
 import sys
 import tempfile
-import time
 
 import numpy as np
 

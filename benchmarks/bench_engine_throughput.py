@@ -30,7 +30,6 @@ uploads the artifact.
 
 import argparse
 import concurrent.futures
-import os
 import sys
 import time
 

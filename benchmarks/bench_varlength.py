@@ -29,7 +29,6 @@ Run::
 from __future__ import annotations
 
 import argparse
-import os
 import sys
 import time
 

@@ -11,8 +11,6 @@ filter/verification machinery (Section 3.2).
 
 from .batch import BatchResult, search_batch
 from .collection import CollectionIndex, CollectionMatch
-from .events import MatchGroup, event_positions, group_matches
-from .frozen import FrozenTSIndex
 from .distance import (
     chebyshev_distance,
     chebyshev_distance_early_abandon,
@@ -22,6 +20,8 @@ from .distance import (
     lp_distance,
     pairwise_chebyshev,
 )
+from .events import MatchGroup, event_positions, group_matches
+from .frozen import FrozenTSIndex
 from .mbts import MBTS, mbts_gap_distance, mbts_of, sequence_mbts_distance
 from .normalization import (
     Normalization,

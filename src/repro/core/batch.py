@@ -10,6 +10,7 @@ stop re-implementing the aggregation loop the harness uses.
 from __future__ import annotations
 
 import dataclasses
+from typing import Any
 
 from .._util import check_non_negative
 from .stats import QueryStats, SearchResult
@@ -50,7 +51,7 @@ class BatchResult:
         return self.total_matches / (window_count * len(self.results))
 
 
-def search_batch(method, queries, epsilon: float, **search_options) -> BatchResult:
+def search_batch(method: Any, queries: Any, epsilon: float, **search_options: Any) -> BatchResult:
     """Run every query of ``queries`` through ``method`` at ``epsilon``.
 
     ``method`` is any object with the shared ``search`` surface (all

@@ -14,8 +14,7 @@ per-series top-k lists.
 from __future__ import annotations
 
 import dataclasses
-
-import numpy as np
+from typing import Any
 
 from .._util import check_non_negative, check_positive_int
 from ..exceptions import InvalidParameterError
@@ -53,12 +52,12 @@ class CollectionIndex:
 
     def __init__(
         self,
-        collection,
+        collection: Any,
         length: int,
         *,
-        normalization=Normalization.GLOBAL,
+        normalization: Any = Normalization.GLOBAL,
         method: str = "tsindex",
-        **method_options,
+        **method_options: Any,
     ):
         from ..indices.base import create_method
 
@@ -100,7 +99,7 @@ class CollectionIndex:
         """Total windows across the collection."""
         return sum(index.source.count for index in self._indices)
 
-    def member(self, series_id: int):
+    def member(self, series_id: int) -> Any:
         """The underlying index of one member series."""
         return self._indices[series_id]
 
@@ -111,7 +110,7 @@ class CollectionIndex:
         )
 
     # ------------------------------------------------------------------
-    def search(self, query, epsilon: float) -> list[CollectionMatch]:
+    def search(self, query: Any, epsilon: float) -> list[CollectionMatch]:
         """All twins of ``query`` anywhere in the collection.
 
         Results are sorted by ``(series_id, position)``.
@@ -130,7 +129,7 @@ class CollectionIndex:
                 )
         return matches
 
-    def knn(self, query, k: int) -> list[CollectionMatch]:
+    def knn(self, query: Any, k: int) -> list[CollectionMatch]:
         """The ``k`` nearest windows across the whole collection.
 
         Every member answers — natively (TS-Index) or through the
@@ -154,11 +153,11 @@ class CollectionIndex:
         candidates.sort(key=lambda m: (m.distance, m.series_id, m.position))
         return candidates[:k]
 
-    def count(self, query, epsilon: float) -> int:
+    def count(self, query: Any, epsilon: float) -> int:
         """Total twins across the collection."""
         return len(self.search(query, epsilon))
 
-    def count_per_series(self, query, epsilon: float) -> list[int]:
+    def count_per_series(self, query: Any, epsilon: float) -> list[int]:
         """Twin count per member series (ranking which series contain
         the pattern — the cross-archive use case)."""
         epsilon = check_non_negative(epsilon, name="epsilon")
@@ -166,7 +165,7 @@ class CollectionIndex:
             len(index.search(query, epsilon)) for index in self._indices
         ]
 
-    def aggregate_stats(self, query, epsilon: float) -> QueryStats:
+    def aggregate_stats(self, query: Any, epsilon: float) -> QueryStats:
         """Merged structural counters across members for one query."""
         epsilon = check_non_negative(epsilon, name="epsilon")
         total = QueryStats()

@@ -40,6 +40,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import time
+from typing import Any
 
 import numpy as np
 
@@ -202,7 +203,7 @@ class FrozenTSIndex:
     def __init__(
         self,
         source: WindowSource,
-        params,
+        params: Any,
         build_stats: BuildStats,
         arrays: dict,
         *,
@@ -338,8 +339,8 @@ class FrozenTSIndex:
     def from_tree(
         cls,
         source: WindowSource,
-        root,
-        params,
+        root: Any,
+        params: Any,
         build_stats: BuildStats,
     ) -> "FrozenTSIndex":
         """Flatten a dynamic ``_Node`` tree (BFS order, root = id 0)."""
@@ -417,7 +418,7 @@ class FrozenTSIndex:
     def from_arrays(
         cls,
         source: WindowSource,
-        params,
+        params: Any,
         build_stats: BuildStats,
         arrays: dict,
     ) -> "FrozenTSIndex":
@@ -428,11 +429,11 @@ class FrozenTSIndex:
     @classmethod
     def build(
         cls,
-        series,
+        series: Any,
         length: int,
         *,
-        normalization=Normalization.GLOBAL,
-        params=None,
+        normalization: Any = Normalization.GLOBAL,
+        params: Any = None,
     ) -> "FrozenTSIndex":
         """Build a dynamic TS-Index and freeze it in one call."""
         from .tsindex import TSIndex
@@ -441,7 +442,7 @@ class FrozenTSIndex:
             series, length, normalization=normalization, params=params
         ).freeze()
 
-    def thaw(self):
+    def thaw(self) -> Any:
         """Reconstruct a dynamic :class:`~repro.core.tsindex.TSIndex`
         (for further insertion; queries on the result match exactly)."""
         from .mbts import MBTS
@@ -518,7 +519,7 @@ class FrozenTSIndex:
         return self._source
 
     @property
-    def params(self):
+    def params(self) -> Any:
         """Construction parameters of the tree that was frozen."""
         return self._params
 
@@ -760,7 +761,7 @@ class FrozenTSIndex:
     # ------------------------------------------------------------------
     def search(
         self,
-        query,
+        query: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -787,14 +788,14 @@ class FrozenTSIndex:
             mode=verification, stats=stats,
         )
 
-    def count(self, query, epsilon: float) -> int:
+    def count(self, query: Any, epsilon: float) -> int:
         """Number of twins (convenience wrapper over :meth:`search`;
         shorter queries count their prefix twins, tail included)."""
         return len(self.search(query, epsilon))
 
     def search_varlength(
         self,
-        query,
+        query: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -860,7 +861,7 @@ class FrozenTSIndex:
     # ------------------------------------------------------------------
     def search_batch(
         self,
-        queries,
+        queries: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -1059,7 +1060,7 @@ class FrozenTSIndex:
     # k-NN (best-first over the flat arrays)
     # ------------------------------------------------------------------
     def knn(
-        self, query, k: int, *, exclude: tuple[int, int] | None = None
+        self, query: Any, k: int, *, exclude: tuple[int, int] | None = None
     ) -> SearchResult:
         """The ``k`` windows nearest to ``query`` in Chebyshev distance.
 
@@ -1163,7 +1164,7 @@ class FrozenTSIndex:
     # Existence (early-exit decision procedure)
     # ------------------------------------------------------------------
     def exists(
-        self, query, epsilon: float, *, stats: QueryStats | None = None
+        self, query: Any, epsilon: float, *, stats: QueryStats | None = None
     ) -> bool:
         """Whether *any* twin exists, with early exit.
 

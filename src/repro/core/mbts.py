@@ -19,6 +19,8 @@ in an R-tree. This module implements:
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from .._util import FLOAT_DTYPE, as_float_array
@@ -33,7 +35,7 @@ class MBTS:
 
     __slots__ = ("upper", "lower")
 
-    def __init__(self, upper, lower):
+    def __init__(self, upper: Any, lower: Any):
         upper = np.array(upper, dtype=FLOAT_DTYPE)
         lower = np.array(lower, dtype=FLOAT_DTYPE)
         if upper.ndim != 1 or upper.shape != lower.shape:
@@ -50,13 +52,13 @@ class MBTS:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_sequence(cls, sequence) -> "MBTS":
+    def from_sequence(cls, sequence: Any) -> "MBTS":
         """Degenerate MBTS enclosing a single sequence (upper == lower)."""
         sequence = as_float_array(sequence, name="sequence")
         return cls(sequence.copy(), sequence.copy())
 
     @classmethod
-    def from_sequences(cls, matrix) -> "MBTS":
+    def from_sequences(cls, matrix: Any) -> "MBTS":
         """MBTS of a non-empty ``(k, l)`` matrix of sequences (Eq. 1)."""
         matrix = np.asarray(matrix, dtype=FLOAT_DTYPE)
         if matrix.ndim != 2 or matrix.shape[0] == 0:
@@ -108,7 +110,7 @@ class MBTS:
     # ------------------------------------------------------------------
     # Containment and distances
     # ------------------------------------------------------------------
-    def contains(self, sequence) -> bool:
+    def contains(self, sequence: Any) -> bool:
         """True when ``lower_i <= sequence_i <= upper_i`` for all ``i``."""
         sequence = as_float_array(sequence, name="sequence")
         self._check_length(sequence.size)
@@ -123,7 +125,7 @@ class MBTS:
             np.all(other.upper <= self.upper) and np.all(other.lower >= self.lower)
         )
 
-    def distance_to_sequence(self, sequence) -> float:
+    def distance_to_sequence(self, sequence: Any) -> float:
         """Equation 2: how far ``sequence`` pokes outside the envelope."""
         sequence = as_float_array(sequence, name="sequence")
         self._check_length(sequence.size)
@@ -131,7 +133,7 @@ class MBTS:
         below = self.lower - sequence
         return float(max(np.max(above), np.max(below), 0.0))
 
-    def distance_to_sequence_exceeds(self, sequence, epsilon: float) -> bool:
+    def distance_to_sequence_exceeds(self, sequence: Any, epsilon: float) -> bool:
         """Early-abandoning form of Lemma 1's check ``d(Q, B) > ε``.
 
         Scans timestamps and stops at the first excursion beyond
@@ -160,7 +162,7 @@ class MBTS:
     # ------------------------------------------------------------------
     # Expansion
     # ------------------------------------------------------------------
-    def expand_to_include(self, sequence) -> None:
+    def expand_to_include(self, sequence: Any) -> None:
         """Grow the envelope (in place) to cover ``sequence``."""
         sequence = as_float_array(sequence, name="sequence")
         self._check_length(sequence.size)
@@ -190,7 +192,7 @@ class MBTS:
             np.minimum(self.lower, other.lower),
         )
 
-    def enlargement_for_sequence(self, sequence) -> float:
+    def enlargement_for_sequence(self, sequence: Any) -> float:
         """Area growth if ``sequence`` were included (split metric).
 
         ``Σ_i max(s_i - u_i, 0) + max(ℓ_i - s_i, 0)`` — the R-tree style
@@ -209,7 +211,7 @@ class MBTS:
         below = np.maximum(self.lower - other.lower, 0.0)
         return float(np.sum(above) + np.sum(below))
 
-    def max_enlargement_for_sequence(self, sequence) -> float:
+    def max_enlargement_for_sequence(self, sequence: Any) -> float:
         """Chebyshev-style enlargement: the largest single-timestamp
         excursion. Equal to Eq. 2's distance; exposed under this name for
         the split-metric ablation."""
@@ -224,12 +226,12 @@ class MBTS:
             )
 
 
-def mbts_of(sequences) -> MBTS:
+def mbts_of(sequences: Any) -> MBTS:
     """Convenience wrapper over :meth:`MBTS.from_sequences`."""
     return MBTS.from_sequences(sequences)
 
 
-def sequence_mbts_distance(sequence, mbts: MBTS) -> float:
+def sequence_mbts_distance(sequence: Any, mbts: MBTS) -> float:
     """Functional form of Equation 2 (``d(S, B)``)."""
     return mbts.distance_to_sequence(sequence)
 

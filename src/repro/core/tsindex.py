@@ -20,6 +20,7 @@ import dataclasses
 import heapq
 import itertools
 import time
+from typing import Any
 
 import numpy as np
 
@@ -202,10 +203,10 @@ class TSIndex:
     @classmethod
     def build(
         cls,
-        series,
+        series: Any,
         length: int,
         *,
-        normalization=Normalization.GLOBAL,
+        normalization: Any = Normalization.GLOBAL,
         params: TSIndexParams | None = None,
     ) -> "TSIndex":
         """Build a TS-Index over all ``length``-sized windows of
@@ -242,7 +243,7 @@ class TSIndex:
         index._build_stats = build_stats
         return index
 
-    def freeze(self):
+    def freeze(self) -> Any:
         """Snapshot this tree into a read-optimized
         :class:`~repro.core.frozen.FrozenTSIndex`.
 
@@ -325,7 +326,7 @@ class TSIndex:
             f"height={self.height}, nodes={self.node_count})"
         )
 
-    def iter_nodes(self):
+    def iter_nodes(self) -> Any:
         """Yield ``(node, depth)`` pairs in pre-order (for diagnostics,
         memory accounting and invariant tests)."""
         if self._root is None:
@@ -524,7 +525,7 @@ class TSIndex:
     # ------------------------------------------------------------------
     def search(
         self,
-        query,
+        query: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -551,12 +552,12 @@ class TSIndex:
             mode=verification, stats=stats,
         )
 
-    def count(self, query, epsilon: float) -> int:
+    def count(self, query: Any, epsilon: float) -> int:
         """Number of twins (convenience wrapper over :meth:`search`;
         shorter queries count their prefix twins, tail included)."""
         return len(self.search(query, epsilon))
 
-    def search_batch(self, queries, epsilon: float, **search_options):
+    def search_batch(self, queries: Any, epsilon: float, **search_options: Any) -> Any:
         """Run a whole workload; per-query results plus aggregates.
 
         The pipeline-backed default every plane shares (a planner loop
@@ -578,7 +579,7 @@ class TSIndex:
 
     def search_varlength(
         self,
-        query,
+        query: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -655,7 +656,7 @@ class TSIndex:
         return np.concatenate(collected)
 
     def search_approximate(
-        self, query, epsilon: float, *, max_leaves: int = 8
+        self, query: Any, epsilon: float, *, max_leaves: int = 8
     ) -> SearchResult:
         """Twins from the ``max_leaves`` most promising leaves only.
 
@@ -707,7 +708,7 @@ class TSIndex:
         return verify(self._source, query, candidates, epsilon, stats=stats)
 
     def exists(
-        self, query, epsilon: float, *, stats: QueryStats | None = None
+        self, query: Any, epsilon: float, *, stats: QueryStats | None = None
     ) -> bool:
         """Whether *any* twin exists, with early exit (extension).
 
@@ -821,7 +822,7 @@ class TSIndex:
     # ------------------------------------------------------------------
     # k-NN twin search (extension; best-first with the Eq. 2 bound)
     # ------------------------------------------------------------------
-    def knn(self, query, k: int, *, exclude: tuple[int, int] | None = None) -> SearchResult:
+    def knn(self, query: Any, k: int, *, exclude: tuple[int, int] | None = None) -> SearchResult:
         """The ``k`` windows nearest to ``query`` in Chebyshev distance.
 
         Best-first traversal: nodes are expanded in order of their Eq. 2

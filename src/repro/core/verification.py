@@ -22,6 +22,8 @@ All strategies return identical results; tests enforce this.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from .._util import (
@@ -54,7 +56,7 @@ VERIFICATION_MODES = ("bulk", "blocked", "per_candidate")
 def verify_positions(
     source: WindowSource,
     query: np.ndarray,
-    positions,
+    positions: Any,
     epsilon: float,
     *,
     stats: QueryStats | None = None,
@@ -89,7 +91,7 @@ def verify_positions(
 def verify_positions_blocked(
     source: WindowSource,
     query: np.ndarray,
-    positions,
+    positions: Any,
     epsilon: float,
     *,
     stats: QueryStats | None = None,
@@ -142,7 +144,7 @@ def verify_positions_blocked(
 def verify_intervals(
     source: WindowSource,
     query: np.ndarray,
-    intervals,
+    intervals: Any,
     epsilon: float,
     *,
     stats: QueryStats | None = None,
@@ -181,7 +183,7 @@ def verify_intervals(
 def verify_positions_per_candidate(
     source: WindowSource,
     query: np.ndarray,
-    positions,
+    positions: Any,
     epsilon: float,
     *,
     stats: QueryStats | None = None,
@@ -220,7 +222,7 @@ def verify_positions_per_candidate(
 def verify(
     source: WindowSource,
     query: np.ndarray,
-    positions,
+    positions: Any,
     epsilon: float,
     *,
     mode: str = "bulk",

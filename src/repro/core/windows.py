@@ -10,6 +10,8 @@ from precomputed rolling statistics.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from .._util import (
@@ -59,7 +61,7 @@ class WindowSource:
         "_stds",
     )
 
-    def __init__(self, series, length: int, normalization=Normalization.GLOBAL):
+    def __init__(self, series: Any, length: int, normalization: Any = Normalization.GLOBAL):
         if not isinstance(series, TimeSeries):
             series = TimeSeries(series)
         normalization = Normalization.coerce(normalization)
@@ -129,7 +131,7 @@ class WindowSource:
             return raw
         return (raw - self._means[position]) / self._stds[position]
 
-    def windows(self, positions) -> np.ndarray:
+    def windows(self, positions: Any) -> np.ndarray:
         """A ``(k, length)`` matrix of the windows at ``positions``.
 
         Always returns a fresh writable array (the raw view is shared).
@@ -256,7 +258,7 @@ class WindowSource:
             return np.zeros(self.count, dtype=FLOAT_DTYPE)
         return rolling_mean(self._values, self._length)
 
-    def prepare_query(self, query) -> np.ndarray:
+    def prepare_query(self, query: Any) -> np.ndarray:
         """Normalize an external query the same way indexed windows are.
 
         ``NONE``/``GLOBAL``: returned as-is (under ``GLOBAL`` the caller
@@ -288,7 +290,7 @@ class WindowSource:
 def assemble_source(
     values: np.ndarray,
     length: int,
-    normalization,
+    normalization: Any,
     *,
     means: np.ndarray | None = None,
     stds: np.ndarray | None = None,

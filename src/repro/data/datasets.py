@@ -24,8 +24,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
-
 from ..core.series import TimeSeries
 from ..exceptions import InvalidParameterError
 from . import synthetic

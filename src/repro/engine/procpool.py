@@ -22,6 +22,7 @@ structural counters — no wall-clock fields.
 from __future__ import annotations
 
 import dataclasses
+from typing import Any
 
 from ..exceptions import InvalidParameterError
 
@@ -45,7 +46,7 @@ ALLOWED_CALLS = frozenset(
 )
 
 
-def open_archive(path: str):
+def open_archive(path: str) -> Any:
     """The worker-side archive cache: load ``path`` on first use (mmap
     for raw archives), then serve every later task from the cached
     index object."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
+from typing import Any
 
 from .._util import (
     available_cpu_count,
@@ -199,10 +200,10 @@ class ShardedTSIndex(SubsequenceIndex):
     @classmethod
     def build(
         cls,
-        series,
+        series: Any,
         length: int,
         *,
-        normalization=Normalization.GLOBAL,
+        normalization: Any = Normalization.GLOBAL,
         shards: int | None = None,
         params: TSIndexParams | None = None,
         max_workers: int | None = None,
@@ -294,7 +295,7 @@ class ShardedTSIndex(SubsequenceIndex):
         receiving index data over the pipe."""
         return self._archive_path
 
-    def attach_archive(self, path) -> None:
+    def attach_archive(self, path: Any) -> None:
         """Record ``path`` as this engine's on-disk identity (called by
         :func:`~repro.persistence.load_index`, and by
         :class:`~repro.engine.executor.QueryEngine` after spooling an
@@ -417,7 +418,7 @@ class ShardedTSIndex(SubsequenceIndex):
     # ------------------------------------------------------------------
     def search(
         self,
-        query,
+        query: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -500,7 +501,7 @@ class ShardedTSIndex(SubsequenceIndex):
 
     def search_varlength(
         self,
-        query,
+        query: Any,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -562,7 +563,7 @@ class ShardedTSIndex(SubsequenceIndex):
 
     def count(
         self,
-        query,
+        query: Any,
         epsilon: float,
         *,
         executor: concurrent.futures.Executor | None = None,
@@ -590,7 +591,7 @@ class ShardedTSIndex(SubsequenceIndex):
             )
         return sum(self._map(executor, one, self._shards))
 
-    def exists(self, query, epsilon: float) -> bool:
+    def exists(self, query: Any, epsilon: float) -> bool:
         """Whether any twin exists — probes shards in span order and
         stops at the first hit (each shard's own ``exists`` early-exits
         internally too; shorter queries derive from
@@ -605,7 +606,7 @@ class ShardedTSIndex(SubsequenceIndex):
 
     def knn(
         self,
-        query,
+        query: Any,
         k: int,
         *,
         exclude: tuple[int, int] | None = None,
@@ -667,12 +668,12 @@ class ShardedTSIndex(SubsequenceIndex):
 
     def search_batch(
         self,
-        queries,
+        queries: Any,
         epsilon: float,
         *,
         executor: concurrent.futures.Executor | None = None,
         batched: bool | None = None,
-        **search_options,
+        **search_options: Any,
     ) -> BatchResult:
         """Run every query of ``queries`` at ``epsilon``.
 

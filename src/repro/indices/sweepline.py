@@ -14,12 +14,12 @@ import time
 
 import numpy as np
 
+from .._util import POSITION_DTYPE, check_non_negative
 from ..core.distance import chebyshev_distance_reordered, reorder_by_magnitude
 from ..core.normalization import Normalization
 from ..core.stats import BuildStats, QueryStats, SearchResult
 from ..core.verification import verify, verify_intervals
 from ..core.windows import WindowSource
-from .._util import POSITION_DTYPE, check_non_negative
 from ..query.registration import register_plane
 from ..query.spec import prepare_values
 from ..query.varlength import is_prefix_query

@@ -23,6 +23,7 @@ Events and levels:
 from __future__ import annotations
 
 import logging
+from typing import Any
 
 #: Name of the library's root logger.
 ROOT_LOGGER_NAME = "repro"
@@ -50,9 +51,9 @@ def install_null_handler() -> None:
 
 
 def configure_logging(
-    level="INFO",
+    level: Any = "INFO",
     *,
-    stream=None,
+    stream: Any = None,
     fmt: str = _DEFAULT_FORMAT,
 ) -> logging.Logger:
     """Attach a :class:`~logging.StreamHandler` to the ``repro`` root

@@ -14,6 +14,8 @@ layer — :mod:`repro.core`, :mod:`repro.indices`, :mod:`repro.engine`,
 
 from __future__ import annotations
 
+from typing import Any
+
 #: The plane answers ``search(query, epsilon)`` itself. Mandatory — the
 #: one kernel every plane must bring.
 CAP_SEARCH = "search"
@@ -79,7 +81,7 @@ ALL_CAPABILITIES = frozenset(
 BASE_CAPABILITIES = frozenset({CAP_SEARCH, CAP_VERIFICATION})
 
 
-def capabilities_of(index) -> frozenset:
+def capabilities_of(index: Any) -> frozenset:
     """The declared capability set of ``index`` (defaults to
     :data:`BASE_CAPABILITIES` for planes that declare nothing)."""
     return frozenset(getattr(index, "capabilities", BASE_CAPABILITIES))

@@ -24,6 +24,7 @@ with what a native kernel over the same windows would return.
 from __future__ import annotations
 
 import dataclasses
+from typing import Any
 
 import numpy as np
 
@@ -80,7 +81,7 @@ _metrics = HandleCache(
 # ----------------------------------------------------------------------
 # Synthesized kernels (used when a plane lacks the native capability)
 # ----------------------------------------------------------------------
-def scan_distances(source, query: np.ndarray) -> np.ndarray:
+def scan_distances(source: Any, query: np.ndarray) -> np.ndarray:
     """Exact Chebyshev distance from ``query`` to every window,
     computed blockwise so memory stays bounded."""
     distances = np.empty(source.count, dtype=FLOAT_DTYPE)
@@ -90,7 +91,7 @@ def scan_distances(source, query: np.ndarray) -> np.ndarray:
     return distances
 
 
-def scan_knn(source, query, k: int, exclude=None) -> SearchResult:
+def scan_knn(source: Any, query: Any, k: int, exclude: Any = None) -> SearchResult:
     """Exact k-NN over every window of ``source`` — the synthesized
     k-NN any search-only plane serves through the planner.
 
@@ -126,7 +127,7 @@ def scan_knn(source, query, k: int, exclude=None) -> SearchResult:
     )
 
 
-def scan_count(source, query, epsilon: float) -> int:
+def scan_count(source: Any, query: Any, epsilon: float) -> int:
     """Count twins without materializing a result: no position/distance
     arrays are built, just a blockwise running total. The
     memory-bounded alternative to ``len(search(...))`` for huge result
@@ -144,7 +145,7 @@ def scan_count(source, query, epsilon: float) -> int:
 # ----------------------------------------------------------------------
 # Planning
 # ----------------------------------------------------------------------
-def _plane_length(index) -> int | None:
+def _plane_length(index: Any) -> int | None:
     """The plane's indexed window length ``l`` (``None`` when it cannot
     be determined without touching the plane's source — e.g. a foreign
     plane exposing neither a ``length`` nor a ``source``)."""
@@ -210,13 +211,13 @@ class QueryPlan:
                 return list(self.spec.prepare(source).queries)
         return self.spec.query_list()
 
-    def _call_options(self, executor) -> dict:
+    def _call_options(self, executor: Any) -> dict:
         options = dict(self.options)
         if executor is not None and self.fan_out:
             options["executor"] = executor
         return options
 
-    def _source_or_raise(self):
+    def _source_or_raise(self) -> Any:
         """The plane's window source (needed to synthesize a kernel);
         typed failure for planes that truly cannot serve the mode."""
         source = getattr(self.index, "source", None)
@@ -229,7 +230,7 @@ class QueryPlan:
             )
         return source
 
-    def _varlength_search(self, query, executor=None) -> SearchResult:
+    def _varlength_search(self, query: Any, executor: Any = None) -> SearchResult:
         """One variable-length search: the plane's native prefix kernel
         where declared, the synthesized prefix scan otherwise."""
         if CAP_VARLENGTH in self.capabilities:
@@ -243,7 +244,7 @@ class QueryPlan:
             self._source_or_raise(), query, self.spec.epsilon, **self.options
         )
 
-    def _execute_varlength(self, executor):
+    def _execute_varlength(self, executor: Any) -> Any:
         """Run a plan whose quer(ies) are shorter than the plane's
         window length. ``search`` uses the native prefix kernel (or the
         synthesized scan); ``exists``/``count`` derive from that same
@@ -258,7 +259,7 @@ class QueryPlan:
             queries = self._queries()
             options = dict(self.options)
 
-            def one(query) -> SearchResult:
+            def one(query: Any) -> SearchResult:
                 if is_prefix_query(query, length):
                     return self._varlength_search(query)
                 return self.index.search(query, spec.epsilon, **options)
@@ -285,7 +286,7 @@ class QueryPlan:
             return len(result) > 0
         return len(result)  # mode == "count"
 
-    def execute(self, executor=None):
+    def execute(self, executor: Any = None) -> Any:
         """Run the plan; returns the mode's natural result type
         (:class:`SearchResult`, :class:`~repro.core.batch.BatchResult`,
         ``bool`` or ``int``)."""
@@ -300,7 +301,7 @@ class QueryPlan:
                 )
             options = dict(self.options)
 
-            def one(query) -> SearchResult:
+            def one(query: Any) -> SearchResult:
                 return self.index.search(query, spec.epsilon, **options)
 
             # Synthesized batches fan out *at the planner level*, so
@@ -355,7 +356,7 @@ _MODE_CAPABILITY = {
 }
 
 
-def plan(index, spec: QuerySpec) -> QueryPlan:
+def plan(index: Any, spec: QuerySpec) -> QueryPlan:
     """Negotiate ``spec`` against ``index``'s declared capabilities.
 
     Queries shorter than the plane's window length plan onto the
@@ -421,6 +422,6 @@ def plan(index, spec: QuerySpec) -> QueryPlan:
     )
 
 
-def execute(index, spec: QuerySpec, *, executor=None):
+def execute(index: Any, spec: QuerySpec, *, executor: Any = None) -> Any:
     """Plan and run ``spec`` against ``index`` in one call."""
     return plan(index, spec).execute(executor=executor)

@@ -25,6 +25,7 @@ import dataclasses
 import importlib
 import inspect
 import threading
+from typing import Any
 
 from ..exceptions import InvalidParameterError
 
@@ -57,7 +58,7 @@ class PlaneInfo:
     #: :data:`PLANE_MODULES`) regardless of import order.
     module: str = ""
 
-    def build(self, source, **kwargs):
+    def build(self, source: Any, **kwargs: Any) -> Any:
         """Build the plane over a prepared window source."""
         return self.builder(source, **kwargs)
 
@@ -68,7 +69,7 @@ _LOAD_LOCK = threading.Lock()
 _LOADED = False
 
 
-def _normalize(name) -> str:
+def _normalize(name: Any) -> str:
     return str(name).lower().replace("-", "").replace("_", "")
 
 
@@ -78,7 +79,7 @@ def register_plane(
     aliases: tuple[str, ...] = (),
     paper: bool = False,
     summary: str = "",
-):
+) -> Any:
     """Class/function decorator registering a query plane under ``name``.
 
     On a class, the builder is ``cls.from_source``; on a function, the
@@ -87,7 +88,7 @@ def register_plane(
     ignores ``-``/``_``, as the factory always has).
     """
 
-    def decorate(obj):
+    def decorate(obj: Any) -> Any:
         builder = obj.from_source if inspect.isclass(obj) else obj
         info = PlaneInfo(
             name=name,
@@ -120,7 +121,7 @@ def _ensure_loaded() -> None:
         _LOADED = True
 
 
-def resolve_plane(name) -> PlaneInfo:
+def resolve_plane(name: Any) -> PlaneInfo:
     """The registered plane for ``name`` (or an alias of it).
 
     Unknown names raise :class:`InvalidParameterError` listing **every**
@@ -144,7 +145,7 @@ def _ordered_infos() -> list[PlaneInfo]:
     registration order for planes from other modules."""
     infos = list(_PLANES.values())
 
-    def key(pair):
+    def key(pair: tuple[int, PlaneInfo]) -> tuple[int, int, int]:
         position, info = pair
         try:
             return (0, PLANE_MODULES.index(info.module), position)

@@ -48,7 +48,7 @@ MODES = ("search", "knn", "exists", "count", "batch")
 DOMAINS = ("index", "raw")
 
 
-def normalize_exclude(exclude) -> tuple[int, int] | None:
+def normalize_exclude(exclude: Any) -> tuple[int, int] | None:
     """Validate and normalize a k-NN exclusion zone to ``(int, int)``.
 
     The one implementation of the ``start <= stop`` check previously
@@ -69,7 +69,7 @@ def normalize_exclude(exclude) -> tuple[int, int] | None:
     return (start, stop)
 
 
-def map_raw_to_index_domain(source, values) -> np.ndarray:
+def map_raw_to_index_domain(source: Any, values: Any) -> np.ndarray:
     """Map raw-value-domain query values into ``source``'s domain.
 
     Under ``GLOBAL`` the index holds windows of the z-normalized series
@@ -89,7 +89,7 @@ def map_raw_to_index_domain(source, values) -> np.ndarray:
     return (values - float(raw.mean())) / std
 
 
-def check_varlength_query(query, length, normalization) -> np.ndarray:
+def check_varlength_query(query: Any, length: int, normalization: Any) -> np.ndarray:
     """Validate a variable-length query from the plane's shape alone.
 
     The one implementation of the ``m <= l`` acceptance rule —
@@ -120,7 +120,7 @@ def check_varlength_query(query, length, normalization) -> np.ndarray:
     return values
 
 
-def query_extent(query):
+def query_extent(query: Any) -> int | tuple[int, ...] | None:
     """Best-effort length of ``query`` for error reporting: its element
     count for a 1-D query, its shape for anything higher-dimensional,
     ``None`` when the value cannot even be coerced to an array."""
@@ -134,11 +134,11 @@ def query_extent(query):
 
 
 def prepare_values(
-    source,
-    query,
+    source: Any,
+    query: Any,
     *,
     domain: str = "index",
-    expected=None,
+    expected: Any = None,
     varlength: bool = False,
 ) -> np.ndarray:
     """Validate + normalize one query against ``source``.
@@ -234,7 +234,7 @@ class QuerySpec:
     domain: str = "index"
     options: dict = dataclasses.field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise InvalidParameterError(
                 f"unknown query mode {self.mode!r}; expected one of {MODES}"
@@ -279,7 +279,7 @@ class QuerySpec:
             return list(self.query)
         return [self.query]
 
-    def prepare(self, source) -> PreparedQuery:
+    def prepare(self, source: Any) -> PreparedQuery:
         """Validate and map every query into ``source``'s index domain.
 
         The one ``prepare()`` of the pipeline: after this, the values

@@ -31,6 +31,8 @@ and globally-normalized regimes are exact.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from .._util import POSITION_DTYPE, check_non_negative
@@ -44,7 +46,7 @@ from .spec import prepare_values
 PREFIX_SCAN = "prefix_scan"
 
 
-def is_prefix_query(query, length) -> bool:
+def is_prefix_query(query: Any, length: Any) -> bool:
     """Whether ``query`` is a well-formed 1-D query *shorter* than the
     indexed window length — the planes' dispatch predicate: their
     fixed-length kernels hand such queries to the pipeline's prefix
@@ -87,7 +89,7 @@ def tail_positions(source: WindowSource, m: int) -> np.ndarray:
 def verify_prefix(
     source: WindowSource,
     query: np.ndarray,
-    positions,
+    positions: Any,
     epsilon: float,
     *,
     mode: str = "bulk",
@@ -109,7 +111,7 @@ def verify_prefix(
 
 
 def prefix_search_with_tail(
-    plane, query, epsilon: float, *, verification: str = "bulk"
+    plane: Any, query: Any, epsilon: float, *, verification: str = "bulk"
 ) -> SearchResult:
     """The monolithic-plane prefix search driver (TSIndex, frozen).
 
@@ -137,7 +139,7 @@ def prefix_search_with_tail(
 
 
 def prefix_search_part(
-    tree, query: np.ndarray, epsilon: float, *, verification: str = "bulk"
+    tree: Any, query: np.ndarray, epsilon: float, *, verification: str = "bulk"
 ) -> SearchResult:
     """One composite-plane part (a shard, a segment, the delta): prefix
     candidates over the part's *indexed* windows, verified against its
@@ -163,7 +165,7 @@ def merge_exists_stats(stats: QueryStats | None, result: SearchResult) -> None:
 
 def scan_prefix_search(
     source: WindowSource,
-    query,
+    query: Any,
     epsilon: float,
     *,
     verification: str = "bulk",
@@ -189,7 +191,9 @@ def scan_prefix_search(
     )
 
 
-def scan_prefix_knn(source: WindowSource, query, k: int, exclude=None):
+def scan_prefix_knn(
+    source: WindowSource, query: Any, k: int, exclude: Any = None
+) -> SearchResult:
     """Exact k-NN over every ``m``-window (tail included), ranked by the
     library-wide ``(distance, position)`` tie-break — the one
     variable-length k-NN kernel (every plane serves it; prefix pruning

@@ -18,6 +18,8 @@ a scenario's traces into one breakdown:
 
 from __future__ import annotations
 
+from typing import Any
+
 #: Canonical wall-stage order for reports.
 STAGE_ORDER = ("prepare", "plan", "execute", "merge", "verify", "other")
 
@@ -30,7 +32,7 @@ def _is_part(span: dict) -> bool:
     return any(key in meta for key in PART_META_KEYS)
 
 
-def attribute_traces(traces) -> dict:
+def attribute_traces(traces: Any) -> dict:
     """Aggregate trace dicts (``QueryTrace.as_dict()`` shape) into a
     per-stage breakdown.
 

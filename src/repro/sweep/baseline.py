@@ -16,6 +16,8 @@ in CI.
 from __future__ import annotations
 
 import re
+import re
+from typing import Any
 
 from ..exceptions import InvalidParameterError
 
@@ -51,7 +53,7 @@ TAIL_LEAVES = frozenset({"p99", "max", "p99_ms"})
 _TIME_LEAF = re.compile(r"(^|_)(ms|seconds|sec|s)($|_)|_ms$|_seconds$")
 
 
-def flatten(payload, prefix: str = "") -> dict:
+def flatten(payload: Any, prefix: str = "") -> dict:
     """``{dotted.path: float}`` for every numeric leaf (bools are not
     numbers here; lists index numerically)."""
     flat: dict = {}
@@ -72,7 +74,7 @@ def flatten(payload, prefix: str = "") -> dict:
     return flat
 
 
-def gated_threshold(path: str):
+def gated_threshold(path: str) -> float | None:
     """The regression threshold (percent) for ``path``, or ``None``
     when the path is not performance-gated."""
     segments = path.split(".")

@@ -11,6 +11,8 @@ reporting primitives. :func:`render_compare` does the same for a
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..bench.charts import render_chart
 from ..bench.record import read_artifact, write_artifact
 from ..bench.reporting import format_table, to_markdown
@@ -21,13 +23,13 @@ from .attribution import STAGE_ORDER
 SWEEP_KIND = "sweep"
 
 
-def write_report(path, result: dict, *, seed=None) -> dict:
+def write_report(path: Any, result: dict, *, seed: Any = None) -> dict:
     """Persist one sweep result as an enveloped artifact; returns the
     payload written."""
     return write_artifact(path, result, kind=SWEEP_KIND, seed=seed)
 
 
-def load_report(path) -> dict:
+def load_report(path: Any) -> dict:
     """Load a sweep artifact (enveloped or legacy)."""
     artifact = read_artifact(path)
     if "scenarios" not in artifact:

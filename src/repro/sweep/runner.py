@@ -22,15 +22,17 @@ import contextlib
 import random
 import shutil
 import tempfile
+import tempfile
+from typing import Any
 
 import numpy as np
 
+from ..bench.timing import sample_seconds
 from ..data import synthetic
 from ..engine import QueryEngine
 from ..exceptions import InvalidParameterError, ReproError
 from ..faults import failpoints
 from ..live import LiveTwinIndex
-from ..bench.timing import sample_seconds
 from ..obs import (
     MetricsRegistry,
     default_registry,
@@ -54,7 +56,7 @@ CHAOS_PROBABILITY = 0.1
 CHAOS_SEARCH_SITES = {"sharded": "shard.search", "live": "segment.search"}
 
 
-def base_epsilon(series) -> float:
+def base_epsilon(series: Any) -> float:
     """The scenario's ε unit: half the series' global standard
     deviation — the same calibration the chaos harness uses, selective
     at scale 1 and permissive by scale ~4 on the synthetic generators."""
@@ -85,7 +87,7 @@ def build_workload(scenario: Scenario) -> list:
     return ops
 
 
-def _build_live_plane(scenario: Scenario, series, directory):
+def _build_live_plane(scenario: Scenario, series: Any, directory: Any) -> Any:
     """A live plane fed incrementally so seals (and, with a small
     ``max_segments``, compactions) actually happen during setup."""
     index = LiveTwinIndex.create(
@@ -111,7 +113,7 @@ class _ScenarioStack(contextlib.ExitStack):
     all torn down (and the process default registry restored) however
     the scenario exits."""
 
-    def __init__(self, scenario: Scenario, series):
+    def __init__(self, scenario: Scenario, series: Any) -> None:
         super().__init__()
         self.registry = MetricsRegistry("sweep")
         previous = default_registry()
@@ -145,7 +147,9 @@ class _WorkloadRunner:
     """Executes one repetition of a scenario's op list, tolerating (and
     counting) failures surfaced by the chaos arm."""
 
-    def __init__(self, scenario: Scenario, engine, series, epsilon: float):
+    def __init__(
+        self, scenario: Scenario, engine: Any, series: Any, epsilon: float
+    ) -> None:
         self.scenario = scenario
         self.engine = engine
         self.series = series
@@ -154,10 +158,10 @@ class _WorkloadRunner:
         self.failures = 0
         self.results = 0
 
-    def _query_values(self, position: int, length: int):
+    def _query_values(self, position: int, length: int) -> Any:
         return self.series[position:position + length]
 
-    def _execute(self, kind: str, positions) -> None:
+    def _execute(self, kind: str, positions: Any) -> None:
         length = self.scenario.length
         if kind == "search":
             result = self.engine.query(
@@ -324,7 +328,7 @@ def run_sweep(
     *,
     repetitions: int | None = None,
     warmup: int | None = None,
-    progress=None,
+    progress: Any = None,
 ) -> dict:
     """Run every scenario of ``spec`` and return the sweep result
     (scenarios ordered by ID, so reports and artifacts are stable).

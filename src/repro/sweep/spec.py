@@ -58,7 +58,7 @@ class QueryMix:
     batch: float = 0.0
     knn: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         fractions = self.as_tuple()
         if any(f < 0 for f in fractions):
             raise InvalidParameterError(
@@ -198,7 +198,7 @@ class SweepSpec:
     warmup: int = 1
     seed: int = 7
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for axis in ("planes", "windows", "lengths", "epsilon_scales",
                      "shards", "seal_thresholds", "mixes", "chaos"):
             if not getattr(self, axis):

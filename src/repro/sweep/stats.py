@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 import statistics
+from typing import Any
 
 from ..exceptions import InvalidParameterError
 
@@ -32,7 +33,7 @@ def _quantile(ordered: list, q: float) -> float:
     return float(ordered[lower] + (ordered[upper] - ordered[lower]) * fraction)
 
 
-def summarize(samples) -> dict:
+def summarize(samples: Any) -> dict:
     """The summary block for one measured quantity across repetitions.
 
     ``stdev`` is the sample standard deviation (ddof=1; 0.0 with fewer
@@ -58,7 +59,7 @@ def summarize(samples) -> dict:
     }
 
 
-def bucket_quantile(bounds, counts, q: float) -> float:
+def bucket_quantile(bounds: Any, counts: Any, q: float) -> float:
     """Estimated ``q``-quantile from histogram bucket counts.
 
     ``bounds`` are the finite upper bounds (as in a snapshot's ``"le"``
@@ -94,7 +95,7 @@ def bucket_quantile(bounds, counts, q: float) -> float:
     return bounds[-1]
 
 
-def histogram_delta_summary(delta_sample: dict, bounds) -> dict:
+def histogram_delta_summary(delta_sample: dict, bounds: Any) -> dict:
     """Percentile block for one histogram delta sample (seconds →
     milliseconds), plus count and mean."""
     count = int(delta_sample.get("count", 0))

@@ -1,7 +1,6 @@
 """Tests for the approximate (single-leaf) search mode."""
 
 import numpy as np
-import pytest
 
 
 class TestISAXApproximate:

@@ -13,6 +13,7 @@ from repro.core.bulkload import bulk_load_source
 from repro.core.tsindex import TSIndex, TSIndexParams
 from repro.core.windows import WindowSource
 from repro.data import synthetic
+from repro.exceptions import InvalidParameterError
 from repro.indices.base import (
     METHOD_NAMES,
     SubsequenceIndex,
@@ -22,7 +23,6 @@ from repro.indices.base import (
 from repro.indices.isax import ISAXIndex, ISAXParams
 from repro.indices.kvindex import KVIndex, KVIndexParams
 from repro.indices.sweepline import SweeplineSearch
-from repro.exceptions import InvalidParameterError
 
 
 def _build_all(source):

@@ -15,7 +15,6 @@ import numpy as np
 import pytest
 
 from repro.core.tsindex import TSIndex, TSIndexParams
-from repro.data import synthetic
 from repro.exceptions import (
     InvalidParameterError,
     ReproError,

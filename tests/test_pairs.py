@@ -4,13 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core.distance import chebyshev_distance
+from repro.exceptions import InvalidParameterError
 from repro.extensions.pairs import (
     PairResult,
     discover_twin_pairs,
     self_twin_pairs,
     sliding_max,
 )
-from repro.exceptions import InvalidParameterError
 
 
 class TestSlidingMax:

@@ -6,8 +6,8 @@ import pytest
 from repro.core.tsindex import TSIndex
 from repro.core.windows import WindowSource
 from repro.data import synthetic
-from repro.extensions.profile import ChebyshevProfile, chebyshev_matrix_profile
 from repro.exceptions import InvalidParameterError
+from repro.extensions.profile import chebyshev_matrix_profile
 
 
 @pytest.fixture(scope="module")

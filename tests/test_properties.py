@@ -6,7 +6,6 @@ no hand-written example covers.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -15,8 +14,8 @@ from repro.core.mbts import MBTS
 from repro.core.normalization import rolling_mean, rolling_std, znormalize
 from repro.core.tsindex import TSIndex, TSIndexParams
 from repro.core.windows import WindowSource
-from repro.indices.kvindex import KVIndex, KVIndexParams
 from repro.indices.isax import ISAXIndex, ISAXParams
+from repro.indices.kvindex import KVIndex, KVIndexParams
 from repro.indices.paa import paa_transform, segment_bounds
 from repro.indices.sax import SAXAlphabet
 from repro.indices.sweepline import SweeplineSearch

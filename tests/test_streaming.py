@@ -5,9 +5,9 @@ import pytest
 
 from repro.core.tsindex import TSIndex, TSIndexParams
 from repro.data import synthetic
+from repro.exceptions import InvalidParameterError
 from repro.extensions.streaming import StreamingTwinIndex
 from repro.indices.sweepline import SweeplineSearch
-from repro.exceptions import InvalidParameterError
 
 
 @pytest.fixture()

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.indices.sweepline import SweeplineSearch
 from repro.exceptions import InvalidParameterError
+from repro.indices.sweepline import SweeplineSearch
 
 from conftest import LENGTH
 

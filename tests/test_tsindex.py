@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.normalization import Normalization
 from repro.core.tsindex import TSIndex, TSIndexParams
 from repro.core.windows import WindowSource
 from repro.data import synthetic

@@ -16,7 +16,6 @@ from repro.core.verification import (
     verify_positions_blocked,
     verify_positions_per_candidate,
 )
-from repro.core.windows import WindowSource
 from repro.exceptions import InvalidParameterError
 
 from conftest import LENGTH

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.normalization import Normalization, znormalize
+from repro.core.normalization import znormalize
 from repro.core.series import TimeSeries
 from repro.core.windows import WindowSource
 from repro.exceptions import InvalidParameterError
