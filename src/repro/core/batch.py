@@ -10,10 +10,20 @@ stop re-implementing the aggregation loop the harness uses.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
+from typing import Any, Iterable, Protocol
+
+import numpy.typing as npt
 
 from .._util import check_non_negative
 from .stats import QueryStats, SearchResult
+
+
+class SupportsSearch(Protocol):
+    """The shared threshold-search surface of every paper method."""
+
+    def search(
+        self, query: npt.ArrayLike, epsilon: float, **search_options: Any
+    ) -> SearchResult: ...
 
 
 @dataclasses.dataclass
@@ -51,7 +61,12 @@ class BatchResult:
         return self.total_matches / (window_count * len(self.results))
 
 
-def search_batch(method: Any, queries: Any, epsilon: float, **search_options: Any) -> BatchResult:
+def search_batch(
+    method: SupportsSearch,
+    queries: Iterable[npt.ArrayLike],
+    epsilon: float,
+    **search_options: Any,
+) -> BatchResult:
     """Run every query of ``queries`` through ``method`` at ``epsilon``.
 
     ``method`` is any object with the shared ``search`` surface (all

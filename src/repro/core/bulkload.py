@@ -24,9 +24,9 @@ and query time across orderings and against sequential insertion.
 from __future__ import annotations
 
 import time
-from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from .._util import POSITION_DTYPE, check_positive_int
 from ..exceptions import InvalidParameterError
@@ -47,10 +47,10 @@ DEFAULT_FILL_FRACTION = 0.75
 
 
 def bulk_load(
-    series: Any,
+    series: npt.ArrayLike,
     length: int,
     *,
-    normalization: Any = Normalization.GLOBAL,
+    normalization: Normalization | str = Normalization.GLOBAL,
     params: TSIndexParams | None = None,
     ordering: str = "position",
     paa_segments: int = 5,

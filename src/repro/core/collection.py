@@ -14,7 +14,9 @@ per-series top-k lists.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any
+from typing import Any, Iterable
+
+import numpy.typing as npt
 
 from .._util import check_non_negative, check_positive_int
 from ..exceptions import InvalidParameterError
@@ -52,10 +54,10 @@ class CollectionIndex:
 
     def __init__(
         self,
-        collection: Any,
+        collection: Iterable[TimeSeries | npt.ArrayLike],
         length: int,
         *,
-        normalization: Any = Normalization.GLOBAL,
+        normalization: Normalization | str = Normalization.GLOBAL,
         method: str = "tsindex",
         **method_options: Any,
     ):
@@ -110,7 +112,7 @@ class CollectionIndex:
         )
 
     # ------------------------------------------------------------------
-    def search(self, query: Any, epsilon: float) -> list[CollectionMatch]:
+    def search(self, query: npt.ArrayLike, epsilon: float) -> list[CollectionMatch]:
         """All twins of ``query`` anywhere in the collection.
 
         Results are sorted by ``(series_id, position)``.
@@ -129,7 +131,7 @@ class CollectionIndex:
                 )
         return matches
 
-    def knn(self, query: Any, k: int) -> list[CollectionMatch]:
+    def knn(self, query: npt.ArrayLike, k: int) -> list[CollectionMatch]:
         """The ``k`` nearest windows across the whole collection.
 
         Every member answers — natively (TS-Index) or through the
@@ -153,11 +155,11 @@ class CollectionIndex:
         candidates.sort(key=lambda m: (m.distance, m.series_id, m.position))
         return candidates[:k]
 
-    def count(self, query: Any, epsilon: float) -> int:
+    def count(self, query: npt.ArrayLike, epsilon: float) -> int:
         """Total twins across the collection."""
         return len(self.search(query, epsilon))
 
-    def count_per_series(self, query: Any, epsilon: float) -> list[int]:
+    def count_per_series(self, query: npt.ArrayLike, epsilon: float) -> list[int]:
         """Twin count per member series (ranking which series contain
         the pattern — the cross-archive use case)."""
         epsilon = check_non_negative(epsilon, name="epsilon")
@@ -165,7 +167,7 @@ class CollectionIndex:
             len(index.search(query, epsilon)) for index in self._indices
         ]
 
-    def aggregate_stats(self, query: Any, epsilon: float) -> QueryStats:
+    def aggregate_stats(self, query: npt.ArrayLike, epsilon: float) -> QueryStats:
         """Merged structural counters across members for one query."""
         epsilon = check_non_negative(epsilon, name="epsilon")
         total = QueryStats()

@@ -9,9 +9,8 @@ verification stage of every index.
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
+import numpy.typing as npt
 
 from .._util import as_float_array, check_non_negative
 from ..exceptions import InvalidParameterError
@@ -24,7 +23,7 @@ def _check_same_length(a: np.ndarray, b: np.ndarray) -> None:
         )
 
 
-def chebyshev_distance(a: Any, b: Any) -> float:
+def chebyshev_distance(a: npt.ArrayLike, b: npt.ArrayLike) -> float:
     """Chebyshev (L∞) distance: ``max_i |a_i - b_i|`` (Definition 1)."""
     a = as_float_array(a, name="a")
     b = as_float_array(b, name="b")
@@ -32,7 +31,7 @@ def chebyshev_distance(a: Any, b: Any) -> float:
     return float(np.max(np.abs(a - b)))
 
 
-def chebyshev_distance_early_abandon(a: Any, b: Any, epsilon: float) -> float:
+def chebyshev_distance_early_abandon(a: npt.ArrayLike, b: npt.ArrayLike, epsilon: float) -> float:
     """Chebyshev distance with early abandoning at threshold ``epsilon``.
 
     Returns the exact distance if it is ``<= epsilon``; otherwise returns
@@ -54,7 +53,7 @@ def chebyshev_distance_early_abandon(a: Any, b: Any, epsilon: float) -> float:
     return best
 
 
-def reorder_by_magnitude(query: Any) -> np.ndarray:
+def reorder_by_magnitude(query: npt.ArrayLike) -> np.ndarray:
     """Index permutation sorting query points by decreasing ``|value|``.
 
     The *reordering early abandoning* optimization of the UCR suite
@@ -65,7 +64,7 @@ def reorder_by_magnitude(query: Any) -> np.ndarray:
     return np.argsort(-np.abs(query), kind="stable")
 
 
-def chebyshev_distance_reordered(a: Any, b: Any, epsilon: float, order: Any = None) -> float:
+def chebyshev_distance_reordered(a: npt.ArrayLike, b: npt.ArrayLike, epsilon: float, order: npt.ArrayLike | None = None) -> float:
     """Early-abandoning Chebyshev distance probing points in ``order``.
 
     ``order`` defaults to :func:`reorder_by_magnitude` of ``a`` (the
@@ -87,7 +86,7 @@ def chebyshev_distance_reordered(a: Any, b: Any, epsilon: float, order: Any = No
     return best
 
 
-def euclidean_distance(a: Any, b: Any) -> float:
+def euclidean_distance(a: npt.ArrayLike, b: npt.ArrayLike) -> float:
     """Euclidean (L2) distance ``sqrt(Σ (a_i - b_i)^2)``."""
     a = as_float_array(a, name="a")
     b = as_float_array(b, name="b")
@@ -95,7 +94,7 @@ def euclidean_distance(a: Any, b: Any) -> float:
     return float(np.sqrt(np.sum((a - b) ** 2)))
 
 
-def lp_distance(a: Any, b: Any, p: float) -> float:
+def lp_distance(a: npt.ArrayLike, b: npt.ArrayLike, p: float) -> float:
     """General Lp distance; ``p = inf`` dispatches to Chebyshev."""
     if p == np.inf:
         return chebyshev_distance(a, b)
@@ -120,7 +119,7 @@ def euclidean_threshold_for(epsilon: float, length: int) -> float:
     return epsilon * float(np.sqrt(length))
 
 
-def chebyshev_profile(windows: Any, query: Any) -> np.ndarray:
+def chebyshev_profile(windows: npt.ArrayLike, query: npt.ArrayLike) -> np.ndarray:
     """Chebyshev distance from ``query`` to every row of ``windows``.
 
     ``windows`` is a ``(k, l)`` matrix; returns a length-``k`` vector.
@@ -136,13 +135,13 @@ def chebyshev_profile(windows: Any, query: Any) -> np.ndarray:
     return np.max(np.abs(windows - query), axis=1)
 
 
-def chebyshev_matches(windows: Any, query: Any, epsilon: float) -> np.ndarray:
+def chebyshev_matches(windows: npt.ArrayLike, query: npt.ArrayLike, epsilon: float) -> np.ndarray:
     """Boolean mask of rows of ``windows`` that are twins of ``query``."""
     epsilon = check_non_negative(epsilon, name="epsilon")
     return chebyshev_profile(windows, query) <= epsilon
 
 
-def pairwise_chebyshev(windows: Any) -> np.ndarray:
+def pairwise_chebyshev(windows: npt.ArrayLike) -> np.ndarray:
     """Dense ``(k, k)`` Chebyshev distance matrix between rows.
 
     Used by TS-Index leaf splits to pick the two farthest entries as

@@ -40,9 +40,10 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import time
-from typing import Any
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
+import numpy.typing as npt
 
 from .._util import (
     FLOAT_DTYPE,
@@ -73,6 +74,9 @@ from .normalization import Normalization
 from .stats import BuildStats, QueryStats, SearchResult
 from .verification import verify
 from .windows import WindowSource
+
+if TYPE_CHECKING:  # runtime import would be circular; tsindex imports us
+    from .tsindex import TSIndex, TSIndexParams, _Node
 
 #: Upper bound on the elements of one ``(pairs, l)`` bound temporary;
 #: larger frontiers are processed in chunks so peak memory stays at
@@ -203,7 +207,7 @@ class FrozenTSIndex:
     def __init__(
         self,
         source: WindowSource,
-        params: Any,
+        params: TSIndexParams,
         build_stats: BuildStats,
         arrays: dict,
         *,
@@ -339,8 +343,8 @@ class FrozenTSIndex:
     def from_tree(
         cls,
         source: WindowSource,
-        root: Any,
-        params: Any,
+        root: _Node | None,
+        params: TSIndexParams,
         build_stats: BuildStats,
     ) -> "FrozenTSIndex":
         """Flatten a dynamic ``_Node`` tree (BFS order, root = id 0)."""
@@ -418,7 +422,7 @@ class FrozenTSIndex:
     def from_arrays(
         cls,
         source: WindowSource,
-        params: Any,
+        params: TSIndexParams,
         build_stats: BuildStats,
         arrays: dict,
     ) -> "FrozenTSIndex":
@@ -429,11 +433,11 @@ class FrozenTSIndex:
     @classmethod
     def build(
         cls,
-        series: Any,
+        series: npt.ArrayLike,
         length: int,
         *,
-        normalization: Any = Normalization.GLOBAL,
-        params: Any = None,
+        normalization: Normalization | str = Normalization.GLOBAL,
+        params: TSIndexParams | None = None,
     ) -> "FrozenTSIndex":
         """Build a dynamic TS-Index and freeze it in one call."""
         from .tsindex import TSIndex
@@ -442,7 +446,7 @@ class FrozenTSIndex:
             series, length, normalization=normalization, params=params
         ).freeze()
 
-    def thaw(self) -> Any:
+    def thaw(self) -> TSIndex:
         """Reconstruct a dynamic :class:`~repro.core.tsindex.TSIndex`
         (for further insertion; queries on the result match exactly)."""
         from .mbts import MBTS
@@ -519,7 +523,7 @@ class FrozenTSIndex:
         return self._source
 
     @property
-    def params(self) -> Any:
+    def params(self) -> TSIndexParams:
         """Construction parameters of the tree that was frozen."""
         return self._params
 
@@ -761,7 +765,7 @@ class FrozenTSIndex:
     # ------------------------------------------------------------------
     def search(
         self,
-        query: Any,
+        query: npt.ArrayLike,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -788,14 +792,14 @@ class FrozenTSIndex:
             mode=verification, stats=stats,
         )
 
-    def count(self, query: Any, epsilon: float) -> int:
+    def count(self, query: npt.ArrayLike, epsilon: float) -> int:
         """Number of twins (convenience wrapper over :meth:`search`;
         shorter queries count their prefix twins, tail included)."""
         return len(self.search(query, epsilon))
 
     def search_varlength(
         self,
-        query: Any,
+        query: npt.ArrayLike,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -861,7 +865,7 @@ class FrozenTSIndex:
     # ------------------------------------------------------------------
     def search_batch(
         self,
-        queries: Any,
+        queries: Iterable[npt.ArrayLike],
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -1060,7 +1064,7 @@ class FrozenTSIndex:
     # k-NN (best-first over the flat arrays)
     # ------------------------------------------------------------------
     def knn(
-        self, query: Any, k: int, *, exclude: tuple[int, int] | None = None
+        self, query: npt.ArrayLike, k: int, *, exclude: tuple[int, int] | None = None
     ) -> SearchResult:
         """The ``k`` windows nearest to ``query`` in Chebyshev distance.
 
@@ -1164,7 +1168,7 @@ class FrozenTSIndex:
     # Existence (early-exit decision procedure)
     # ------------------------------------------------------------------
     def exists(
-        self, query: Any, epsilon: float, *, stats: QueryStats | None = None
+        self, query: npt.ArrayLike, epsilon: float, *, stats: QueryStats | None = None
     ) -> bool:
         """Whether *any* twin exists, with early exit.
 

@@ -19,9 +19,8 @@ in an R-tree. This module implements:
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
+import numpy.typing as npt
 
 from .._util import FLOAT_DTYPE, as_float_array
 from ..exceptions import InvalidParameterError
@@ -35,7 +34,7 @@ class MBTS:
 
     __slots__ = ("upper", "lower")
 
-    def __init__(self, upper: Any, lower: Any):
+    def __init__(self, upper: npt.ArrayLike, lower: npt.ArrayLike):
         upper = np.array(upper, dtype=FLOAT_DTYPE)
         lower = np.array(lower, dtype=FLOAT_DTYPE)
         if upper.ndim != 1 or upper.shape != lower.shape:
@@ -52,13 +51,13 @@ class MBTS:
     # Constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_sequence(cls, sequence: Any) -> "MBTS":
+    def from_sequence(cls, sequence: npt.ArrayLike) -> "MBTS":
         """Degenerate MBTS enclosing a single sequence (upper == lower)."""
         sequence = as_float_array(sequence, name="sequence")
         return cls(sequence.copy(), sequence.copy())
 
     @classmethod
-    def from_sequences(cls, matrix: Any) -> "MBTS":
+    def from_sequences(cls, matrix: npt.ArrayLike) -> "MBTS":
         """MBTS of a non-empty ``(k, l)`` matrix of sequences (Eq. 1)."""
         matrix = np.asarray(matrix, dtype=FLOAT_DTYPE)
         if matrix.ndim != 2 or matrix.shape[0] == 0:
@@ -110,7 +109,7 @@ class MBTS:
     # ------------------------------------------------------------------
     # Containment and distances
     # ------------------------------------------------------------------
-    def contains(self, sequence: Any) -> bool:
+    def contains(self, sequence: npt.ArrayLike) -> bool:
         """True when ``lower_i <= sequence_i <= upper_i`` for all ``i``."""
         sequence = as_float_array(sequence, name="sequence")
         self._check_length(sequence.size)
@@ -125,7 +124,7 @@ class MBTS:
             np.all(other.upper <= self.upper) and np.all(other.lower >= self.lower)
         )
 
-    def distance_to_sequence(self, sequence: Any) -> float:
+    def distance_to_sequence(self, sequence: npt.ArrayLike) -> float:
         """Equation 2: how far ``sequence`` pokes outside the envelope."""
         sequence = as_float_array(sequence, name="sequence")
         self._check_length(sequence.size)
@@ -133,7 +132,7 @@ class MBTS:
         below = self.lower - sequence
         return float(max(np.max(above), np.max(below), 0.0))
 
-    def distance_to_sequence_exceeds(self, sequence: Any, epsilon: float) -> bool:
+    def distance_to_sequence_exceeds(self, sequence: npt.ArrayLike, epsilon: float) -> bool:
         """Early-abandoning form of Lemma 1's check ``d(Q, B) > ε``.
 
         Scans timestamps and stops at the first excursion beyond
@@ -162,7 +161,7 @@ class MBTS:
     # ------------------------------------------------------------------
     # Expansion
     # ------------------------------------------------------------------
-    def expand_to_include(self, sequence: Any) -> None:
+    def expand_to_include(self, sequence: npt.ArrayLike) -> None:
         """Grow the envelope (in place) to cover ``sequence``."""
         sequence = as_float_array(sequence, name="sequence")
         self._check_length(sequence.size)
@@ -192,7 +191,7 @@ class MBTS:
             np.minimum(self.lower, other.lower),
         )
 
-    def enlargement_for_sequence(self, sequence: Any) -> float:
+    def enlargement_for_sequence(self, sequence: npt.ArrayLike) -> float:
         """Area growth if ``sequence`` were included (split metric).
 
         ``Σ_i max(s_i - u_i, 0) + max(ℓ_i - s_i, 0)`` — the R-tree style
@@ -211,7 +210,7 @@ class MBTS:
         below = np.maximum(self.lower - other.lower, 0.0)
         return float(np.sum(above) + np.sum(below))
 
-    def max_enlargement_for_sequence(self, sequence: Any) -> float:
+    def max_enlargement_for_sequence(self, sequence: npt.ArrayLike) -> float:
         """Chebyshev-style enlargement: the largest single-timestamp
         excursion. Equal to Eq. 2's distance; exposed under this name for
         the split-metric ablation."""
@@ -226,12 +225,12 @@ class MBTS:
             )
 
 
-def mbts_of(sequences: Any) -> MBTS:
+def mbts_of(sequences: npt.ArrayLike) -> MBTS:
     """Convenience wrapper over :meth:`MBTS.from_sequences`."""
     return MBTS.from_sequences(sequences)
 
 
-def sequence_mbts_distance(sequence: Any, mbts: MBTS) -> float:
+def sequence_mbts_distance(sequence: npt.ArrayLike, mbts: MBTS) -> float:
     """Functional form of Equation 2 (``d(S, B)``)."""
     return mbts.distance_to_sequence(sequence)
 

@@ -18,9 +18,9 @@ window, never O(n·l).
 from __future__ import annotations
 
 import enum
-from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from .._util import FLOAT_DTYPE, as_float_array, check_window_length
 from ..exceptions import InvalidParameterError
@@ -39,7 +39,7 @@ class Normalization(str, enum.Enum):
     PER_WINDOW = "per_window"
 
     @classmethod
-    def coerce(cls, value: Any) -> "Normalization":
+    def coerce(cls, value: Normalization | str) -> "Normalization":
         """Accept an enum member or its string value ("none", ...)."""
         if isinstance(value, cls):
             return value
@@ -52,7 +52,7 @@ class Normalization(str, enum.Enum):
             ) from exc
 
 
-def znormalize(values: Any) -> np.ndarray:
+def znormalize(values: npt.ArrayLike) -> np.ndarray:
     """Z-normalize a full sequence: subtract its mean, divide by its std.
 
     A (near-)constant sequence maps to all-zeros rather than raising.
@@ -64,13 +64,13 @@ def znormalize(values: Any) -> np.ndarray:
     return (array - array.mean()) / std
 
 
-def znormalize_window(values: Any) -> np.ndarray:
+def znormalize_window(values: npt.ArrayLike) -> np.ndarray:
     """Alias of :func:`znormalize` for readability at call sites that
     normalize an individual window rather than a whole series."""
     return znormalize(values)
 
 
-def rolling_mean(values: Any, length: int) -> np.ndarray:
+def rolling_mean(values: npt.ArrayLike, length: int) -> np.ndarray:
     """Mean of every ``length``-sized window of ``values``.
 
     Returns an array of ``len(values) - length + 1`` means, computed via a
@@ -106,7 +106,7 @@ def std_block_size(length: int) -> int:
     return max(STD_BLOCK, int(length))
 
 
-def rolling_std(values: Any, length: int, *, floor: float = STD_FLOOR) -> np.ndarray:
+def rolling_std(values: npt.ArrayLike, length: int, *, floor: float = STD_FLOOR) -> np.ndarray:
     """Standard deviation of every ``length``-sized window of ``values``.
 
     Uses the cumulative-sum-of-squares identity on *centered* values —
@@ -162,12 +162,12 @@ def rolling_std(values: Any, length: int, *, floor: float = STD_FLOOR) -> np.nda
     return std
 
 
-def apply_global(values: Any) -> np.ndarray:
+def apply_global(values: npt.ArrayLike) -> np.ndarray:
     """Prepare a series for the ``GLOBAL`` regime (z-normalize once)."""
     return znormalize(values)
 
 
-def prepare_series(values: Any, normalization: Any) -> np.ndarray:
+def prepare_series(values: npt.ArrayLike, normalization: Normalization | str) -> np.ndarray:
     """Return the value buffer a :class:`~repro.core.windows.WindowSource`
     should slide over under the given regime.
 

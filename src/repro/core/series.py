@@ -8,9 +8,8 @@ Positions are 0-based throughout the library (the paper is 1-based).
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
+import numpy.typing as npt
 
 from .._util import as_float_array, check_window_length
 from ..exceptions import InvalidParameterError
@@ -43,7 +42,7 @@ class TimeSeries:
 
     __slots__ = ("_values", "_name")
 
-    def __init__(self, values: Any, name: str = "", *, copy: bool = True):
+    def __init__(self, values: npt.ArrayLike, name: str = "", *, copy: bool = True):
         array = as_float_array(values, name="values")
         if copy:
             array = array.copy()

@@ -20,9 +20,10 @@ import dataclasses
 import heapq
 import itertools
 import time
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
+import numpy.typing as npt
 
 from .._util import (
     FLOAT_DTYPE,
@@ -203,10 +204,10 @@ class TSIndex:
     @classmethod
     def build(
         cls,
-        series: Any,
+        series: npt.ArrayLike,
         length: int,
         *,
-        normalization: Any = Normalization.GLOBAL,
+        normalization: Normalization | str = Normalization.GLOBAL,
         params: TSIndexParams | None = None,
     ) -> "TSIndex":
         """Build a TS-Index over all ``length``-sized windows of
@@ -525,7 +526,7 @@ class TSIndex:
     # ------------------------------------------------------------------
     def search(
         self,
-        query: Any,
+        query: npt.ArrayLike,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -552,12 +553,14 @@ class TSIndex:
             mode=verification, stats=stats,
         )
 
-    def count(self, query: Any, epsilon: float) -> int:
+    def count(self, query: npt.ArrayLike, epsilon: float) -> int:
         """Number of twins (convenience wrapper over :meth:`search`;
         shorter queries count their prefix twins, tail included)."""
         return len(self.search(query, epsilon))
 
-    def search_batch(self, queries: Any, epsilon: float, **search_options: Any) -> Any:
+    def search_batch(
+        self, queries: Iterable[npt.ArrayLike], epsilon: float, **search_options: Any
+    ) -> Any:
         """Run a whole workload; per-query results plus aggregates.
 
         The pipeline-backed default every plane shares (a planner loop
@@ -579,7 +582,7 @@ class TSIndex:
 
     def search_varlength(
         self,
-        query: Any,
+        query: npt.ArrayLike,
         epsilon: float,
         *,
         verification: str = "bulk",
@@ -656,7 +659,7 @@ class TSIndex:
         return np.concatenate(collected)
 
     def search_approximate(
-        self, query: Any, epsilon: float, *, max_leaves: int = 8
+        self, query: npt.ArrayLike, epsilon: float, *, max_leaves: int = 8
     ) -> SearchResult:
         """Twins from the ``max_leaves`` most promising leaves only.
 
@@ -708,7 +711,7 @@ class TSIndex:
         return verify(self._source, query, candidates, epsilon, stats=stats)
 
     def exists(
-        self, query: Any, epsilon: float, *, stats: QueryStats | None = None
+        self, query: npt.ArrayLike, epsilon: float, *, stats: QueryStats | None = None
     ) -> bool:
         """Whether *any* twin exists, with early exit (extension).
 
@@ -822,7 +825,9 @@ class TSIndex:
     # ------------------------------------------------------------------
     # k-NN twin search (extension; best-first with the Eq. 2 bound)
     # ------------------------------------------------------------------
-    def knn(self, query: Any, k: int, *, exclude: tuple[int, int] | None = None) -> SearchResult:
+    def knn(
+        self, query: npt.ArrayLike, k: int, *, exclude: tuple[int, int] | None = None
+    ) -> SearchResult:
         """The ``k`` windows nearest to ``query`` in Chebyshev distance.
 
         Best-first traversal: nodes are expanded in order of their Eq. 2

@@ -22,9 +22,8 @@ All strategies return identical results; tests enforce this.
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
+import numpy.typing as npt
 
 from .._util import (
     POSITION_DTYPE,
@@ -56,7 +55,7 @@ VERIFICATION_MODES = ("bulk", "blocked", "per_candidate")
 def verify_positions(
     source: WindowSource,
     query: np.ndarray,
-    positions: Any,
+    positions: npt.ArrayLike,
     epsilon: float,
     *,
     stats: QueryStats | None = None,
@@ -91,7 +90,7 @@ def verify_positions(
 def verify_positions_blocked(
     source: WindowSource,
     query: np.ndarray,
-    positions: Any,
+    positions: npt.ArrayLike,
     epsilon: float,
     *,
     stats: QueryStats | None = None,
@@ -144,7 +143,7 @@ def verify_positions_blocked(
 def verify_intervals(
     source: WindowSource,
     query: np.ndarray,
-    intervals: Any,
+    intervals: npt.ArrayLike,
     epsilon: float,
     *,
     stats: QueryStats | None = None,
@@ -183,7 +182,7 @@ def verify_intervals(
 def verify_positions_per_candidate(
     source: WindowSource,
     query: np.ndarray,
-    positions: Any,
+    positions: npt.ArrayLike,
     epsilon: float,
     *,
     stats: QueryStats | None = None,
@@ -222,7 +221,7 @@ def verify_positions_per_candidate(
 def verify(
     source: WindowSource,
     query: np.ndarray,
-    positions: Any,
+    positions: npt.ArrayLike,
     epsilon: float,
     *,
     mode: str = "bulk",

@@ -10,9 +10,8 @@ from precomputed rolling statistics.
 
 from __future__ import annotations
 
-from typing import Any
-
 import numpy as np
+import numpy.typing as npt
 
 from .._util import (
     FLOAT_DTYPE,
@@ -61,7 +60,12 @@ class WindowSource:
         "_stds",
     )
 
-    def __init__(self, series: Any, length: int, normalization: Any = Normalization.GLOBAL):
+    def __init__(
+        self,
+        series: TimeSeries | npt.ArrayLike,
+        length: int,
+        normalization: Normalization | str = Normalization.GLOBAL,
+    ):
         if not isinstance(series, TimeSeries):
             series = TimeSeries(series)
         normalization = Normalization.coerce(normalization)
@@ -131,7 +135,7 @@ class WindowSource:
             return raw
         return (raw - self._means[position]) / self._stds[position]
 
-    def windows(self, positions: Any) -> np.ndarray:
+    def windows(self, positions: npt.ArrayLike) -> np.ndarray:
         """A ``(k, length)`` matrix of the windows at ``positions``.
 
         Always returns a fresh writable array (the raw view is shared).
@@ -258,7 +262,7 @@ class WindowSource:
             return np.zeros(self.count, dtype=FLOAT_DTYPE)
         return rolling_mean(self._values, self._length)
 
-    def prepare_query(self, query: Any) -> np.ndarray:
+    def prepare_query(self, query: npt.ArrayLike) -> np.ndarray:
         """Normalize an external query the same way indexed windows are.
 
         ``NONE``/``GLOBAL``: returned as-is (under ``GLOBAL`` the caller
@@ -290,7 +294,7 @@ class WindowSource:
 def assemble_source(
     values: np.ndarray,
     length: int,
-    normalization: Any,
+    normalization: Normalization | str,
     *,
     means: np.ndarray | None = None,
     stds: np.ndarray | None = None,

@@ -16,7 +16,6 @@ in CI.
 from __future__ import annotations
 
 import re
-import re
 from typing import Any
 
 from ..exceptions import InvalidParameterError

@@ -22,7 +22,6 @@ import contextlib
 import random
 import shutil
 import tempfile
-import tempfile
 from typing import Any
 
 import numpy as np
